@@ -1,0 +1,76 @@
+//! Figure 1 — Accuracy (a) and energy per inference (b) vs pruning rate
+//! for CNVW2A2 on CIFAR-10, with no early exit and with early exits
+//! under confidence thresholds 5 %, 50 % and 95 % (paper Sec. I).
+//!
+//! The paper's headline observation must reproduce in shape: the 5 %
+//! threshold curve is the *worst* accuracy at light pruning but becomes
+//! the *best* at heavy pruning (the crossover AdaPEx exploits), and
+//! early exiting saves energy only in parts of the sweep.
+//!
+//! Run with `cargo bench -p adapex-bench --bench fig1`.
+
+use adapex_bench::{artifacts, print_table};
+use adapex_dataset::DatasetKind;
+
+fn main() {
+    let art = artifacts(DatasetKind::Cifar10Like);
+    let thresholds = [0.05, 0.50, 0.95];
+    // The intro figure uses the early-exit model with not-pruned exits.
+    let ee = art.adapex.with_prune_exits(false);
+
+    let mut acc_rows = Vec::new();
+    let mut energy_rows = Vec::new();
+    for entry in &ee.entries {
+        let plain = art
+            .pr_only
+            .entries
+            .iter()
+            .find(|p| (p.pruning_rate - entry.pruning_rate).abs() < 1e-9);
+        let Some(plain) = plain else { continue };
+        let plain_point = &plain.points[0];
+        let mut acc = vec![
+            format!("{:.0}", entry.pruning_rate * 100.0),
+            format!("{:.1}", plain.final_exit_accuracy * 100.0),
+        ];
+        let mut energy = vec![
+            format!("{:.0}", entry.pruning_rate * 100.0),
+            format!("{:.3}", plain_point.energy_per_inference_mj),
+        ];
+        for &ct in &thresholds {
+            let p = entry.point_at(ct);
+            acc.push(format!("{:.1}", p.accuracy * 100.0));
+            energy.push(format!("{:.3}", p.energy_per_inference_mj));
+        }
+        acc_rows.push(acc);
+        energy_rows.push(energy);
+    }
+
+    print_table(
+        "Fig. 1(a): accuracy [%] vs pruning rate (CIFAR-10)",
+        &["P.R.[%]", "no-EE", "CT=5%", "CT=50%", "CT=95%"],
+        &acc_rows,
+    );
+    print_table(
+        "Fig. 1(b): energy/inference [mJ] vs pruning rate (CIFAR-10)",
+        &["P.R.[%]", "no-EE", "CT=5%", "CT=50%", "CT=95%"],
+        &energy_rows,
+    );
+
+    // Shape check: does the paper's crossover appear?
+    let first = ee.entries.iter().min_by(|a, b| {
+        a.pruning_rate.partial_cmp(&b.pruning_rate).expect("finite")
+    });
+    let last = ee.entries.iter().max_by(|a, b| {
+        a.pruning_rate.partial_cmp(&b.pruning_rate).expect("finite")
+    });
+    if let (Some(first), Some(last)) = (first, last) {
+        println!(
+            "\nCrossover check: light pruning CT5 {:.3} vs CT95 {:.3} (paper: CT5 lower); \
+             heavy pruning CT5 {:.3} vs CT95 {:.3} (paper: CT5 higher)",
+            first.point_at(0.05).accuracy,
+            first.point_at(0.95).accuracy,
+            last.point_at(0.05).accuracy,
+            last.point_at(0.95).accuracy,
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Figure 4 — the design space AdaPEx opens: throughput (IPS) vs
+//! accuracy and energy/inference vs accuracy, for CIFAR-10 (a, b) and
+//! GTSRB (c, d), sweeping pruning rate 0–85 % and confidence threshold
+//! 0–100 % for pruned and not-pruned exits (paper Sec. VI-A).
+//!
+//! The full point cloud is written to
+//! `target/adapex-cache/fig4-<dataset>.json`; the console shows a
+//! decimated table plus the paper's qualitative checks (higher
+//! throughput costs accuracy; an energy plateau appears beyond which
+//! extra energy buys no accuracy).
+//!
+//! Run with `cargo bench -p adapex-bench --bench fig4`.
+
+use adapex_bench::{artifacts, cache_dir, datasets, print_table};
+
+fn main() {
+    for kind in datasets() {
+        let art = artifacts(kind);
+        // Full-resolution dump for plotting.
+        let cloud: Vec<serde_json::Value> = art
+            .adapex
+            .design_space()
+            .map(|(e, p)| {
+                serde_json::json!({
+                    "pruning_rate": e.pruning_rate,
+                    "prune_exits": e.prune_exits,
+                    "confidence_threshold": p.confidence_threshold,
+                    "accuracy": p.accuracy,
+                    "ips": p.ips,
+                    "energy_mj": p.energy_per_inference_mj,
+                    "power_w": p.power_w,
+                    "latency_ms": p.avg_latency_ms,
+                })
+            })
+            .collect();
+        let path = cache_dir().join(format!("fig4-{}.json", kind.id()));
+        std::fs::write(&path, serde_json::to_string_pretty(&cloud).expect("serialize"))
+            .expect("dump fig4 cloud");
+        println!("full design space ({} points) -> {}", cloud.len(), path.display());
+
+        // Decimated console view: every 25 % threshold step.
+        let mut rows = Vec::new();
+        for (e, p) in art.adapex.design_space() {
+            let ct_pct = p.confidence_threshold * 100.0;
+            if (ct_pct / 25.0).fract().abs() > 1e-9 {
+                continue;
+            }
+            rows.push(vec![
+                format!("{:.0}", e.pruning_rate * 100.0),
+                if e.prune_exits { "pruned" } else { "not-pruned" }.to_string(),
+                format!("{:.0}", ct_pct),
+                format!("{:.1}", p.accuracy * 100.0),
+                format!("{:.0}", p.ips),
+                format!("{:.3}", p.energy_per_inference_mj),
+            ]);
+        }
+        print_table(
+            &format!("Fig. 4 design space ({kind}), decimated to 25% CT steps"),
+            &["P.R.[%]", "exits", "C.T.[%]", "Acc[%]", "IPS", "E/inf[mJ]"],
+            &rows,
+        );
+
+        // Qualitative checks from the paper's discussion.
+        let pts: Vec<_> = art.adapex.design_space().collect();
+        let fastest = pts
+            .iter()
+            .max_by(|a, b| a.1.ips.partial_cmp(&b.1.ips).expect("finite"))
+            .expect("non-empty library");
+        let most_accurate = pts
+            .iter()
+            .max_by(|a, b| a.1.accuracy.partial_cmp(&b.1.accuracy).expect("finite"))
+            .expect("non-empty library");
+        println!(
+            "\n[{kind}] fastest point: {:.0} IPS @ {:.1}% acc (P.R. {:.0}%, CT {:.0}%)",
+            fastest.1.ips,
+            fastest.1.accuracy * 100.0,
+            fastest.0.pruning_rate * 100.0,
+            fastest.1.confidence_threshold * 100.0
+        );
+        println!(
+            "[{kind}] most accurate point: {:.1}% acc @ {:.0} IPS (P.R. {:.0}%, CT {:.0}%)",
+            most_accurate.1.accuracy * 100.0,
+            most_accurate.1.ips,
+            most_accurate.0.pruning_rate * 100.0,
+            most_accurate.1.confidence_threshold * 100.0
+        );
+        // Energy plateau: best accuracy below vs above the median energy.
+        let mut energies: Vec<f64> = pts.iter().map(|p| p.1.energy_per_inference_mj).collect();
+        energies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = energies[energies.len() / 2];
+        let best_below = pts
+            .iter()
+            .filter(|p| p.1.energy_per_inference_mj <= median)
+            .map(|p| p.1.accuracy)
+            .fold(0.0, f64::max);
+        let best_above = pts
+            .iter()
+            .filter(|p| p.1.energy_per_inference_mj > median)
+            .map(|p| p.1.accuracy)
+            .fold(0.0, f64::max);
+        println!(
+            "[{kind}] accuracy plateau: best acc at <= median energy ({median:.3} mJ) = {:.1}%, \
+             above = {:.1}% (paper: extra energy beyond the plateau is wasted)",
+            best_below * 100.0,
+            best_above * 100.0
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Recomputes the hardware-derived fields of cached artifacts after a
+//! change to the `finn-dataflow` estimators, without re-training.
+//!
+//! Network *shapes* after dataflow-aware pruning depend only on the
+//! keep-count arithmetic — not on which filters ℓ1 ranking kept — so each
+//! entry's accelerator can be reconstructed from an untrained clone
+//! pruned at the same (rate, mode) under the same derived constraints.
+//! Accuracy, exit fractions and mean-exit statistics are preserved from
+//! the cached evaluation; resources, throughput, latency, power and
+//! energy are recomputed.
+//!
+//! ```text
+//! cargo run --release -p adapex-bench --bin refresh_artifacts
+//! ```
+
+use adapex::generator::{derive_constraints, Artifacts};
+use adapex::library::Library;
+use adapex_bench::{cache_dir, Profile};
+use adapex_dataset::DatasetKind;
+use adapex_nn::network::EarlyExitNetwork;
+use adapex_prune::{PruneConfig, Pruner};
+use finn_dataflow::{compile, Accelerator, FoldingConfig, FpgaDevice, ModelIr};
+
+fn refresh_library(
+    lib: &mut Library,
+    base: &EarlyExitNetwork,
+    folding: &FoldingConfig,
+    constraints: &adapex_prune::ConstraintMap,
+    device: &FpgaDevice,
+    clock_mhz: f64,
+) {
+    for entry in &mut lib.entries {
+        let net = if entry.pruning_rate > 0.0 {
+            Pruner::new(PruneConfig {
+                rate: entry.pruning_rate,
+                prune_exits: entry.prune_exits,
+            })
+            .prune(base, constraints)
+            .0
+        } else {
+            base.clone()
+        };
+        let ir = ModelIr::from_summary(&net.summarize());
+        let acc: Accelerator =
+            compile(&ir, folding, device, clock_mhz).expect("cached variants must still compile");
+        let report = acc.report();
+        entry.resources = report.resources;
+        entry.exit_resources = (0..acc.graph().exits.len())
+            .map(|e| acc.graph().segment_resources(finn_dataflow::graph::Segment::Exit(e)))
+            .fold(finn_dataflow::ResourceUsage::zero(), |a, b| a + b);
+        entry.utilization = report.utilization;
+        entry.static_ips = report.throughput_ips;
+        entry.latency_to_exit_ms = report.latency_to_exit_ms.clone();
+        for point in &mut entry.points {
+            let perf = acc.performance(&point.exit_fractions);
+            point.ips = perf.ips;
+            point.avg_latency_ms = perf.avg_latency_ms;
+            point.power_w = perf.power_w;
+            point.energy_per_inference_mj = perf.energy_per_inference_mj;
+        }
+    }
+}
+
+fn main() {
+    let profile = Profile::from_env();
+    let device = FpgaDevice::zcu104();
+    for kind in [DatasetKind::Cifar10Like, DatasetKind::GtsrbLike] {
+        let path = cache_dir().join(format!("artifacts-{}-{}.json", kind.id(), profile.id()));
+        let Ok(mut art) = Artifacts::load_json(&path) else {
+            eprintln!("skip {} (no cache)", path.display());
+            continue;
+        };
+        let cfg = &art.config;
+        let classes = kind.num_classes();
+
+        // Early-exit side.
+        let ee = cfg.cnv.build_early_exit(classes, &cfg.exits, cfg.seed);
+        let ee_ir = ModelIr::from_summary(&ee.summarize());
+        let ee_folding = FoldingConfig::balanced(
+            &ee_ir,
+            cfg.folding_target_cycles,
+            cfg.pre_junction_speedup,
+        );
+        let ee_constraints = derive_constraints(&ee, &ee_folding);
+        let mut adapex_lib = art.adapex.clone();
+        refresh_library(&mut adapex_lib, &ee, &ee_folding, &ee_constraints, &device, cfg.clock_mhz);
+        art.adapex = adapex_lib;
+
+        // Plain side (FINN / PR-Only).
+        let plain = cfg.cnv.build(classes, cfg.seed);
+        let plain_ir = ModelIr::from_summary(&plain.summarize());
+        let plain_folding = FoldingConfig::balanced(&plain_ir, cfg.folding_target_cycles, 1.0);
+        let plain_constraints = derive_constraints(&plain, &plain_folding);
+        let mut pr_lib = art.pr_only.clone();
+        refresh_library(&mut pr_lib, &plain, &plain_folding, &plain_constraints, &device, cfg.clock_mhz);
+        art.pr_only = pr_lib;
+
+        art.save_json(&path).expect("cache write");
+        println!("refreshed {}", path.display());
+    }
+}

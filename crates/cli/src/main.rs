@@ -1,0 +1,276 @@
+//! `adapex-cli` — command-line front-end for the AdaPEx reproduction.
+//!
+//! ```text
+//! adapex-cli generate --dataset cifar10 --profile fast --out artifacts.json
+//! adapex-cli inspect  --artifacts artifacts.json
+//! adapex-cli simulate --artifacts artifacts.json --system adapex --reps 20
+//! adapex-cli trace    --artifacts artifacts.json --seed 21 --ips-per-camera 50
+//! adapex-cli synth    --width 8 --rate 0.5 --prune-exits
+//! ```
+
+mod args;
+
+use adapex::baselines::{manager_for, System};
+use adapex::generator::{Artifacts, GeneratorConfig, LibraryGenerator};
+use adapex_dataset::DatasetKind;
+use adapex_edge::{mean_of, EdgeSimulation, SimConfig, WorkloadConfig};
+use args::Args;
+use std::error::Error;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_deref() {
+        Some("generate") => cmd_generate(&args),
+        Some("inspect") => cmd_inspect(&args),
+        Some("report") => cmd_report(&args),
+        Some("simulate") => cmd_simulate(&args),
+        Some("trace") => cmd_trace(&args),
+        Some("synth") => cmd_synth(&args),
+        _ => {
+            println!("{USAGE}");
+            Ok(())
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+adapex-cli — AdaPEx (DATE 2023) reproduction toolkit
+
+USAGE:
+  adapex-cli generate --dataset cifar10|gtsrb [--profile fast|repro] --out FILE
+  adapex-cli inspect  --artifacts FILE [--prune-exits]
+  adapex-cli report   --artifacts FILE [--out FILE.md]
+  adapex-cli simulate --artifacts FILE [--system adapex|pr-only|ct-only|finn|all]
+                      [--reps N] [--ips-per-camera F] [--seed N]
+  adapex-cli trace    --artifacts FILE [--seed N] [--ips-per-camera F]
+  adapex-cli synth    [--width N] [--rate F] [--prune-exits] [--classes N]
+                      [--target-cycles N]";
+
+fn dataset_of(name: &str) -> Result<DatasetKind, Box<dyn Error>> {
+    match name {
+        "cifar10" => Ok(DatasetKind::Cifar10Like),
+        "gtsrb" => Ok(DatasetKind::GtsrbLike),
+        other => Err(format!("unknown dataset `{other}` (cifar10|gtsrb)").into()),
+    }
+}
+
+fn cmd_generate(args: &Args) -> Result<(), Box<dyn Error>> {
+    let kind = dataset_of(args.get_or("dataset", "cifar10".to_string())?.as_str())?;
+    let out = args.require("out")?;
+    let mut cfg = match args.get_or("profile", "fast".to_string())?.as_str() {
+        "repro" => GeneratorConfig::repro_default(kind),
+        "fast" => GeneratorConfig::fast(kind),
+        other => return Err(format!("unknown profile `{other}` (fast|repro)").into()),
+    };
+    cfg.verbose = true;
+    let artifacts = LibraryGenerator::new(cfg).generate();
+    artifacts.save_json(out)?;
+    println!(
+        "wrote {out}: {} AdaPEx entries, {} PR-Only entries, reference accuracy {:.1}%",
+        artifacts.adapex.len(),
+        artifacts.pr_only.len(),
+        artifacts.reference_accuracy * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_inspect(args: &Args) -> Result<(), Box<dyn Error>> {
+    let artifacts = Artifacts::load_json(args.require("artifacts")?)?;
+    println!(
+        "dataset {} | reference accuracy {:.1}% | reconfig {:.0} ms",
+        artifacts.kind,
+        artifacts.reference_accuracy * 100.0,
+        artifacts.reconfig_time_ms
+    );
+    println!(
+        "{:>4} {:>8} {:>11} {:>9} {:>9} {:>10} {:>8} {:>8}",
+        "id", "P.R.[%]", "exits", "mean-acc", "best-acc", "IPS range", "BRAM", "LUT"
+    );
+    for e in &artifacts.adapex.entries {
+        if args.flag("prune-exits") != e.prune_exits {
+            continue;
+        }
+        let (lo, hi) = e.points.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), p| {
+            (lo.min(p.ips), hi.max(p.ips))
+        });
+        let best = e
+            .points
+            .iter()
+            .map(|p| p.accuracy)
+            .fold(0.0f64, f64::max);
+        println!(
+            "{:>4} {:>8.0} {:>11} {:>9.3} {:>9.3} {:>5.0}-{:<4.0} {:>8} {:>8}",
+            e.id,
+            e.pruning_rate * 100.0,
+            if e.prune_exits { "pruned" } else { "not-pruned" },
+            e.mean_exit_accuracy,
+            best,
+            lo,
+            hi,
+            e.resources.bram36,
+            e.resources.lut,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_report(args: &Args) -> Result<(), Box<dyn Error>> {
+    let artifacts = Artifacts::load_json(args.require("artifacts")?)?;
+    let md = adapex::report::render_markdown(&artifacts);
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &md)?;
+            println!("wrote {path}");
+        }
+        None => print!("{md}"),
+    }
+    Ok(())
+}
+
+fn systems_of(name: &str) -> Result<Vec<System>, Box<dyn Error>> {
+    Ok(match name {
+        "adapex" => vec![System::AdaPEx],
+        "pr-only" => vec![System::PrOnly],
+        "ct-only" => vec![System::CtOnly],
+        "finn" => vec![System::Finn],
+        "all" => System::all().to_vec(),
+        other => return Err(format!("unknown system `{other}`").into()),
+    })
+}
+
+fn sim_config(args: &Args, reconfig_ms: f64) -> Result<SimConfig, Box<dyn Error>> {
+    let ips = args.get_or("ips-per-camera", 30.0f64)?;
+    Ok(SimConfig {
+        workload: WorkloadConfig {
+            ips_per_camera: ips,
+            ..WorkloadConfig::paper_default()
+        },
+        ..SimConfig::paper_default(reconfig_ms)
+    })
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), Box<dyn Error>> {
+    let artifacts = Artifacts::load_json(args.require("artifacts")?)?;
+    let reps = args.get_or("reps", 20usize)?;
+    let seed = args.get_or("seed", 0xDA7Eu64)?;
+    let sim = EdgeSimulation::new(sim_config(args, artifacts.reconfig_time_ms)?);
+    println!(
+        "{:>8} {:>9} {:>8} {:>8} {:>9} {:>9} {:>9}",
+        "System", "Loss[%]", "Acc[%]", "QoE[%]", "Power[W]", "Lat[ms]", "Reconfigs"
+    );
+    for system in systems_of(args.get_or("system", "all".to_string())?.as_str())? {
+        let manager = manager_for(system, &artifacts, 0.10);
+        let results = sim.run_many(&manager, reps, seed);
+        println!(
+            "{:>8} {:>9.2} {:>8.1} {:>8.1} {:>9.2} {:>9.2} {:>9.1}",
+            system.label(),
+            mean_of(&results, |r| r.inference_loss_pct()),
+            mean_of(&results, |r| r.mean_accuracy * 100.0),
+            mean_of(&results, |r| r.qoe() * 100.0),
+            mean_of(&results, |r| r.mean_power_w),
+            mean_of(&results, |r| r.mean_latency_ms),
+            mean_of(&results, |r| r.reconfig_count as f64),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), Box<dyn Error>> {
+    let artifacts = Artifacts::load_json(args.require("artifacts")?)?;
+    let seed = args.get_or("seed", 21u64)?;
+    let mut manager = manager_for(System::AdaPEx, &artifacts, 0.10);
+    let sim = EdgeSimulation::new(sim_config(args, artifacts.reconfig_time_ms)?);
+    let result = sim.run(&mut manager, seed);
+    println!(
+        "{:>5} {:>8} {:>8} {:>8} {:>8} {:>6}",
+        "t[s]", "IPS", "P.R.[%]", "C.T.[%]", "Acc[%]", "queue"
+    );
+    for s in &result.trace {
+        println!(
+            "{:>5.0} {:>8.0} {:>8.0} {:>8.0} {:>8.1} {:>6}",
+            s.t,
+            s.workload_ips,
+            s.pruning_rate * 100.0,
+            s.confidence_threshold * 100.0,
+            s.accuracy * 100.0,
+            s.queue_len,
+        );
+    }
+    println!(
+        "{} reconfigurations, {} CT moves, {:.2}% loss, QoE {:.1}%",
+        result.reconfig_count,
+        result.ct_change_count,
+        result.inference_loss_pct(),
+        result.qoe() * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_synth(args: &Args) -> Result<(), Box<dyn Error>> {
+    use adapex::generator::derive_constraints;
+    use adapex_nn::cnv::{CnvConfig, ExitsConfig};
+    use adapex_prune::{PruneConfig, Pruner};
+    use finn_dataflow::{
+        assignments_from_fractions, compile, simulate_stream, FoldingConfig, FpgaDevice, ModelIr,
+    };
+
+    let width = args.get_or("width", 8usize)?;
+    let rate = args.get_or("rate", 0.0f64)?;
+    let classes = args.get_or("classes", 10usize)?;
+    let target = args.get_or("target-cycles", 235_000u64)?;
+    let net = CnvConfig::scaled(width).build_early_exit(classes, &ExitsConfig::paper_default(), 42);
+    let ir = ModelIr::from_summary(&net.summarize());
+    let folding = FoldingConfig::balanced(&ir, target, 2.0);
+    let net = if rate > 0.0 {
+        let constraints = derive_constraints(&net, &folding);
+        let (pruned, report) = Pruner::new(PruneConfig {
+            rate,
+            prune_exits: args.flag("prune-exits"),
+        })
+        .prune(&net, &constraints);
+        println!(
+            "pruned: requested {:.0}% -> achieved {:.1}%",
+            rate * 100.0,
+            report.overall_rate() * 100.0
+        );
+        pruned
+    } else {
+        net
+    };
+    let ir = ModelIr::from_summary(&net.summarize());
+    let acc = compile(&ir, &folding, &FpgaDevice::zcu104(), 100.0)?;
+    println!("{}", acc.report().summary());
+    println!(
+        "latency to exits [ms]: {:?}",
+        acc.report()
+            .latency_to_exit_ms
+            .iter()
+            .map(|l| format!("{l:.3}"))
+            .collect::<Vec<_>>()
+    );
+    // Cross-check the analytical throughput with the stream simulator.
+    let fractions = vec![0.6, 0.2, 0.2];
+    let sim = simulate_stream(acc.graph(), &assignments_from_fractions(&fractions, 300));
+    let analytical = acc.performance(&fractions);
+    println!(
+        "stream-sim check @ mix {fractions:?}: simulated {:.0} IPS vs analytical {:.0} IPS",
+        sim.throughput_ips(100.0),
+        analytical.ips
+    );
+    Ok(())
+}

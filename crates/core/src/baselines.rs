@@ -1,0 +1,122 @@
+//! The paper's comparison systems (Sec. V):
+//!
+//! * **FINN** — the original accelerator synthesized from the
+//!   off-the-shelf (unpruned, no-exit) CNN; fully static.
+//! * **PR-Only** — the runtime selection over pruned single-exit
+//!   models: pruning is the only knob.
+//! * **CT-Only** — the unpruned early-exit model: the confidence
+//!   threshold is the only knob (no reconfigurations).
+//! * **AdaPEx** — the full library: both knobs.
+//!
+//! All four are expressed as [`RuntimeManager`]s over restrictions of
+//! the same generated [`Artifacts`], so every comparison shares its
+//! models, datasets and hardware model.
+
+use crate::generator::Artifacts;
+use crate::runtime::{RuntimeManager, SelectionPolicy};
+
+/// The four systems compared in Table I / Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum System {
+    /// Full AdaPEx (pruning + early-exit, both runtime knobs).
+    AdaPEx,
+    /// Pruning only (single-exit models, runtime accelerator switching).
+    PrOnly,
+    /// Confidence threshold only (unpruned early-exit model).
+    CtOnly,
+    /// Original static FINN accelerator.
+    Finn,
+}
+
+impl System {
+    /// All four systems in the paper's presentation order.
+    pub fn all() -> [System; 4] {
+        [System::AdaPEx, System::PrOnly, System::CtOnly, System::Finn]
+    }
+
+    /// Display label matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            System::AdaPEx => "AdaPEx",
+            System::PrOnly => "PR-Only",
+            System::CtOnly => "CT-Only",
+            System::Finn => "FINN",
+        }
+    }
+}
+
+impl std::fmt::Display for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Builds the runtime manager for `system` from generated artifacts,
+/// with the user accuracy threshold expressed as a maximum loss
+/// relative to the original CNN (the paper uses `0.10`).
+///
+/// # Panics
+///
+/// Panics if the artifacts lack the entries the system needs (e.g. a
+/// generation run without a rate-0 entry).
+pub fn manager_for(system: System, artifacts: &Artifacts, max_accuracy_loss: f64) -> RuntimeManager {
+    let min_accuracy = artifacts.reference_accuracy - max_accuracy_loss;
+    match system {
+        System::AdaPEx => RuntimeManager::new(
+            artifacts.adapex.clone(),
+            min_accuracy,
+            SelectionPolicy::ReconfigAware,
+        ),
+        System::PrOnly => RuntimeManager::new(
+            artifacts.pr_only.clone(),
+            min_accuracy,
+            SelectionPolicy::ReconfigAware,
+        ),
+        System::CtOnly => RuntimeManager::new(
+            artifacts.ct_only(),
+            min_accuracy,
+            SelectionPolicy::ReconfigAware,
+        ),
+        // FINN never adapts: one entry, one point.
+        System::Finn => RuntimeManager::new(
+            artifacts.finn(),
+            0.0,
+            SelectionPolicy::Oblivious,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, LibraryGenerator};
+    use adapex_dataset::DatasetKind;
+
+    #[test]
+    fn all_four_systems_build_from_fast_artifacts() {
+        let mut cfg = GeneratorConfig::fast(DatasetKind::Cifar10Like);
+        cfg.pruning_rates = vec![0.0, 0.5];
+        let artifacts = LibraryGenerator::new(cfg).generate();
+        for system in System::all() {
+            let mut m = manager_for(system, &artifacts, 0.10);
+            let d = m.decide(100.0);
+            assert!(d.entry < m.library().len(), "{system}");
+        }
+        // FINN and CT-Only never reconfigure (single entry).
+        let mut finn = manager_for(System::Finn, &artifacts, 0.10);
+        let mut ct = manager_for(System::CtOnly, &artifacts, 0.10);
+        for ips in [100.0, 1000.0, 5000.0, 50.0] {
+            assert!(!finn.decide(ips).reconfig);
+            assert!(!ct.decide(ips).reconfig);
+        }
+        assert_eq!(finn.reconfig_count, 0);
+        assert_eq!(ct.reconfig_count, 0);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(System::AdaPEx.label(), "AdaPEx");
+        assert_eq!(System::PrOnly.to_string(), "PR-Only");
+        assert_eq!(System::all().len(), 4);
+    }
+}

@@ -1,0 +1,585 @@
+//! Design-time library generation (paper Sec. IV-A, Fig. 3 left).
+//!
+//! The generator reproduces AdaPEx's pipeline end to end:
+//!
+//! 1. **Early-Exit Training** — build CNV, attach the configured exits,
+//!    train all exits jointly.
+//! 2. **Dataflow-Aware Pruning** — sweep the pruning rate at fixed steps
+//!    in both exit-pruning modes, retraining each variant; pruning
+//!    amounts respect the PE/SIMD folding of the user's FINN
+//!    configuration, which is derived **once** from the unpruned model
+//!    and reused verbatim by every variant.
+//! 3. **CNN Compilation & HLS Synthesis** — compile every variant to a
+//!    FINN-style dataflow accelerator and extract throughput, latency,
+//!    resources and power.
+//! 4. **Library creation** — characterize every model at every
+//!    confidence threshold into [`Library`] rows.
+//!
+//! The same pass also produces the paper's baselines: a plain CNV for
+//! the original-FINN baseline and a pruned-plain sweep for PR-Only.
+
+use crate::library::{Library, LibraryEntry, OperatingPoint};
+use adapex_dataset::{DatasetKind, SyntheticConfig, SyntheticDataset};
+use adapex_nn::cnv::{CnvConfig, ExitsConfig};
+use adapex_nn::eval::evaluate_exits;
+use adapex_nn::layers::Layer;
+use adapex_nn::network::EarlyExitNetwork;
+use adapex_nn::train::{TrainConfig, Trainer};
+use adapex_prune::{ConstraintMap, LayerConstraint, PruneConfig, Pruner};
+use finn_dataflow::{compile, Accelerator, FoldingConfig, FpgaDevice, IrOp, ModelIr};
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// Everything the library generator needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Dataset family.
+    pub kind: DatasetKind,
+    /// Dataset synthesis parameters.
+    pub dataset: SyntheticConfig,
+    /// CNV width/precision.
+    pub cnv: CnvConfig,
+    /// Exit placement and loss weights.
+    pub exits: ExitsConfig,
+    /// Initial joint training.
+    pub train: TrainConfig,
+    /// Post-pruning retraining (the paper retrains every pruned model).
+    pub retrain: TrainConfig,
+    /// Pruning rates to sweep (paper: 0–85 % in 5 % steps).
+    pub pruning_rates: Vec<f64>,
+    /// Exit-pruning modes to sweep (paper compares both).
+    pub exit_prune_modes: Vec<bool>,
+    /// Confidence-threshold step (paper: 5 %).
+    pub ct_step: f64,
+    /// Folding cycle budget for the unpruned accelerator.
+    pub folding_target_cycles: u64,
+    /// Extra folding speed for pre-junction layers (see
+    /// [`FoldingConfig::balanced`]).
+    pub pre_junction_speedup: f64,
+    /// Accelerator clock in MHz (paper: 100 MHz).
+    pub clock_mhz: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Print progress while generating.
+    pub verbose: bool,
+}
+
+impl GeneratorConfig {
+    /// Full reproduction profile: 18 pruning rates × both exit modes ×
+    /// 21 thresholds, at the calibrated training scale.
+    pub fn repro_default(kind: DatasetKind) -> Self {
+        let classes = kind.num_classes();
+        // Keep samples-per-class comparable across the 10- and 43-class
+        // datasets (GTSRB gets slightly fewer per class to bound the
+        // single-core sweep time); GTSRB also needs more epochs.
+        let (train_size, epochs, retrain_epochs) = match kind {
+            DatasetKind::Cifar10Like => (120 * classes, 10, 2),
+            DatasetKind::GtsrbLike => (100 * classes, 14, 2),
+        };
+        GeneratorConfig {
+            kind,
+            dataset: SyntheticConfig::new(kind).with_sizes(train_size, 500),
+            cnv: CnvConfig::scaled(8),
+            exits: ExitsConfig::paper_default(),
+            train: TrainConfig {
+                epochs,
+                ..TrainConfig::repro_default()
+            },
+            retrain: TrainConfig {
+                epochs: retrain_epochs,
+                lr: 0.005,
+                ..TrainConfig::repro_default()
+            },
+            pruning_rates: (0..18).map(|i| i as f64 * 0.05).collect(),
+            exit_prune_modes: vec![false, true],
+            ct_step: 0.05,
+            folding_target_cycles: 235_000,
+            pre_junction_speedup: 2.0,
+            clock_mhz: 100.0,
+            seed: 42,
+            verbose: false,
+        }
+    }
+
+    /// Small profile for tests and quick demos: fewer rates, coarser
+    /// thresholds, a tiny network and dataset.
+    pub fn fast(kind: DatasetKind) -> Self {
+        let classes = kind.num_classes();
+        GeneratorConfig {
+            kind,
+            dataset: SyntheticConfig::new(kind).with_sizes(24 * classes, 120),
+            cnv: CnvConfig::scaled(4),
+            exits: ExitsConfig::paper_default(),
+            train: TrainConfig {
+                epochs: 3,
+                ..TrainConfig::fast()
+            },
+            retrain: TrainConfig {
+                epochs: 1,
+                ..TrainConfig::fast()
+            },
+            pruning_rates: vec![0.0, 0.3, 0.6],
+            exit_prune_modes: vec![false],
+            ct_step: 0.25,
+            folding_target_cycles: 60_000,
+            pre_junction_speedup: 2.0,
+            clock_mhz: 100.0,
+            seed: 42,
+            verbose: false,
+        }
+    }
+
+    /// The confidence thresholds swept per entry (0..=1 at `ct_step`).
+    pub fn thresholds(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut t = 0.0f64;
+        while t <= 1.0 + 1e-9 {
+            out.push(t.min(1.0));
+            t += self.ct_step;
+        }
+        out
+    }
+}
+
+/// Everything the design-time step produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Artifacts {
+    /// Dataset family.
+    pub kind: DatasetKind,
+    /// The AdaPEx library: pruned early-exit models, both exit modes.
+    pub adapex: Library,
+    /// Pruned plain (single-exit) models — the PR-Only baseline's
+    /// library; its rate-0 entry is the original-FINN baseline.
+    pub pr_only: Library,
+    /// Final-exit accuracy of the unpruned plain CNV — the reference
+    /// the user accuracy threshold is counted from.
+    pub reference_accuracy: f64,
+    /// Full-reconfiguration time of the target device in milliseconds.
+    pub reconfig_time_ms: f64,
+    /// The configuration that produced these artifacts.
+    pub config: GeneratorConfig,
+}
+
+impl Artifacts {
+    /// The original-FINN baseline: the unpruned plain CNV only.
+    pub fn finn(&self) -> Library {
+        Library {
+            entries: self
+                .pr_only
+                .entries
+                .iter()
+                .filter(|e| e.pruning_rate == 0.0)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// The CT-Only baseline: the unpruned early-exit CNV (not-pruned
+    /// exits), confidence threshold as the only knob.
+    pub fn ct_only(&self) -> Library {
+        Library {
+            entries: self
+                .adapex
+                .entries
+                .iter()
+                .filter(|e| e.pruning_rate == 0.0 && !e.prune_exits)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the file cannot be written.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let json = serde_json::to_string_pretty(self).map_err(io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads artifacts from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the file cannot be read or parsed.
+    pub fn load_json(path: impl AsRef<Path>) -> io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(io::Error::other)
+    }
+}
+
+/// The design-time library generator.
+#[derive(Debug, Clone)]
+pub struct LibraryGenerator {
+    config: GeneratorConfig,
+    device: FpgaDevice,
+}
+
+impl LibraryGenerator {
+    /// New generator targeting the ZCU104 (the paper's board).
+    pub fn new(config: GeneratorConfig) -> Self {
+        LibraryGenerator {
+            config,
+            device: FpgaDevice::zcu104(),
+        }
+    }
+
+    /// Overrides the target device.
+    pub fn with_device(mut self, device: FpgaDevice) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Runs the full design-time pipeline (see module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a generated variant fails to compile to the device —
+    /// that indicates an internal inconsistency between the pruner's
+    /// constraints and the folding configuration.
+    pub fn generate(&self) -> Artifacts {
+        let cfg = &self.config;
+        let data = cfg.dataset.generate();
+        let classes = cfg.kind.num_classes();
+        let thresholds = cfg.thresholds();
+
+        // --- Plain CNV: FINN baseline + PR-Only sweep. -----------------
+        self.log("training plain CNV (FINN / PR-Only baseline)");
+        let mut plain = cfg.cnv.build(classes, cfg.seed);
+        Trainer::new(cfg.train.clone()).fit(&mut plain, &data, cfg.seed ^ 0x1);
+        let plain_ir = ModelIr::from_summary(&plain.summarize());
+        let plain_folding = FoldingConfig::balanced(
+            &plain_ir,
+            cfg.folding_target_cycles,
+            1.0, // no exits, no junction bias
+        );
+        let plain_constraints = derive_constraints(&plain, &plain_folding);
+        let reference_accuracy = {
+            let eval = evaluate_exits(&mut plain, &data.test);
+            eval.exit_accuracy(0)
+        };
+
+        let mut pr_only = Library::new();
+        for (i, &rate) in cfg.pruning_rates.iter().enumerate() {
+            self.log(&format!("PR-Only: pruning rate {:.0}%", rate * 100.0));
+            let entry = self.build_entry(
+                i,
+                &plain,
+                rate,
+                false,
+                &plain_constraints,
+                &plain_folding,
+                &data,
+                &[1.0], // single exit: one "threshold"
+            );
+            pr_only.entries.push(entry);
+        }
+
+        // --- Early-exit CNV: AdaPEx library (and CT-Only via rate 0). --
+        self.log("training early-exit CNV (joint loss)");
+        let mut ee = cfg.cnv.build_early_exit(classes, &cfg.exits, cfg.seed);
+        let ee_train = TrainConfig {
+            exit_loss_weights: Some(cfg.exits.loss_weights(ee.num_exits())),
+            ..cfg.train.clone()
+        };
+        Trainer::new(ee_train).fit(&mut ee, &data, cfg.seed ^ 0x2);
+        let ee_ir = ModelIr::from_summary(&ee.summarize());
+        let ee_folding = FoldingConfig::balanced(
+            &ee_ir,
+            cfg.folding_target_cycles,
+            cfg.pre_junction_speedup,
+        );
+        let ee_constraints = derive_constraints(&ee, &ee_folding);
+
+        let mut adapex = Library::new();
+        let mut id = 0usize;
+        for &prune_exits in &cfg.exit_prune_modes {
+            for &rate in &cfg.pruning_rates {
+                self.log(&format!(
+                    "AdaPEx: rate {:.0}% (prune_exits={prune_exits})",
+                    rate * 100.0
+                ));
+                let entry = self.build_entry(
+                    id,
+                    &ee,
+                    rate,
+                    prune_exits,
+                    &ee_constraints,
+                    &ee_folding,
+                    &data,
+                    &thresholds,
+                );
+                adapex.entries.push(entry);
+                id += 1;
+            }
+        }
+
+        Artifacts {
+            kind: cfg.kind,
+            adapex,
+            pr_only,
+            reference_accuracy,
+            reconfig_time_ms: self.device.reconfig_time_ms(),
+            config: cfg.clone(),
+        }
+    }
+
+    /// Prunes (if `rate > 0`), retrains, evaluates and synthesizes one
+    /// library entry.
+    #[allow(clippy::too_many_arguments)]
+    fn build_entry(
+        &self,
+        id: usize,
+        base: &EarlyExitNetwork,
+        rate: f64,
+        prune_exits: bool,
+        constraints: &ConstraintMap,
+        folding: &FoldingConfig,
+        data: &SyntheticDataset,
+        thresholds: &[f64],
+    ) -> LibraryEntry {
+        let cfg = &self.config;
+        let (mut net, achieved_rate) = if rate > 0.0 {
+            let pruner = Pruner::new(PruneConfig { rate, prune_exits });
+            let (mut pruned, report) = pruner.prune(base, constraints);
+            let retrain = TrainConfig {
+                exit_loss_weights: Some(cfg.exits.loss_weights(pruned.num_exits())),
+                ..cfg.retrain.clone()
+            };
+            Trainer::new(retrain).fit(&mut pruned, data, cfg.seed ^ (id as u64) << 8);
+            (pruned, report.overall_rate())
+        } else {
+            (base.clone(), 0.0)
+        };
+
+        let acc = self.synthesize(&net, folding);
+        let eval = evaluate_exits(&mut net, &data.test);
+        let points = thresholds
+            .iter()
+            .map(|&ct| {
+                let report = eval.at_threshold(ct as f32);
+                let perf = acc.performance(&report.exit_fractions);
+                OperatingPoint {
+                    confidence_threshold: ct,
+                    accuracy: report.accuracy,
+                    exit_fractions: report.exit_fractions,
+                    ips: perf.ips,
+                    avg_latency_ms: perf.avg_latency_ms,
+                    power_w: perf.power_w,
+                    energy_per_inference_mj: perf.energy_per_inference_mj,
+                }
+            })
+            .collect();
+        let report = acc.report();
+        let exit_resources = (0..acc.graph().exits.len())
+            .map(|e| acc.graph().segment_resources(finn_dataflow::graph::Segment::Exit(e)))
+            .fold(finn_dataflow::ResourceUsage::zero(), |a, b| a + b);
+        LibraryEntry {
+            id,
+            pruning_rate: rate,
+            achieved_rate,
+            prune_exits,
+            mean_exit_accuracy: eval.mean_exit_accuracy(),
+            final_exit_accuracy: eval.exit_accuracy(eval.num_exits() - 1),
+            resources: report.resources,
+            exit_resources,
+            utilization: report.utilization,
+            static_ips: report.throughput_ips,
+            latency_to_exit_ms: report.latency_to_exit_ms.clone(),
+            points,
+        }
+    }
+
+    /// Compiles a network against the shared folding configuration.
+    fn synthesize(&self, net: &EarlyExitNetwork, folding: &FoldingConfig) -> Accelerator {
+        let ir = ModelIr::from_summary(&net.summarize());
+        compile(&ir, folding, &self.device, self.config.clock_mhz)
+            .expect("generated variant must compile: pruner constraints and folding agree")
+    }
+
+    fn log(&self, msg: &str) {
+        if self.config.verbose {
+            println!("[adapex-gen:{}] {msg}", self.config.kind.id());
+        }
+    }
+}
+
+/// Derives the pruner's constraint map from the folding configuration:
+/// every conv's PE, and the lcm of the SIMD lanes of all consumers of
+/// its output stream (next backbone matrix node plus any exit conv
+/// forking at its junction).
+pub fn derive_constraints(net: &EarlyExitNetwork, folding: &FoldingConfig) -> ConstraintMap {
+    let ir = ModelIr::from_summary(&net.summarize());
+    let mut map = ConstraintMap::uniform(1, 1);
+
+    // Pair nn backbone conv layer indices with IR conv nodes (same order).
+    let nn_conv_layers: Vec<usize> = net
+        .backbone
+        .iter()
+        .enumerate()
+        .filter_map(|(i, l)| matches!(l, Layer::Conv(_)).then_some(i))
+        .collect();
+    let ir_conv_nodes: Vec<usize> = ir
+        .backbone
+        .iter()
+        .enumerate()
+        .filter_map(|(i, n)| matches!(n.op, IrOp::Conv { .. }).then_some(i))
+        .collect();
+    assert_eq!(
+        nn_conv_layers.len(),
+        ir_conv_nodes.len(),
+        "IR and network must agree on conv count"
+    );
+
+    let folding_of = |name: &str| {
+        folding
+            .get(name)
+            .unwrap_or_else(|| panic!("folding must cover node {name}"))
+    };
+
+    for (&layer_idx, &node_idx) in nn_conv_layers.iter().zip(&ir_conv_nodes) {
+        let pe = folding_of(&ir.backbone[node_idx].name).pe;
+        // Consumers: next backbone matrix node...
+        let mut simd_divisors: Vec<usize> = Vec::new();
+        if let Some(next) = ir.backbone[node_idx + 1..]
+            .iter()
+            .find(|n| n.op.is_matrix_op())
+        {
+            simd_divisors.push(folding_of(&next.name).simd);
+        }
+        // ...plus the first matrix node of any exit forking between this
+        // conv and the next matrix node.
+        let next_matrix_idx = ir.backbone[node_idx + 1..]
+            .iter()
+            .position(|n| n.op.is_matrix_op())
+            .map(|off| node_idx + 1 + off)
+            .unwrap_or(ir.backbone.len());
+        for exit in &ir.exits {
+            if exit.attach_after >= node_idx && exit.attach_after < next_matrix_idx {
+                if let Some(first) = exit.nodes.iter().find(|n| n.op.is_matrix_op()) {
+                    simd_divisors.push(folding_of(&first.name).simd);
+                }
+            }
+        }
+        let simd_next = simd_divisors.into_iter().fold(1usize, lcm);
+        map.backbone
+            .insert(layer_idx, LayerConstraint::new(pe, simd_next));
+    }
+
+    // Exit convs: PE of the exit conv, SIMD of the exit's next matrix node.
+    for (e, exit) in ir.exits.iter().enumerate() {
+        let Some(conv) = exit.nodes.iter().find(|n| matches!(n.op, IrOp::Conv { .. })) else {
+            continue;
+        };
+        let pe = folding_of(&conv.name).pe;
+        let simd_next = exit
+            .nodes
+            .iter()
+            .skip_while(|n| n.name != conv.name)
+            .skip(1)
+            .find(|n| n.op.is_matrix_op())
+            .map(|n| folding_of(&n.name).simd)
+            .unwrap_or(1);
+        map.exits.insert(e, LayerConstraint::new(pe, simd_next));
+    }
+    map
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: usize, b: usize) -> usize {
+    if a == 0 || b == 0 {
+        a.max(b).max(1)
+    } else {
+        a / gcd(a, b) * b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_profile_generates_consistent_artifacts() {
+        let mut cfg = GeneratorConfig::fast(DatasetKind::Cifar10Like);
+        cfg.pruning_rates = vec![0.0, 0.5];
+        let artifacts = LibraryGenerator::new(cfg.clone()).generate();
+        // One entry per (rate, mode) for AdaPEx; one per rate for PR-Only.
+        assert_eq!(artifacts.adapex.len(), 2);
+        assert_eq!(artifacts.pr_only.len(), 2);
+        assert_eq!(artifacts.finn().len(), 1);
+        assert_eq!(artifacts.ct_only().len(), 1);
+        assert!((0.0..=1.0).contains(&artifacts.reference_accuracy));
+        assert!((artifacts.reconfig_time_ms - 145.0).abs() < 1.0);
+
+        // Every EE entry carries the full threshold sweep.
+        let thresholds = cfg.thresholds();
+        for entry in &artifacts.adapex.entries {
+            assert_eq!(entry.points.len(), thresholds.len());
+            for p in &entry.points {
+                assert!(p.ips > 0.0);
+                assert!(p.power_w > 0.0);
+                assert!((p.exit_fractions.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            }
+        }
+        // Pruning makes accelerators faster (static pipeline view).
+        let e0 = &artifacts.adapex.entries[0];
+        let e1 = &artifacts.adapex.entries[1];
+        assert!(e1.achieved_rate > 0.0);
+        assert!(e1.static_ips >= e0.static_ips);
+        assert!(e1.resources.lut < e0.resources.lut);
+    }
+
+    #[test]
+    fn derived_constraints_match_folding() {
+        use adapex_nn::cnv::{CnvConfig, ExitsConfig};
+        let net = CnvConfig::scaled(8).build_early_exit(10, &ExitsConfig::paper_default(), 1);
+        let ir = ModelIr::from_summary(&net.summarize());
+        let folding = FoldingConfig::balanced(&ir, 100_000, 2.0);
+        let constraints = derive_constraints(&net, &folding);
+        // Every backbone conv got a constraint.
+        let conv_count = net
+            .backbone
+            .iter()
+            .filter(|l| matches!(l, Layer::Conv(_)))
+            .count();
+        assert_eq!(constraints.backbone.len(), conv_count);
+        // Exit constraints exist for both exits.
+        assert_eq!(constraints.exits.len(), 2);
+        // The conv at the first junction must respect the exit conv's
+        // SIMD too: its simd_next is a multiple of it.
+        let exit0_conv_simd = folding.get("exit0_conv1").expect("exit conv folded").simd;
+        let junction_constraint = constraints.for_backbone(3); // conv2 layer index
+        assert_eq!(junction_constraint.simd_next % exit0_conv_simd, 0);
+    }
+
+    #[test]
+    fn pruned_variants_always_compile() {
+        // The central invariant: any rate the pruner produces under the
+        // derived constraints must compile against the shared folding.
+        use adapex_nn::cnv::{CnvConfig, ExitsConfig};
+        let net = CnvConfig::scaled(8).build_early_exit(10, &ExitsConfig::paper_default(), 1);
+        let ir = ModelIr::from_summary(&net.summarize());
+        let folding = FoldingConfig::balanced(&ir, 150_000, 2.0);
+        let constraints = derive_constraints(&net, &folding);
+        let device = FpgaDevice::zcu104();
+        for rate in [0.15, 0.4, 0.7, 0.85] {
+            for prune_exits in [false, true] {
+                let (pruned, _) =
+                    Pruner::new(PruneConfig { rate, prune_exits }).prune(&net, &constraints);
+                let pruned_ir = ModelIr::from_summary(&pruned.summarize());
+                compile(&pruned_ir, &folding, &device, 100.0).unwrap_or_else(|e| {
+                    panic!("rate {rate} prune_exits {prune_exits}: {e}")
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! The AdaPEx library: the design-time table the runtime manager
+//! searches (paper Fig. 3, "Library").
+//!
+//! A [`LibraryEntry`] is one pruned early-exit CNN plus its synthesized
+//! accelerator; its [`OperatingPoint`]s sample the confidence-threshold
+//! axis (the paper uses 0–100 % in 5 % steps). Accuracy comes from the
+//! dataset's test split; throughput/latency/power from the accelerator
+//! model — exactly the columns the paper stores.
+
+use finn_dataflow::ResourceUsage;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// One (pruning rate, confidence threshold) operating point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Confidence threshold in `[0, 1]`.
+    pub confidence_threshold: f64,
+    /// Early-exit test accuracy at this threshold.
+    pub accuracy: f64,
+    /// Fraction of inputs classified at each exit (early first).
+    pub exit_fractions: Vec<f64>,
+    /// Sustained accelerator throughput (inferences/second).
+    pub ips: f64,
+    /// Mean per-inference latency in milliseconds.
+    pub avg_latency_ms: f64,
+    /// Board power in watts.
+    pub power_w: f64,
+    /// Energy per inference in millijoules.
+    pub energy_per_inference_mj: f64,
+}
+
+/// One pruned early-exit CNN and its accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LibraryEntry {
+    /// Stable identifier within the library.
+    pub id: usize,
+    /// Requested pruning rate.
+    pub pruning_rate: f64,
+    /// Achieved (constraint-adjusted) pruning rate.
+    pub achieved_rate: f64,
+    /// Whether exit convs were pruned too (the paper's `pruned` flag).
+    pub prune_exits: bool,
+    /// Accuracy averaged over all exits — the paper's ranking metric.
+    pub mean_exit_accuracy: f64,
+    /// Standalone accuracy of the final (backbone) exit.
+    pub final_exit_accuracy: f64,
+    /// Placed FPGA resources (whole accelerator).
+    pub resources: ResourceUsage,
+    /// Resources belonging to the exit branches only (branch modules'
+    /// buffers and exit SWU/MVTUs) — the paper's Fig. 5(e) exit-share
+    /// analysis.
+    pub exit_resources: ResourceUsage,
+    /// Device utilization fractions `(lut, ff, bram, dsp)`.
+    pub utilization: (f64, f64, f64, f64),
+    /// Static pipeline throughput (all inputs full depth).
+    pub static_ips: f64,
+    /// Pipeline latency to each exit in milliseconds.
+    pub latency_to_exit_ms: Vec<f64>,
+    /// Confidence-threshold sweep.
+    pub points: Vec<OperatingPoint>,
+}
+
+impl LibraryEntry {
+    /// The operating point closest to `threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry has no points.
+    pub fn point_at(&self, threshold: f64) -> &OperatingPoint {
+        self.points
+            .iter()
+            .min_by(|a, b| {
+                let da = (a.confidence_threshold - threshold).abs();
+                let db = (b.confidence_threshold - threshold).abs();
+                da.partial_cmp(&db).expect("thresholds are finite")
+            })
+            .expect("entry has at least one operating point")
+    }
+}
+
+/// The full library.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Library {
+    /// All entries (one per pruned model).
+    pub entries: Vec<LibraryEntry>,
+}
+
+impl Library {
+    /// Empty library.
+    pub fn new() -> Self {
+        Library {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the library holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Every `(entry, point)` pair — the design space of Fig. 4.
+    pub fn design_space(&self) -> impl Iterator<Item = (&LibraryEntry, &OperatingPoint)> {
+        self.entries
+            .iter()
+            .flat_map(|e| e.points.iter().map(move |p| (e, p)))
+    }
+
+    /// Entries restricted to one exit-pruning mode.
+    pub fn with_prune_exits(&self, prune_exits: bool) -> Library {
+        Library {
+            entries: self
+                .entries
+                .iter()
+                .filter(|e| e.prune_exits == prune_exits)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// The paper's selection rule: among `(entry, point)` pairs with
+    /// `accuracy >= min_accuracy` and `ips >= required_ips`, pick the
+    /// entry with the highest mean-exit accuracy (then the point with the
+    /// highest accuracy). When nothing is both accurate and fast enough,
+    /// the accuracy threshold wins: the fastest *accuracy-qualified*
+    /// point is chosen and the excess workload is shed (this is why the
+    /// paper's CT-Only baseline reports inference loss but keeps its
+    /// accuracy high). Only when no point clears the accuracy threshold
+    /// does selection fall back to the fastest point overall.
+    ///
+    /// Returns `(entry index, point index)`.
+    pub fn select(&self, required_ips: f64, min_accuracy: f64) -> Option<(usize, usize)> {
+        self.select_among(required_ips, min_accuracy, None)
+    }
+
+    /// Strict selection: the best `(entry, point)` meeting **both** the
+    /// throughput and accuracy requirements, or `None` — no fallbacks.
+    /// Used by the reconfiguration-aware policy to test whether a free
+    /// confidence-threshold move suffices before paying a
+    /// reconfiguration.
+    pub fn select_strict(
+        &self,
+        required_ips: f64,
+        min_accuracy: f64,
+        only_entry: Option<usize>,
+    ) -> Option<(usize, usize)> {
+        let mut best: Option<(f64, f64, usize, usize)> = None;
+        for (ei, entry) in self.entries.iter().enumerate() {
+            if only_entry.is_some_and(|only| only != ei) {
+                continue;
+            }
+            for (pi, p) in entry.points.iter().enumerate() {
+                if p.ips < required_ips || p.accuracy < min_accuracy {
+                    continue;
+                }
+                let key = (entry.mean_exit_accuracy, p.accuracy);
+                if best.as_ref().is_none_or(|(m, a, _, _)| key > (*m, *a)) {
+                    best = Some((key.0, key.1, ei, pi));
+                }
+            }
+        }
+        best.map(|(_, _, ei, pi)| (ei, pi))
+    }
+
+    /// Like [`Library::select`] but optionally restricted to one entry
+    /// (used by the reconfiguration-aware policy to try a free
+    /// confidence-threshold move first).
+    pub fn select_among(
+        &self,
+        required_ips: f64,
+        min_accuracy: f64,
+        only_entry: Option<usize>,
+    ) -> Option<(usize, usize)> {
+        // 1) accuracy threshold + throughput, ranked by accuracy.
+        if let Some(hit) = self.select_strict(required_ips, min_accuracy, only_entry) {
+            return Some(hit);
+        }
+        // 2) accuracy threshold only: fastest qualified point (shed the
+        //    excess workload rather than violate the user's threshold).
+        let fastest_where = |floor: Option<f64>| -> Option<(usize, usize)> {
+            let mut best: Option<(f64, f64, usize, usize)> = None;
+            for (ei, entry) in self.entries.iter().enumerate() {
+                if only_entry.is_some_and(|only| only != ei) {
+                    continue;
+                }
+                for (pi, p) in entry.points.iter().enumerate() {
+                    if floor.is_some_and(|f| p.accuracy < f) {
+                        continue;
+                    }
+                    let key = (p.ips, p.accuracy);
+                    if best.as_ref().is_none_or(|(i, a, _, _)| key > (*i, *a)) {
+                        best = Some((key.0, key.1, ei, pi));
+                    }
+                }
+            }
+            best.map(|(_, _, ei, pi)| (ei, pi))
+        };
+        if let Some(hit) = fastest_where(Some(min_accuracy)) {
+            return Some(hit);
+        }
+        // 3) nothing clears the accuracy threshold: fastest point overall.
+        fastest_where(None)
+    }
+
+    /// Serializes the library to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the file cannot be written.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let json = serde_json::to_string_pretty(self).map_err(io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads a library from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the file cannot be read or parsed.
+    pub fn load_json(path: impl AsRef<Path>) -> io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(io::Error::other)
+    }
+}
+
+impl Default for Library {
+    fn default() -> Self {
+        Library::new()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// Builds a synthetic entry for selection tests.
+    pub(crate) fn entry(
+        id: usize,
+        rate: f64,
+        mean_acc: f64,
+        points: Vec<(f64, f64, f64)>, // (ct, accuracy, ips)
+    ) -> LibraryEntry {
+        LibraryEntry {
+            id,
+            pruning_rate: rate,
+            achieved_rate: rate,
+            prune_exits: false,
+            mean_exit_accuracy: mean_acc,
+            final_exit_accuracy: mean_acc,
+            resources: ResourceUsage::zero(),
+            exit_resources: ResourceUsage::zero(),
+            utilization: (0.1, 0.1, 0.1, 0.0),
+            static_ips: points.iter().map(|p| p.2).fold(0.0, f64::max),
+            latency_to_exit_ms: vec![1.0],
+            points: points
+                .into_iter()
+                .map(|(ct, accuracy, ips)| OperatingPoint {
+                    confidence_threshold: ct,
+                    accuracy,
+                    exit_fractions: vec![1.0],
+                    ips,
+                    avg_latency_ms: 1.0,
+                    power_w: 1.0,
+                    energy_per_inference_mj: 1.0 / ips * 1000.0,
+                })
+                .collect(),
+        }
+    }
+
+    fn demo_library() -> Library {
+        Library {
+            entries: vec![
+                // Unpruned: accurate but slow.
+                entry(0, 0.0, 0.85, vec![(0.9, 0.86, 400.0), (0.3, 0.82, 500.0)]),
+                // Mid pruning.
+                entry(1, 0.4, 0.78, vec![(0.9, 0.80, 700.0), (0.3, 0.75, 900.0)]),
+                // Heavy pruning: fast but weak.
+                entry(2, 0.8, 0.60, vec![(0.9, 0.62, 1500.0), (0.3, 0.58, 2000.0)]),
+            ],
+        }
+    }
+
+    #[test]
+    fn select_prefers_most_accurate_entry_that_keeps_up() {
+        let lib = demo_library();
+        // Low workload: the unpruned model wins.
+        assert_eq!(lib.select(350.0, 0.7), Some((0, 0)));
+        // Mid workload: unpruned too slow at CT 0.9 but ok at 0.3? 500 >=
+        // 450, so entry 0 point 1 qualifies; entry 0 has the highest mean
+        // accuracy, so it is chosen with its best qualifying point.
+        assert_eq!(lib.select(450.0, 0.7), Some((0, 1)));
+        // High workload: only entry 1/2 keep up; entry 1 is more accurate.
+        assert_eq!(lib.select(650.0, 0.7), Some((1, 0)));
+    }
+
+    #[test]
+    fn select_sheds_load_rather_than_violate_accuracy() {
+        let lib = demo_library();
+        // 1800 IPS is only reachable below the 0.7 accuracy floor, so the
+        // manager keeps the floor and picks the fastest qualified point
+        // (entry 1 at CT 0.3, 900 IPS), accepting inference loss.
+        assert_eq!(lib.select(1800.0, 0.7), Some((1, 1)));
+        // With no accuracy floor at all, raw speed wins.
+        assert_eq!(lib.select(1800.0, 0.0), Some((2, 1)));
+    }
+
+    #[test]
+    fn select_falls_back_to_fastest_when_nothing_clears_the_floor() {
+        let lib = demo_library();
+        // Impossible floor: fastest point overall.
+        assert_eq!(lib.select(10_000.0, 0.99), Some((2, 1)));
+    }
+
+    #[test]
+    fn select_among_restricts_to_entry() {
+        let lib = demo_library();
+        // Entry 2 never clears the 0.7 floor, so within it the final
+        // fastest-overall fallback applies.
+        assert_eq!(lib.select_among(450.0, 0.7, Some(2)), Some((2, 1)));
+        // Entry 0 cannot reach 600 IPS; fallback still stays inside it.
+        assert_eq!(lib.select_among(600.0, 0.7, Some(0)), Some((0, 1)));
+    }
+
+    #[test]
+    fn point_at_picks_nearest_threshold() {
+        let lib = demo_library();
+        let p = lib.entries[0].point_at(0.8);
+        assert_eq!(p.confidence_threshold, 0.9);
+        let p = lib.entries[0].point_at(0.0);
+        assert_eq!(p.confidence_threshold, 0.3);
+    }
+
+    #[test]
+    fn design_space_iterates_every_point() {
+        let lib = demo_library();
+        assert_eq!(lib.design_space().count(), 6);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let lib = demo_library();
+        let dir = std::env::temp_dir().join("adapex-lib-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lib.json");
+        lib.save_json(&path).unwrap();
+        let back = Library::load_json(&path).unwrap();
+        assert_eq!(lib, back);
+    }
+
+    #[test]
+    fn prune_mode_filter() {
+        let mut lib = demo_library();
+        lib.entries[1].prune_exits = true;
+        assert_eq!(lib.with_prune_exits(true).len(), 1);
+        assert_eq!(lib.with_prune_exits(false).len(), 2);
+    }
+}

@@ -1,0 +1,118 @@
+//! Human-readable (markdown) rendering of generated artifacts — the
+//! design-time "library table" a deployment engineer reviews before
+//! shipping a bitstream set to the edge.
+
+use crate::generator::Artifacts;
+use crate::library::Library;
+use std::fmt::Write as _;
+
+/// Renders the artifacts as a markdown document: headline facts, the
+/// AdaPEx library table (one row per entry), and per-baseline summaries.
+pub fn render_markdown(artifacts: &Artifacts) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# AdaPEx library — {}", artifacts.kind);
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "- reference accuracy (unpruned plain CNV): **{:.1} %**",
+        artifacts.reference_accuracy * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "- FPGA reconfiguration time: **{:.0} ms**",
+        artifacts.reconfig_time_ms
+    );
+    let _ = writeln!(
+        out,
+        "- entries: {} AdaPEx, {} PR-Only (incl. the FINN baseline at rate 0)",
+        artifacts.adapex.len(),
+        artifacts.pr_only.len()
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "## AdaPEx entries");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "| id | P.R. [%] | exits | mean acc | best acc | IPS range | BRAM | LUT | exit BRAM share |"
+    );
+    let _ = writeln!(out, "|---:|---:|---|---:|---:|---:|---:|---:|---:|");
+    for e in &artifacts.adapex.entries {
+        let (lo, hi) = e
+            .points
+            .iter()
+            .fold((f64::INFINITY, 0.0f64), |(lo, hi), p| (lo.min(p.ips), hi.max(p.ips)));
+        let best = e.points.iter().map(|p| p.accuracy).fold(0.0f64, f64::max);
+        let exit_share = if e.resources.bram36 == 0 {
+            0.0
+        } else {
+            100.0 * e.exit_resources.bram36 as f64 / e.resources.bram36 as f64
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {:.0} | {} | {:.3} | {:.3} | {:.0}–{:.0} | {} | {} | {:.1} % |",
+            e.id,
+            e.pruning_rate * 100.0,
+            if e.prune_exits { "pruned" } else { "not-pruned" },
+            e.mean_exit_accuracy,
+            best,
+            lo,
+            hi,
+            e.resources.bram36,
+            e.resources.lut,
+            exit_share,
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "## Baselines");
+    let _ = writeln!(out);
+    for (name, lib) in [
+        ("FINN (static)", artifacts.finn()),
+        ("CT-Only", artifacts.ct_only()),
+    ] {
+        let _ = writeln!(out, "### {name}");
+        summarize_library(&mut out, &lib);
+    }
+    out
+}
+
+fn summarize_library(out: &mut String, lib: &Library) {
+    for e in &lib.entries {
+        let (lo, hi) = e
+            .points
+            .iter()
+            .fold((f64::INFINITY, 0.0f64), |(lo, hi), p| (lo.min(p.ips), hi.max(p.ips)));
+        let _ = writeln!(
+            out,
+            "- rate {:.0} %: {} operating points, {:.0}–{:.0} IPS, final-exit accuracy {:.3}",
+            e.pruning_rate * 100.0,
+            e.points.len(),
+            lo,
+            hi,
+            e.final_exit_accuracy,
+        );
+    }
+    let _ = writeln!(out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, LibraryGenerator};
+    use adapex_dataset::DatasetKind;
+
+    #[test]
+    fn markdown_report_contains_the_essentials() {
+        let mut cfg = GeneratorConfig::fast(DatasetKind::Cifar10Like);
+        cfg.pruning_rates = vec![0.0, 0.5];
+        let artifacts = LibraryGenerator::new(cfg).generate();
+        let md = render_markdown(&artifacts);
+        assert!(md.contains("# AdaPEx library"));
+        assert!(md.contains("reference accuracy"));
+        assert!(md.contains("| id |"));
+        assert!(md.contains("FINN (static)"));
+        assert!(md.contains("CT-Only"));
+        // One table row per AdaPEx entry.
+        let rows = md.lines().filter(|l| l.starts_with("| 0 |") || l.starts_with("| 1 |")).count();
+        assert_eq!(rows, 2);
+    }
+}

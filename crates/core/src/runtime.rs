@@ -1,0 +1,279 @@
+//! The runtime manager (paper Sec. IV-B, Fig. 3 right).
+//!
+//! Whenever the workload monitor flags a change, the manager searches
+//! the library for the pruning rate and confidence threshold best
+//! matching the observed inference rate under the user's accuracy
+//! threshold. Changing the confidence threshold is free; changing the
+//! pruning rate means reconfiguring the FPGA (the accelerator is
+//! hard-wired to its CNN), so the default policy tries a free threshold
+//! move inside the current accelerator first.
+
+use crate::library::{Library, OperatingPoint};
+use serde::{Deserialize, Serialize};
+
+/// Accuracy gain (absolute) a reconfiguration must buy before the
+/// reconfiguration-aware policy leaves the current accelerator.
+pub const RECONFIG_HYSTERESIS: f64 = 0.01;
+
+/// How the manager searches the library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SelectionPolicy {
+    /// AdaPEx's default: the paper's accuracy-ranked search, with a
+    /// reconfiguration-avoidance hysteresis — stay on the current
+    /// accelerator (a free confidence-threshold move) unless the best
+    /// point elsewhere is more than one accuracy point better or the
+    /// current accelerator cannot meet the requirements at all.
+    ReconfigAware,
+    /// Always take the globally best point (ablation: ignores the
+    /// reconfiguration cost).
+    Oblivious,
+    /// Among accuracy-qualified points, take the fastest (ablation).
+    ThroughputGreedy,
+    /// Among fast-enough points, take the single most accurate point
+    /// (ablation: ignores the paper's mean-exit-accuracy ranking).
+    AccuracyGreedy,
+}
+
+/// One adaptation decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Decision {
+    /// Selected library entry index.
+    pub entry: usize,
+    /// Selected operating-point index within the entry.
+    pub point: usize,
+    /// The selected confidence threshold.
+    pub threshold: f64,
+    /// Whether this decision requires an FPGA reconfiguration (the
+    /// entry changed).
+    pub reconfig: bool,
+}
+
+/// The runtime manager: library + accuracy threshold + policy + state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeManager {
+    library: Library,
+    min_accuracy: f64,
+    policy: SelectionPolicy,
+    current: Option<(usize, usize)>,
+    /// Total reconfigurations decided so far.
+    pub reconfig_count: usize,
+    /// Total confidence-threshold-only changes decided so far.
+    pub ct_change_count: usize,
+}
+
+impl RuntimeManager {
+    /// New manager.
+    ///
+    /// `min_accuracy` is the lowest acceptable early-exit accuracy —
+    /// the paper configures it as a maximum loss relative to the
+    /// original CNN (10 % in the evaluation), i.e.
+    /// `reference_accuracy - 0.10`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty library.
+    pub fn new(library: Library, min_accuracy: f64, policy: SelectionPolicy) -> Self {
+        assert!(!library.is_empty(), "runtime manager needs a library");
+        RuntimeManager {
+            library,
+            min_accuracy,
+            policy,
+            current: None,
+            reconfig_count: 0,
+            ct_change_count: 0,
+        }
+    }
+
+    /// The library being searched.
+    pub fn library(&self) -> &Library {
+        &self.library
+    }
+
+    /// The accuracy floor.
+    pub fn min_accuracy(&self) -> f64 {
+        self.min_accuracy
+    }
+
+    /// Currently selected `(entry, point)` if a decision was made.
+    pub fn current(&self) -> Option<(usize, usize)> {
+        self.current
+    }
+
+    /// The currently selected operating point.
+    pub fn current_point(&self) -> Option<&OperatingPoint> {
+        self.current
+            .map(|(e, p)| &self.library.entries[e].points[p])
+    }
+
+    /// Reacts to an observed workload (incoming inferences per second):
+    /// picks the operating point per the policy, updating internal
+    /// state and counters.
+    pub fn decide(&mut self, observed_ips: f64) -> Decision {
+        let pick = match self.policy {
+            SelectionPolicy::ReconfigAware => {
+                let global = self
+                    .library
+                    .select_strict(observed_ips, self.min_accuracy, None);
+                let within_current = self.current.and_then(|(cur, _)| {
+                    self.library
+                        .select_strict(observed_ips, self.min_accuracy, Some(cur))
+                });
+                match (within_current, global) {
+                    (Some(local), Some(best)) => {
+                        let acc = |(e, p): (usize, usize)| self.library.entries[e].points[p].accuracy;
+                        // Free threshold move unless the reconfiguration
+                        // buys a material accuracy gain.
+                        if acc(local) + RECONFIG_HYSTERESIS >= acc(best) {
+                            Some(local)
+                        } else {
+                            Some(best)
+                        }
+                    }
+                    (local, best) => local
+                        .or(best)
+                        .or_else(|| self.library.select(observed_ips, self.min_accuracy)),
+                }
+            }
+            SelectionPolicy::Oblivious => self.library.select(observed_ips, self.min_accuracy),
+            SelectionPolicy::ThroughputGreedy => self.fastest_qualified(),
+            SelectionPolicy::AccuracyGreedy => self.most_accurate_fast_enough(observed_ips),
+        }
+        .expect("library is non-empty, a fallback point always exists");
+
+        let reconfig = match self.current {
+            Some((cur_entry, cur_point)) => {
+                if cur_entry != pick.0 {
+                    self.reconfig_count += 1;
+                    true
+                } else {
+                    if cur_point != pick.1 {
+                        self.ct_change_count += 1;
+                    }
+                    false
+                }
+            }
+            None => false, // initial configuration, not a reconfiguration
+        };
+        self.current = Some(pick);
+        let threshold = self.library.entries[pick.0].points[pick.1].confidence_threshold;
+        Decision {
+            entry: pick.0,
+            point: pick.1,
+            threshold,
+            reconfig,
+        }
+    }
+
+    fn fastest_qualified(&self) -> Option<(usize, usize)> {
+        let mut best: Option<(f64, usize, usize)> = None;
+        let mut fallback: Option<(f64, usize, usize)> = None;
+        for (ei, entry) in self.library.entries.iter().enumerate() {
+            for (pi, p) in entry.points.iter().enumerate() {
+                if fallback.as_ref().is_none_or(|(ips, _, _)| p.ips > *ips) {
+                    fallback = Some((p.ips, ei, pi));
+                }
+                if p.accuracy < self.min_accuracy {
+                    continue;
+                }
+                if best.as_ref().is_none_or(|(ips, _, _)| p.ips > *ips) {
+                    best = Some((p.ips, ei, pi));
+                }
+            }
+        }
+        best.or(fallback).map(|(_, ei, pi)| (ei, pi))
+    }
+
+    fn most_accurate_fast_enough(&self, observed_ips: f64) -> Option<(usize, usize)> {
+        let mut best: Option<(f64, usize, usize)> = None;
+        for (ei, entry) in self.library.entries.iter().enumerate() {
+            for (pi, p) in entry.points.iter().enumerate() {
+                if p.ips < observed_ips {
+                    continue;
+                }
+                if best.as_ref().is_none_or(|(acc, _, _)| p.accuracy > *acc) {
+                    best = Some((p.accuracy, ei, pi));
+                }
+            }
+        }
+        best.map(|(_, ei, pi)| (ei, pi))
+            .or_else(|| self.library.select(observed_ips, self.min_accuracy))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::tests::entry;
+
+    fn demo_library() -> Library {
+        Library {
+            entries: vec![
+                entry(0, 0.0, 0.85, vec![(0.9, 0.86, 400.0), (0.3, 0.82, 520.0)]),
+                entry(1, 0.4, 0.78, vec![(0.9, 0.80, 700.0), (0.3, 0.75, 900.0)]),
+                entry(2, 0.8, 0.60, vec![(0.9, 0.62, 1500.0), (0.3, 0.58, 2000.0)]),
+            ],
+        }
+    }
+
+    #[test]
+    fn reconfig_aware_prefers_ct_moves() {
+        let mut m = RuntimeManager::new(demo_library(), 0.7, SelectionPolicy::ReconfigAware);
+        let d0 = m.decide(300.0);
+        assert_eq!((d0.entry, d0.reconfig), (0, false)); // initial config
+        // Workload rises to 500: entry 0 still has a qualifying point at
+        // CT 0.3 (520 IPS) — a free threshold move, not a reconfig.
+        let d1 = m.decide(500.0);
+        assert_eq!((d1.entry, d1.point, d1.reconfig), (0, 1, false));
+        assert_eq!(m.ct_change_count, 1);
+        assert_eq!(m.reconfig_count, 0);
+        // Workload rises to 800: entry 0 cannot keep up; reconfigure.
+        let d2 = m.decide(800.0);
+        assert_eq!((d2.entry, d2.reconfig), (1, true));
+        assert_eq!(m.reconfig_count, 1);
+    }
+
+    #[test]
+    fn oblivious_policy_reconfigures_eagerly() {
+        let mut m = RuntimeManager::new(demo_library(), 0.7, SelectionPolicy::Oblivious);
+        m.decide(300.0);
+        // At 500, global best is still entry 0 point 1 (mean acc rank).
+        let d = m.decide(500.0);
+        assert_eq!(d.entry, 0);
+        let d = m.decide(800.0);
+        assert!(d.reconfig);
+    }
+
+    #[test]
+    fn throughput_greedy_takes_fastest_qualified() {
+        let mut m = RuntimeManager::new(demo_library(), 0.7, SelectionPolicy::ThroughputGreedy);
+        let d = m.decide(100.0);
+        // Fastest point with accuracy >= 0.7 is entry 1 / point 1 (900).
+        assert_eq!((d.entry, d.point), (1, 1));
+    }
+
+    #[test]
+    fn accuracy_greedy_maximizes_point_accuracy() {
+        let mut m = RuntimeManager::new(demo_library(), 0.0, SelectionPolicy::AccuracyGreedy);
+        let d = m.decide(450.0);
+        // Fast-enough points: entry0 p1 (.82), entry1 (.80/.75), entry2...
+        assert_eq!((d.entry, d.point), (0, 1));
+    }
+
+    #[test]
+    fn counters_track_changes() {
+        let mut m = RuntimeManager::new(demo_library(), 0.7, SelectionPolicy::ReconfigAware);
+        m.decide(300.0);
+        m.decide(300.0); // no change
+        assert_eq!(m.ct_change_count, 0);
+        assert_eq!(m.reconfig_count, 0);
+        m.decide(2000.0); // forced into entry 2
+        assert_eq!(m.reconfig_count, 1);
+        assert!(m.current_point().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "runtime manager needs a library")]
+    fn rejects_empty_library() {
+        RuntimeManager::new(Library::new(), 0.5, SelectionPolicy::ReconfigAware);
+    }
+}

@@ -1,0 +1,158 @@
+//! Standard training-time data augmentation.
+//!
+//! The paper retrains pruned models "with standard data augmentation"
+//! (Sec. V); for 32x32 images that is random horizontal flips plus random
+//! shifts (crop-with-padding). Augmentation operates on a gathered
+//! mini-batch buffer in place, so the training loop stays allocation-free.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Augmentation policy for one dataset.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AugmentConfig {
+    /// Probability of a horizontal flip. Traffic signs are chirality-
+    /// sensitive, so the GTSRB-like policy disables this.
+    pub flip_prob: f64,
+    /// Maximum absolute random shift in pixels (crop-with-padding).
+    pub max_shift: usize,
+}
+
+impl AugmentConfig {
+    /// CIFAR-10-style policy: flips allowed, ±2 px shifts.
+    pub fn cifar() -> Self {
+        AugmentConfig {
+            flip_prob: 0.5,
+            max_shift: 2,
+        }
+    }
+
+    /// GTSRB-style policy: no flips (signs are not mirror-symmetric),
+    /// ±2 px shifts.
+    pub fn gtsrb() -> Self {
+        AugmentConfig {
+            flip_prob: 0.0,
+            max_shift: 2,
+        }
+    }
+}
+
+impl Default for AugmentConfig {
+    fn default() -> Self {
+        AugmentConfig::cifar()
+    }
+}
+
+/// Augments a gathered batch of CHW images in place.
+///
+/// `batch` holds `n` images of `channels * height * width` floats each.
+///
+/// # Panics
+///
+/// Panics if `batch.len()` is not a multiple of `channels * height * width`.
+pub fn augment_batch(
+    batch: &mut [f32],
+    channels: usize,
+    height: usize,
+    width: usize,
+    config: AugmentConfig,
+    rng: &mut StdRng,
+) {
+    let image_len = channels * height * width;
+    assert_eq!(batch.len() % image_len.max(1), 0, "batch length");
+    let plane = height * width;
+    let mut scratch = vec![0.0f32; image_len];
+    for img in batch.chunks_mut(image_len) {
+        let flip = rng.random::<f64>() < config.flip_prob;
+        let shift = config.max_shift as i32;
+        let (dy, dx) = if shift > 0 {
+            (rng.random_range(-shift..=shift), rng.random_range(-shift..=shift))
+        } else {
+            (0, 0)
+        };
+        if !flip && dy == 0 && dx == 0 {
+            continue;
+        }
+        scratch.copy_from_slice(img);
+        for ch in 0..channels {
+            for y in 0..height {
+                for x in 0..width {
+                    let sy = y as i32 + dy;
+                    let sx = x as i32 + dx;
+                    let v = if sy < 0 || sy >= height as i32 || sx < 0 || sx >= width as i32 {
+                        0.0 // shift pads with zeros, like crop-with-padding
+                    } else {
+                        let sx = if flip { width as i32 - 1 - sx } else { sx };
+                        scratch[ch * plane + sy as usize * width + sx as usize]
+                    };
+                    img[ch * plane + y * width + x] = v;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapex_tensor::rng::rng_from_seed;
+
+    #[test]
+    fn zero_policy_is_identity() {
+        let mut batch: Vec<f32> = (0..2 * 3 * 4 * 4).map(|v| v as f32).collect();
+        let orig = batch.clone();
+        let cfg = AugmentConfig {
+            flip_prob: 0.0,
+            max_shift: 0,
+        };
+        augment_batch(&mut batch, 3, 4, 4, cfg, &mut rng_from_seed(1));
+        assert_eq!(batch, orig);
+    }
+
+    #[test]
+    fn flip_reverses_rows() {
+        let mut batch: Vec<f32> = (0..4).map(|v| v as f32).collect(); // 1x2x2
+        let cfg = AugmentConfig {
+            flip_prob: 1.0,
+            max_shift: 0,
+        };
+        augment_batch(&mut batch, 1, 2, 2, cfg, &mut rng_from_seed(1));
+        assert_eq!(batch, vec![1.0, 0.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn augmentation_preserves_energy_scale() {
+        // Shifted/flipped images keep most of their mass (zero padding
+        // removes at most the border band).
+        let mut batch: Vec<f32> = (0..3 * 32 * 32).map(|v| ((v % 7) as f32) - 3.0).collect();
+        let before: f32 = batch.iter().map(|v| v.abs()).sum();
+        augment_batch(
+            &mut batch,
+            3,
+            32,
+            32,
+            AugmentConfig::cifar(),
+            &mut rng_from_seed(5),
+        );
+        let after: f32 = batch.iter().map(|v| v.abs()).sum();
+        assert!(after > before * 0.75, "{after} vs {before}");
+        assert!(after <= before * 1.001);
+    }
+
+    #[test]
+    fn gtsrb_policy_never_flips() {
+        // With shift 0 and flip 0, a thousand draws must leave the batch
+        // untouched.
+        let cfg = AugmentConfig {
+            max_shift: 0,
+            ..AugmentConfig::gtsrb()
+        };
+        let mut batch: Vec<f32> = (0..16).map(|v| v as f32).collect();
+        let orig = batch.clone();
+        let mut rng = rng_from_seed(3);
+        for _ in 0..1000 {
+            augment_batch(&mut batch, 1, 4, 4, cfg, &mut rng);
+        }
+        assert_eq!(batch, orig);
+    }
+}

@@ -1,0 +1,401 @@
+use crate::images::LabeledImages;
+use crate::{DatasetKind, Difficulty};
+use adapex_tensor::rng::{rng_from_seed, sample_standard_normal};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration for synthesizing one dataset (see crate docs for why
+/// these datasets are synthetic).
+///
+/// Defaults follow the reproduction's calibrated settings; sizes are
+/// chosen per experiment (fast CI runs use small sets, figure regeneration
+/// uses larger ones).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SyntheticConfig {
+    /// Which dataset family to mimic.
+    pub kind: DatasetKind,
+    /// Number of training images.
+    pub train_size: usize,
+    /// Number of held-out test images.
+    pub test_size: usize,
+    /// Master seed; train and test derive disjoint sub-seeds from it.
+    pub seed: u64,
+    /// Probability a sample is drawn from the easy stratum.
+    pub easy_fraction: f64,
+    /// Additive Gaussian noise sigma for easy samples.
+    pub easy_noise: f32,
+    /// Additive Gaussian noise sigma for hard samples.
+    pub hard_noise: f32,
+    /// Blend weight of a wrong-class distractor pattern in hard samples.
+    pub distractor_weight: f32,
+    /// Side length of the random occlusion square in hard samples
+    /// (0 disables occlusion).
+    pub occlusion: usize,
+}
+
+impl SyntheticConfig {
+    /// Calibrated defaults for `kind`.
+    ///
+    /// GTSRB-like uses heavier degradation: with 43 visually-related
+    /// sign classes the paper reports ~70 % accuracy vs ~89 % on
+    /// CIFAR-10, and these settings land the reproduction in the same
+    /// relative regime.
+    pub fn new(kind: DatasetKind) -> Self {
+        let (easy_noise, hard_noise, distractor_weight) = match kind {
+            DatasetKind::Cifar10Like => (0.35, 0.95, 0.45),
+            DatasetKind::GtsrbLike => (0.40, 1.00, 0.50),
+        };
+        SyntheticConfig {
+            kind,
+            train_size: 2000,
+            test_size: 500,
+            seed: 0xADA9EC,
+            easy_fraction: 0.6,
+            easy_noise,
+            hard_noise,
+            distractor_weight,
+            occlusion: 8,
+        }
+    }
+
+    /// Builder-style train/test size override.
+    pub fn with_sizes(mut self, train: usize, test: usize) -> Self {
+        self.train_size = train;
+        self.test_size = test;
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self) -> SyntheticDataset {
+        let patterns = ClassPatterns::new(self.kind, self.seed);
+        let train = self.generate_split(&patterns, self.train_size, self.seed ^ 0x7261696e); // "rain"
+        let test = self.generate_split(&patterns, self.test_size, self.seed ^ 0x74657374); // "test"
+        SyntheticDataset {
+            config: self.clone(),
+            train,
+            test,
+        }
+    }
+
+    fn generate_split(&self, patterns: &ClassPatterns, size: usize, seed: u64) -> LabeledImages {
+        let (c, h, w) = self.kind.image_dims();
+        let mut set = LabeledImages::new(c, h, w);
+        let mut rng = rng_from_seed(seed);
+        let classes = self.kind.num_classes();
+        for i in 0..size {
+            // Round-robin base class keeps splits balanced even when small.
+            let label = i % classes;
+            let difficulty = if rng.random::<f64>() < self.easy_fraction {
+                Difficulty::Easy
+            } else {
+                Difficulty::Hard
+            };
+            let image = self.render_sample(patterns, label, difficulty, &mut rng);
+            set.push(&image, label, difficulty);
+        }
+        set
+    }
+
+    fn render_sample(
+        &self,
+        patterns: &ClassPatterns,
+        label: usize,
+        difficulty: Difficulty,
+        rng: &mut StdRng,
+    ) -> Vec<f32> {
+        let (c, h, w) = self.kind.image_dims();
+        let plane = h * w;
+        // Per-sample photometric jitter.
+        let contrast = 0.8 + 0.4 * rng.random::<f32>();
+        let brightness = 0.2 * (rng.random::<f32>() - 0.5);
+        // Per-sample spatial shift of the class pattern (±2 px).
+        let dy = rng.random_range(-2i32..=2);
+        let dx = rng.random_range(-2i32..=2);
+
+        let base = patterns.pattern(label);
+        let mut img = vec![0.0f32; c * plane];
+        for ch in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    let sy = (y as i32 + dy).rem_euclid(h as i32) as usize;
+                    let sx = (x as i32 + dx).rem_euclid(w as i32) as usize;
+                    img[ch * plane + y * w + x] =
+                        contrast * base[ch * plane + sy * w + sx] + brightness;
+                }
+            }
+        }
+
+        let noise = match difficulty {
+            Difficulty::Easy => self.easy_noise,
+            Difficulty::Hard => self.hard_noise,
+        };
+        if difficulty == Difficulty::Hard {
+            // Blend in a distractor class so the sample sits near a
+            // decision boundary.
+            let classes = self.kind.num_classes();
+            let mut other = rng.random_range(0..classes);
+            if other == label {
+                other = (other + 1) % classes;
+            }
+            let distractor = patterns.pattern(other);
+            let wgt = self.distractor_weight;
+            for (v, &d) in img.iter_mut().zip(distractor) {
+                *v = (1.0 - wgt) * *v + wgt * d;
+            }
+            // Occlude a random square across all channels.
+            if self.occlusion > 0 && self.occlusion < h.min(w) {
+                let oy = rng.random_range(0..h - self.occlusion);
+                let ox = rng.random_range(0..w - self.occlusion);
+                for ch in 0..c {
+                    for y in oy..oy + self.occlusion {
+                        for x in ox..ox + self.occlusion {
+                            img[ch * plane + y * w + x] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+        for v in &mut img {
+            *v = (*v + noise * sample_standard_normal(rng)).clamp(-2.0, 2.0);
+        }
+        img
+    }
+}
+
+/// A generated dataset: the configuration plus train and test splits.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SyntheticDataset {
+    /// The configuration that produced the splits.
+    pub config: SyntheticConfig,
+    /// Training split.
+    pub train: LabeledImages,
+    /// Held-out test split (the paper reports Brevitas TOP-1 test accuracy).
+    pub test: LabeledImages,
+}
+
+impl SyntheticDataset {
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.config.kind.num_classes()
+    }
+}
+
+/// Deterministic per-class base patterns.
+struct ClassPatterns {
+    patterns: Vec<Vec<f32>>,
+}
+
+impl ClassPatterns {
+    fn new(kind: DatasetKind, seed: u64) -> Self {
+        let classes = kind.num_classes();
+        let patterns = (0..classes)
+            .map(|class| match kind {
+                DatasetKind::Cifar10Like => texture_pattern(class, seed, kind),
+                DatasetKind::GtsrbLike => sign_pattern(class, seed, kind),
+            })
+            .collect();
+        ClassPatterns { patterns }
+    }
+
+    fn pattern(&self, class: usize) -> &[f32] {
+        &self.patterns[class]
+    }
+}
+
+/// CIFAR-10-like pattern: class-specific oriented waves plus two soft
+/// blobs — loosely "natural texture" statistics.
+fn texture_pattern(class: usize, seed: u64, kind: DatasetKind) -> Vec<f32> {
+    let (c, h, w) = kind.image_dims();
+    let mut rng = StdRng::seed_from_u64(seed ^ (class as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let plane = h * w;
+    let mut img = vec![0.0f32; c * plane];
+    // Two wave components with class-derived orientation/frequency.
+    let waves: Vec<(f32, f32, f32, f32)> = (0..2)
+        .map(|_| {
+            (
+                rng.random_range(0.15f32..0.9), // fy
+                rng.random_range(0.15f32..0.9), // fx
+                rng.random_range(0.0f32..std::f32::consts::TAU),
+                rng.random_range(0.4f32..0.9), // amplitude
+            )
+        })
+        .collect();
+    // Two Gaussian blobs at class-specific positions, per-channel signs.
+    let blobs: Vec<(f32, f32, f32, [f32; 3])> = (0..2)
+        .map(|_| {
+            (
+                rng.random_range(6.0f32..(h as f32 - 6.0)),
+                rng.random_range(6.0f32..(w as f32 - 6.0)),
+                rng.random_range(3.0f32..7.0),
+                [
+                    rng.random_range(-1.0f32..1.0),
+                    rng.random_range(-1.0f32..1.0),
+                    rng.random_range(-1.0f32..1.0),
+                ],
+            )
+        })
+        .collect();
+    let chan_phase: Vec<f32> = (0..c).map(|_| rng.random_range(0.0f32..1.5)).collect();
+    for ch in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                let mut v = 0.0;
+                for &(fy, fx, phase, amp) in &waves {
+                    v += amp * (fy * y as f32 + fx * x as f32 + phase + chan_phase[ch]).sin();
+                }
+                for &(by, bx, sigma, signs) in &blobs {
+                    let d2 = (y as f32 - by).powi(2) + (x as f32 - bx).powi(2);
+                    v += signs[ch] * (-d2 / (2.0 * sigma * sigma)).exp();
+                }
+                img[ch * plane + y * w + x] = v.clamp(-1.5, 1.5);
+            }
+        }
+    }
+    img
+}
+
+/// GTSRB-like pattern: a sign disc (ring + fill) with an inner bar glyph.
+/// Classes share the disc structure and differ in finer glyph detail,
+/// which makes the 43-way problem intrinsically harder — mirroring the
+/// lower GTSRB accuracies in the paper.
+fn sign_pattern(class: usize, seed: u64, kind: DatasetKind) -> Vec<f32> {
+    let (c, h, w) = kind.image_dims();
+    let mut rng = StdRng::seed_from_u64(seed ^ (class as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+    let plane = h * w;
+    let mut img = vec![0.0f32; c * plane];
+    let cy = h as f32 / 2.0 + rng.random_range(-1.5f32..1.5);
+    let cx = w as f32 / 2.0 + rng.random_range(-1.5f32..1.5);
+    let radius = rng.random_range(9.0f32..13.0);
+    // Sign family (speed / warning / mandatory) sets the ring colour.
+    let ring: [f32; 3] = match class % 3 {
+        0 => [1.0, -0.6, -0.6], // red ring
+        1 => [-0.5, -0.5, 1.0], // blue disc
+        _ => [0.9, 0.9, -0.7],  // yellow diamond-ish
+    };
+    let fill: [f32; 3] = [0.7, 0.7, 0.7];
+    // Inner glyph: class-specific bar angle/thickness/offset.
+    let angle = class as f32 * std::f32::consts::TAU / 43.0 + rng.random_range(-0.05f32..0.05);
+    let (sa, ca) = angle.sin_cos();
+    let bar_halfwidth = 1.2 + (class % 5) as f32 * 0.5;
+    let bar_offset = ((class / 5) % 4) as f32 * 1.8 - 2.7;
+    for ch in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                let dy = y as f32 - cy;
+                let dx = x as f32 - cx;
+                let r = (dy * dy + dx * dx).sqrt();
+                let mut v = -0.6; // dark background
+                if r < radius {
+                    v = if r > radius - 2.5 { ring[ch] } else { fill[ch] };
+                    // Bar glyph in the interior.
+                    let along = dy * ca + dx * sa - bar_offset;
+                    if along.abs() < bar_halfwidth && r < radius - 2.5 {
+                        v = -fill[ch];
+                    }
+                    // Secondary tick distinguishing close classes.
+                    let across = -dy * sa + dx * ca;
+                    if (across - bar_offset).abs() < 1.0 && along.abs() < radius * 0.6 {
+                        v = 0.5 * v - 0.5 * ring[ch];
+                    }
+                }
+                img[ch * plane + y * w + x] = v;
+            }
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SyntheticConfig::new(DatasetKind::Cifar10Like)
+            .with_sizes(40, 10)
+            .with_seed(9);
+        let a = cfg.generate();
+        let b = cfg.generate();
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn train_and_test_differ() {
+        let cfg = SyntheticConfig::new(DatasetKind::Cifar10Like)
+            .with_sizes(20, 20)
+            .with_seed(9);
+        let d = cfg.generate();
+        assert_ne!(d.train.as_slice(), d.test.as_slice());
+    }
+
+    #[test]
+    fn labels_are_balanced_round_robin() {
+        let d = SyntheticConfig::new(DatasetKind::Cifar10Like)
+            .with_sizes(100, 0)
+            .generate();
+        for class in 0..10 {
+            let count = d.train.labels().iter().filter(|&&l| l == class).count();
+            assert_eq!(count, 10, "class {class}");
+        }
+    }
+
+    #[test]
+    fn gtsrb_has_43_classes() {
+        let d = SyntheticConfig::new(DatasetKind::GtsrbLike)
+            .with_sizes(86, 0)
+            .generate();
+        let mut seen: Vec<usize> = d.train.labels().to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 43);
+    }
+
+    #[test]
+    fn easy_fraction_is_respected() {
+        let mut cfg = SyntheticConfig::new(DatasetKind::Cifar10Like).with_sizes(2000, 0);
+        cfg.easy_fraction = 0.6;
+        let d = cfg.generate();
+        let frac = d.train.easy_fraction();
+        assert!((frac - 0.6).abs() < 0.05, "easy fraction {frac}");
+    }
+
+    #[test]
+    fn same_class_samples_correlate_more_than_cross_class() {
+        let d = SyntheticConfig::new(DatasetKind::Cifar10Like)
+            .with_sizes(40, 0)
+            .generate();
+        let dot = |a: &[f32], b: &[f32]| -> f32 {
+            let d: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+            let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+            let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+            d / (na * nb)
+        };
+        // Images 0 and 10 are class 0; image 1 is class 1.
+        let same = dot(d.train.image(0), d.train.image(10));
+        let cross = dot(d.train.image(0), d.train.image(1));
+        assert!(
+            same > cross,
+            "same-class corr {same} should exceed cross-class {cross}"
+        );
+    }
+
+    #[test]
+    fn pixels_are_bounded() {
+        let d = SyntheticConfig::new(DatasetKind::GtsrbLike)
+            .with_sizes(50, 10)
+            .generate();
+        assert!(d
+            .train
+            .as_slice()
+            .iter()
+            .chain(d.test.as_slice())
+            .all(|v| v.abs() <= 2.0 && v.is_finite()));
+    }
+}

@@ -1,0 +1,116 @@
+//! Synthetic stand-ins for the CIFAR-10 and GTSRB datasets.
+//!
+//! The AdaPEx paper evaluates on CIFAR-10 (10 classes) and the German
+//! Traffic Sign Recognition Benchmark (43 classes), both at 3x32x32. This
+//! reproduction cannot ship those datasets, so this crate *synthesizes*
+//! class-conditional image distributions that preserve the two properties
+//! the paper's mechanisms depend on:
+//!
+//! 1. **Learnable class structure** — each class has a procedural texture
+//!    (oriented waves, blobs, sign-like discs) so a small quantized CNN
+//!    reaches high but imperfect accuracy, like CNV on the real data.
+//! 2. **Input difficulty heterogeneity** — every sample is drawn from an
+//!    explicit easy/hard mixture ([`Difficulty`]). Easy samples are clean
+//!    and get classified confidently by early exits; hard samples carry
+//!    heavy noise, occlusion, and a distractor-class blend, and need the
+//!    full backbone. This is the "some inputs are easier" premise of
+//!    early-exit CNNs (BranchyNet, the paper's ref. 5).
+//!
+//! # Example
+//!
+//! ```
+//! use adapex_dataset::{DatasetKind, SyntheticConfig};
+//!
+//! let data = SyntheticConfig::new(DatasetKind::Cifar10Like)
+//!     .with_sizes(128, 32)
+//!     .with_seed(7)
+//!     .generate();
+//! assert_eq!(data.train.len(), 128);
+//! assert_eq!(data.test.len(), 32);
+//! assert_eq!(data.train.image(0).len(), 3 * 32 * 32);
+//! ```
+
+mod augment;
+mod generator;
+mod images;
+pub mod ppm;
+
+pub use augment::{augment_batch, AugmentConfig};
+pub use generator::{SyntheticConfig, SyntheticDataset};
+pub use images::{Batches, LabeledImages};
+
+/// Which of the paper's two evaluation datasets to mimic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum DatasetKind {
+    /// 10-class natural-image-like dataset (stands in for CIFAR-10).
+    Cifar10Like,
+    /// 43-class traffic-sign-like dataset (stands in for GTSRB).
+    GtsrbLike,
+}
+
+impl DatasetKind {
+    /// Number of classes (10 for CIFAR-10-like, 43 for GTSRB-like),
+    /// matching the output-vector lengths quoted in the paper.
+    pub fn num_classes(self) -> usize {
+        match self {
+            DatasetKind::Cifar10Like => 10,
+            DatasetKind::GtsrbLike => 43,
+        }
+    }
+
+    /// Image geometry `(channels, height, width)`; the paper evaluates
+    /// everything at CIFAR-10 resolution, 3x32x32.
+    pub fn image_dims(self) -> (usize, usize, usize) {
+        (3, 32, 32)
+    }
+
+    /// Short lowercase identifier used in reports (`cifar10`, `gtsrb`).
+    pub fn id(self) -> &'static str {
+        match self {
+            DatasetKind::Cifar10Like => "cifar10",
+            DatasetKind::GtsrbLike => "gtsrb",
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetKind::Cifar10Like => write!(f, "CIFAR-10 (synthetic)"),
+            DatasetKind::GtsrbLike => write!(f, "GTSRB (synthetic)"),
+        }
+    }
+}
+
+/// Difficulty stratum a sample was drawn from.
+///
+/// Early-exit CNNs exploit exactly this heterogeneity: easy inputs exit at
+/// the first branch with high confidence, hard inputs traverse the full
+/// backbone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Difficulty {
+    /// Clean sample: low noise, no occlusion, no distractor blend.
+    Easy,
+    /// Degraded sample: heavy noise, occlusion patch, distractor blend.
+    Hard,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_match_paper_class_counts() {
+        assert_eq!(DatasetKind::Cifar10Like.num_classes(), 10);
+        assert_eq!(DatasetKind::GtsrbLike.num_classes(), 43);
+        assert_eq!(DatasetKind::Cifar10Like.image_dims(), (3, 32, 32));
+        assert_eq!(DatasetKind::GtsrbLike.image_dims(), (3, 32, 32));
+    }
+
+    #[test]
+    fn display_and_id() {
+        assert_eq!(DatasetKind::Cifar10Like.id(), "cifar10");
+        assert_eq!(DatasetKind::GtsrbLike.id(), "gtsrb");
+        assert!(DatasetKind::GtsrbLike.to_string().contains("GTSRB"));
+    }
+}

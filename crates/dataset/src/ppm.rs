@@ -1,0 +1,119 @@
+//! PPM export for visual inspection of the synthetic datasets.
+//!
+//! Binary PPM (`P6`) needs no image dependency and every viewer opens
+//! it; `cargo run -p adapex-bench --example quickstart` users can dump a
+//! few samples to convince themselves the class structure is real.
+
+use crate::LabeledImages;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Converts one CHW float image (values roughly in `[-2, 2]`) into a
+/// binary PPM byte buffer.
+///
+/// Values are affinely mapped from `[-1.5, 1.5]` to `[0, 255]` and
+/// clamped; 3-channel images use their channels as RGB, single-channel
+/// images are replicated to grey.
+///
+/// # Panics
+///
+/// Panics if `image.len() != channels * height * width` or `channels`
+/// is not 1 or 3.
+pub fn to_ppm(image: &[f32], channels: usize, height: usize, width: usize) -> Vec<u8> {
+    assert_eq!(image.len(), channels * height * width, "image length");
+    assert!(channels == 1 || channels == 3, "PPM needs 1 or 3 channels");
+    let mut out = Vec::with_capacity(32 + height * width * 3);
+    out.extend_from_slice(format!("P6\n{width} {height}\n255\n").as_bytes());
+    let plane = height * width;
+    let to_byte = |v: f32| -> u8 {
+        let scaled = (v + 1.5) / 3.0 * 255.0;
+        scaled.clamp(0.0, 255.0) as u8
+    };
+    for y in 0..height {
+        for x in 0..width {
+            for c in 0..3 {
+                let src = if channels == 3 { c } else { 0 };
+                out.push(to_byte(image[src * plane + y * width + x]));
+            }
+        }
+    }
+    out
+}
+
+/// Writes image `index` of a set as `<stem>_class<label>.ppm` inside
+/// `dir`, returning the written path.
+///
+/// # Errors
+///
+/// Returns an I/O error when the directory or file cannot be written.
+///
+/// # Panics
+///
+/// Panics if `index` is out of range.
+pub fn export_sample(
+    set: &LabeledImages,
+    index: usize,
+    dir: impl AsRef<Path>,
+    stem: &str,
+) -> io::Result<std::path::PathBuf> {
+    let (c, h, w) = set.dims();
+    let ppm = to_ppm(set.image(index), c, h, w);
+    std::fs::create_dir_all(&dir)?;
+    let path = dir
+        .as_ref()
+        .join(format!("{stem}_{index}_class{}.ppm", set.label(index)));
+    let mut file = std::fs::File::create(&path)?;
+    file.write_all(&ppm)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatasetKind, SyntheticConfig};
+
+    #[test]
+    fn ppm_header_and_size_are_correct() {
+        let img = vec![0.0f32; 3 * 4 * 5];
+        let ppm = to_ppm(&img, 3, 4, 5);
+        assert!(ppm.starts_with(b"P6\n5 4\n255\n"));
+        assert_eq!(ppm.len(), b"P6\n5 4\n255\n".len() + 4 * 5 * 3);
+    }
+
+    #[test]
+    fn values_map_into_byte_range() {
+        let img = vec![-10.0f32, 0.0, 10.0, 0.75];
+        let ppm = to_ppm(&img, 1, 2, 2);
+        let pixels = &ppm[b"P6\n2 2\n255\n".len()..];
+        // -10 clamps to 0, 0 maps mid-range, +10 clamps to 255.
+        assert_eq!(pixels[0], 0);
+        assert_eq!(pixels[3], 127);
+        assert_eq!(pixels[6], 255);
+    }
+
+    #[test]
+    fn grey_images_replicate_channels() {
+        let img = vec![0.0f32; 4];
+        let ppm = to_ppm(&img, 1, 2, 2);
+        let pixels = &ppm[b"P6\n2 2\n255\n".len()..];
+        assert!(pixels.chunks(3).all(|px| px[0] == px[1] && px[1] == px[2]));
+    }
+
+    #[test]
+    fn export_writes_a_parseable_file() {
+        let data = SyntheticConfig::new(DatasetKind::Cifar10Like)
+            .with_sizes(3, 0)
+            .generate();
+        let dir = std::env::temp_dir().join("adapex-ppm-test");
+        let path = export_sample(&data.train, 1, &dir, "sample").expect("writes");
+        let bytes = std::fs::read(&path).expect("readable");
+        assert!(bytes.starts_with(b"P6\n32 32\n255\n"));
+        assert!(path.to_string_lossy().contains("class1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "PPM needs 1 or 3 channels")]
+    fn rejects_two_channel_images() {
+        to_ppm(&[0.0; 8], 2, 2, 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! Discrete-event simulation of the paper's smart-video-surveillance
+//! edge scenario (Sec. V).
+//!
+//! Twenty cameras offload frames to an edge server whose FPGA runs one
+//! AdaPEx accelerator at a time. The request rate fluctuates (±30 %
+//! every 5 s); a [`adapex::RuntimeManager`] monitors the rate and
+//! adapts the confidence threshold or reconfigures the FPGA. The
+//! simulator accounts for queueing, buffer-overflow **inference loss**,
+//! reconfiguration downtime, power/energy integration, and the paper's
+//! quality metrics (accuracy, latency, EDP, QoE).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use adapex::baselines::{manager_for, System};
+//! use adapex::generator::{GeneratorConfig, LibraryGenerator};
+//! use adapex_dataset::DatasetKind;
+//! use adapex_edge::{EdgeSimulation, SimConfig};
+//!
+//! let artifacts =
+//!     LibraryGenerator::new(GeneratorConfig::fast(DatasetKind::Cifar10Like)).generate();
+//! let mut manager = manager_for(System::AdaPEx, &artifacts, 0.10);
+//! let sim = EdgeSimulation::new(SimConfig::paper_default(artifacts.reconfig_time_ms));
+//! let result = sim.run(&mut manager, 1);
+//! println!("loss {:.2}% accuracy {:.3}", result.inference_loss_pct(), result.mean_accuracy);
+//! ```
+
+mod scenario;
+mod sim;
+mod workload;
+
+pub use scenario::Scenario;
+pub use sim::{mean_of, EdgeSimulation, SimConfig, SimResult, TraceSample};
+pub use workload::{WorkloadConfig, WorkloadTrace};

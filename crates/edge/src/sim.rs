@@ -1,0 +1,497 @@
+//! The edge-server simulation loop.
+
+use crate::workload::{WorkloadConfig, WorkloadTrace};
+use adapex::runtime::RuntimeManager;
+use adapex_tensor::rng::rng_from_seed;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Workload shape.
+    pub workload: WorkloadConfig,
+    /// Simulation tick in seconds.
+    pub tick_s: f64,
+    /// Seconds between runtime-manager decisions (the workload monitor's
+    /// sampling period).
+    pub monitor_period_s: f64,
+    /// Frame-buffer capacity; arrivals beyond it are **lost** (the
+    /// paper's inference loss). Cameras keep producing frames, so a
+    /// busy server drops rather than queues — the buffer holds only a
+    /// handful of in-flight frames.
+    pub queue_capacity: usize,
+    /// FPGA full-reconfiguration downtime in milliseconds.
+    pub reconfig_time_ms: f64,
+    /// Board static power during reconfiguration, in watts.
+    pub reconfig_power_w: f64,
+}
+
+impl SimConfig {
+    /// The paper's scenario with a given reconfiguration time.
+    pub fn paper_default(reconfig_time_ms: f64) -> Self {
+        SimConfig {
+            workload: WorkloadConfig::paper_default(),
+            tick_s: 0.001,
+            monitor_period_s: 1.0,
+            // A handful of in-flight frames; stale frames are dropped.
+            queue_capacity: 8,
+            reconfig_time_ms,
+            reconfig_power_w: 0.60,
+        }
+    }
+}
+
+/// One monitor-period sample of the runtime trace (Fig. 3 right).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSample {
+    /// Sample time in seconds.
+    pub t: f64,
+    /// Observed workload over the last period (inferences/second).
+    pub workload_ips: f64,
+    /// Selected entry's achieved pruning rate.
+    pub pruning_rate: f64,
+    /// Selected confidence threshold.
+    pub confidence_threshold: f64,
+    /// Expected accuracy of the selected operating point.
+    pub accuracy: f64,
+    /// Queue occupancy at the sample instant.
+    pub queue_len: usize,
+}
+
+/// Aggregate results of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Requests offered by the cameras.
+    pub offered: usize,
+    /// Requests processed to completion.
+    pub processed: usize,
+    /// Requests dropped on a full buffer.
+    pub lost: usize,
+    /// Mean expected accuracy over processed inferences.
+    pub mean_accuracy: f64,
+    /// Time-weighted mean board power in watts.
+    pub mean_power_w: f64,
+    /// Mean per-inference latency (buffer wait + pipeline) in ms.
+    pub mean_latency_ms: f64,
+    /// Mean pipeline-only (service) latency in ms, excluding buffering.
+    pub mean_service_latency_ms: f64,
+    /// Total energy in joules.
+    pub energy_j: f64,
+    /// FPGA reconfigurations performed.
+    pub reconfig_count: usize,
+    /// Confidence-threshold-only changes performed.
+    pub ct_change_count: usize,
+    /// Run length in seconds.
+    pub duration_s: f64,
+    /// Per-monitor-period trace.
+    pub trace: Vec<TraceSample>,
+}
+
+impl SimResult {
+    /// Inference loss in percent (the paper's "Infer. Loss [%]").
+    pub fn inference_loss_pct(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.lost as f64 / self.offered as f64 * 100.0
+        }
+    }
+
+    /// Fraction of offered requests processed.
+    pub fn processed_fraction(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.processed as f64 / self.offered as f64
+        }
+    }
+
+    /// Quality of Experience: accuracy × fraction of processed frames
+    /// (the paper's definition).
+    pub fn qoe(&self) -> f64 {
+        self.mean_accuracy * self.processed_fraction()
+    }
+
+    /// Energy per processed inference in millijoules.
+    pub fn energy_per_inference_mj(&self) -> f64 {
+        if self.processed == 0 {
+            f64::INFINITY
+        } else {
+            self.energy_j / self.processed as f64 * 1_000.0
+        }
+    }
+
+    /// Energy-delay product per inference (mJ·ms) — the paper's EDP
+    /// metric (reported normalized to FINN).
+    pub fn edp(&self) -> f64 {
+        self.energy_per_inference_mj() * self.mean_latency_ms
+    }
+}
+
+/// The simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeSimulation {
+    config: SimConfig,
+}
+
+impl EdgeSimulation {
+    /// New simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive tick or monitor period.
+    pub fn new(config: SimConfig) -> Self {
+        assert!(config.tick_s > 0.0, "tick must be positive");
+        assert!(
+            config.monitor_period_s >= config.tick_s,
+            "monitor period must cover at least one tick"
+        );
+        EdgeSimulation { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs one 25-second (configurable) episode against `manager`.
+    ///
+    /// The manager keeps its library but its selection state resets so
+    /// repeated runs are independent.
+    pub fn run(&self, manager: &mut RuntimeManager, seed: u64) -> SimResult {
+        let cfg = &self.config;
+        let trace = cfg.workload.sample(seed);
+        let mut rng = rng_from_seed(seed ^ 0xE06E);
+        self.run_with_trace(manager, &trace, &mut rng)
+    }
+
+    /// Runs one episode against a caller-supplied (e.g. shaped) workload
+    /// trace; `seed` drives only the Poisson arrival noise.
+    pub fn run_with_shaped_trace(
+        &self,
+        manager: &mut RuntimeManager,
+        trace: &WorkloadTrace,
+        seed: u64,
+    ) -> SimResult {
+        let mut rng = rng_from_seed(seed ^ 0x5A9E);
+        self.run_with_trace(manager, trace, &mut rng)
+    }
+
+    /// Runs `repetitions` seeded episodes (the paper averages 100),
+    /// returning every result. Each episode gets a fresh manager cloned
+    /// from `manager`.
+    pub fn run_many(&self, manager: &RuntimeManager, repetitions: usize, seed: u64) -> Vec<SimResult> {
+        (0..repetitions)
+            .map(|i| {
+                let mut m = manager.clone();
+                self.run(&mut m, seed.wrapping_add(i as u64))
+            })
+            .collect()
+    }
+
+    fn run_with_trace(
+        &self,
+        manager: &mut RuntimeManager,
+        trace: &WorkloadTrace,
+        rng: &mut rand::rngs::StdRng,
+    ) -> SimResult {
+        let cfg = &self.config;
+        let dt = cfg.tick_s;
+        let duration = cfg.workload.duration_s;
+        let mut queue: VecDeque<f64> = VecDeque::new(); // arrival timestamps
+
+        // Initial decision from the nominal rate (deployment-time sizing).
+        manager.decide(cfg.workload.nominal_ips());
+        let initial_reconfigs = manager.reconfig_count;
+        let initial_ct_changes = manager.ct_change_count;
+
+        let mut offered = 0usize;
+        let mut processed = 0usize;
+        let mut lost = 0usize;
+        let mut accuracy_sum = 0.0f64;
+        let mut latency_sum_ms = 0.0f64;
+        let mut service_sum_ms = 0.0f64;
+        let mut energy_j = 0.0f64;
+        let mut service_credit = 0.0f64;
+        let mut reconfig_remaining_s = 0.0f64;
+        let mut monitor_arrivals = 0usize;
+        let mut monitor_elapsed = 0.0f64;
+        let mut samples = Vec::new();
+
+        let mut t = 0.0f64;
+        while t < duration {
+            // --- Arrivals. -------------------------------------------
+            let arrivals = trace.arrivals(t, dt, rng);
+            offered += arrivals;
+            monitor_arrivals += arrivals;
+            for _ in 0..arrivals {
+                if queue.len() >= cfg.queue_capacity {
+                    lost += 1;
+                } else {
+                    queue.push_back(t);
+                }
+            }
+
+            // --- Service (or reconfiguration downtime). --------------
+            let point = manager
+                .current_point()
+                .expect("decide ran at t=0")
+                .clone();
+            if reconfig_remaining_s > 0.0 {
+                reconfig_remaining_s -= dt;
+                energy_j += cfg.reconfig_power_w * dt;
+                service_credit = 0.0;
+            } else {
+                energy_j += point.power_w * dt;
+                service_credit += point.ips * dt;
+                while service_credit >= 1.0 {
+                    let Some(arrived_at) = queue.pop_front() else {
+                        // Idle headroom does not accumulate into bursts
+                        // beyond one tick's worth.
+                        service_credit = service_credit.min(point.ips * dt + 1.0);
+                        break;
+                    };
+                    service_credit -= 1.0;
+                    processed += 1;
+                    accuracy_sum += point.accuracy;
+                    latency_sum_ms += (t - arrived_at) * 1_000.0 + point.avg_latency_ms;
+                    service_sum_ms += point.avg_latency_ms;
+                }
+            }
+
+            // --- Monitor + adaptation. --------------------------------
+            monitor_elapsed += dt;
+            if monitor_elapsed + 1e-9 >= cfg.monitor_period_s {
+                let observed_ips = monitor_arrivals as f64 / monitor_elapsed;
+                let decision = manager.decide(observed_ips);
+                if decision.reconfig {
+                    reconfig_remaining_s += cfg.reconfig_time_ms / 1_000.0;
+                }
+                let entry = &manager.library().entries[decision.entry];
+                samples.push(TraceSample {
+                    t,
+                    workload_ips: observed_ips,
+                    pruning_rate: entry.achieved_rate,
+                    confidence_threshold: decision.threshold,
+                    accuracy: entry.points[decision.point].accuracy,
+                    queue_len: queue.len(),
+                });
+                monitor_arrivals = 0;
+                monitor_elapsed = 0.0;
+            }
+
+            t += dt;
+        }
+
+        // Requests still queued at the end were neither processed nor
+        // lost; with a 25 s horizon they are a negligible sliver and are
+        // counted as lost (they missed the episode).
+        lost += queue.len();
+
+        SimResult {
+            offered,
+            processed,
+            lost,
+            mean_accuracy: if processed == 0 {
+                0.0
+            } else {
+                accuracy_sum / processed as f64
+            },
+            mean_power_w: energy_j / duration,
+            mean_latency_ms: if processed == 0 {
+                0.0
+            } else {
+                latency_sum_ms / processed as f64
+            },
+            mean_service_latency_ms: if processed == 0 {
+                0.0
+            } else {
+                service_sum_ms / processed as f64
+            },
+            energy_j,
+            reconfig_count: manager.reconfig_count - initial_reconfigs,
+            ct_change_count: manager.ct_change_count - initial_ct_changes,
+            duration_s: duration,
+            trace: samples,
+        }
+    }
+}
+
+/// Mean of a metric over repeated runs.
+pub fn mean_of(results: &[SimResult], metric: impl Fn(&SimResult) -> f64) -> f64 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    results.iter().map(metric).sum::<f64>() / results.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapex::library::{Library, LibraryEntry, OperatingPoint};
+    use adapex::runtime::{RuntimeManager, SelectionPolicy};
+    use finn_dataflow_free::zero_resources;
+
+    /// Avoids depending on finn types directly in tests.
+    mod finn_dataflow_free {
+        pub fn zero_resources() -> finn_dataflow::ResourceUsage {
+            finn_dataflow::ResourceUsage::zero()
+        }
+    }
+
+    fn entry(id: usize, rate: f64, acc: f64, ips: f64) -> LibraryEntry {
+        LibraryEntry {
+            id,
+            pruning_rate: rate,
+            achieved_rate: rate,
+            prune_exits: false,
+            mean_exit_accuracy: acc,
+            final_exit_accuracy: acc,
+            resources: zero_resources(),
+            exit_resources: zero_resources(),
+            utilization: (0.1, 0.1, 0.1, 0.0),
+            static_ips: ips,
+            latency_to_exit_ms: vec![1.0],
+            points: vec![OperatingPoint {
+                confidence_threshold: 1.0,
+                accuracy: acc,
+                exit_fractions: vec![1.0],
+                ips,
+                avg_latency_ms: 2.0,
+                power_w: 1.2,
+                energy_per_inference_mj: 1.2 / ips * 1000.0,
+            }],
+        }
+    }
+
+    fn static_manager(ips: f64) -> RuntimeManager {
+        RuntimeManager::new(
+            Library {
+                entries: vec![entry(0, 0.0, 0.9, ips)],
+            },
+            0.0,
+            SelectionPolicy::Oblivious,
+        )
+    }
+
+    fn adaptive_manager() -> RuntimeManager {
+        // The accurate entry holds the nominal 600 IPS but not the ±30 %
+        // peaks, so the manager must reconfigure to the fast entry when
+        // a high-rate period arrives.
+        RuntimeManager::new(
+            Library {
+                entries: vec![entry(0, 0.0, 0.9, 650.0), entry(1, 0.5, 0.8, 1200.0)],
+            },
+            0.5,
+            SelectionPolicy::ReconfigAware,
+        )
+    }
+
+    #[test]
+    fn overprovisioned_server_loses_nothing() {
+        let sim = EdgeSimulation::new(SimConfig::paper_default(145.0));
+        let mut m = static_manager(2000.0);
+        let r = sim.run(&mut m, 1);
+        assert!(r.offered > 10_000, "expected ~15k offered, got {}", r.offered);
+        assert!(r.inference_loss_pct() < 0.5, "loss {}", r.inference_loss_pct());
+        assert!((r.mean_accuracy - 0.9).abs() < 1e-9);
+        assert!(r.mean_power_w > 1.0 && r.mean_power_w < 1.3);
+        assert!(r.qoe() > 0.89);
+    }
+
+    #[test]
+    fn underprovisioned_server_loses_inferences() {
+        let sim = EdgeSimulation::new(SimConfig::paper_default(145.0));
+        // Capacity 450 vs ~600 offered -> ~25 % loss.
+        let mut m = static_manager(450.0);
+        let r = sim.run(&mut m, 1);
+        assert!(
+            r.inference_loss_pct() > 15.0 && r.inference_loss_pct() < 35.0,
+            "loss {}",
+            r.inference_loss_pct()
+        );
+        // Saturated buffer: sojourn latency clearly exceeds pure service.
+        assert!(
+            r.mean_latency_ms > r.mean_service_latency_ms + 3.0,
+            "sojourn {} vs service {}",
+            r.mean_latency_ms,
+            r.mean_service_latency_ms
+        );
+    }
+
+    /// Finds a seed whose workload trace has a period above `ips` (so a
+    /// reconfiguration is inevitable for a 650-IPS accelerator).
+    fn seed_with_peak_above(ips: f64) -> u64 {
+        (0..100u64)
+            .find(|&s| {
+                WorkloadConfig::paper_default()
+                    .sample(s)
+                    .rates
+                    .iter()
+                    .any(|&r| r > ips)
+            })
+            .expect("±30 % deviation reaches above 650 IPS for some seed")
+    }
+
+    #[test]
+    fn adaptive_manager_switches_and_recovers() {
+        let sim = EdgeSimulation::new(SimConfig::paper_default(145.0));
+        let seed = seed_with_peak_above(700.0);
+        let mut m = adaptive_manager();
+        let r = sim.run(&mut m, seed);
+        // The 650-IPS entry cannot hold the peak period, so the manager
+        // must reconfigure to the 1200-IPS entry at some point.
+        assert!(r.reconfig_count >= 1, "no reconfiguration at seed {seed}");
+        assert!(r.inference_loss_pct() < 10.0, "loss {}", r.inference_loss_pct());
+        assert!(!r.trace.is_empty());
+    }
+
+    #[test]
+    fn results_are_seed_deterministic() {
+        let sim = EdgeSimulation::new(SimConfig::paper_default(145.0));
+        let r1 = sim.run(&mut static_manager(700.0), 9);
+        let r2 = sim.run(&mut static_manager(700.0), 9);
+        assert_eq!(r1, r2);
+        let r3 = sim.run(&mut static_manager(700.0), 10);
+        assert_ne!(r1.offered, r3.offered);
+    }
+
+    #[test]
+    fn run_many_averages_cleanly() {
+        let sim = EdgeSimulation::new(SimConfig::paper_default(145.0));
+        let m = static_manager(2000.0);
+        let results = sim.run_many(&m, 5, 100);
+        assert_eq!(results.len(), 5);
+        let loss = mean_of(&results, |r| r.inference_loss_pct());
+        assert!(loss < 1.0);
+        let qoe = mean_of(&results, |r| r.qoe());
+        assert!(qoe > 0.85);
+    }
+
+    #[test]
+    fn reconfig_downtime_costs_inferences() {
+        // Same library, but an artificially long reconfiguration: the
+        // adaptive manager should lose more than with a fast one.
+        let seed = seed_with_peak_above(700.0);
+        let fast = EdgeSimulation::new(SimConfig::paper_default(10.0));
+        let slow = EdgeSimulation::new(SimConfig::paper_default(3_000.0));
+        let rf = fast.run(&mut adaptive_manager(), seed);
+        let rs = slow.run(&mut adaptive_manager(), seed);
+        assert!(
+            rs.inference_loss_pct() > rf.inference_loss_pct(),
+            "slow {} vs fast {}",
+            rs.inference_loss_pct(),
+            rf.inference_loss_pct()
+        );
+    }
+
+    #[test]
+    fn edp_and_energy_metrics_are_consistent() {
+        let sim = EdgeSimulation::new(SimConfig::paper_default(145.0));
+        let r = sim.run(&mut static_manager(2000.0), 1);
+        let e_mj = r.energy_per_inference_mj();
+        assert!(e_mj > 0.0 && e_mj.is_finite());
+        assert!((r.edp() - e_mj * r.mean_latency_ms).abs() < 1e-9);
+    }
+}

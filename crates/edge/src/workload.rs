@@ -1,0 +1,180 @@
+//! Camera workload generation (paper Sec. V).
+//!
+//! The nominal load is `cameras x ips_per_camera` (20 x 30 = 600 IPS).
+//! Every `deviation_period_s` the offered rate jumps to a new level
+//! drawn uniformly within ±`deviation` of nominal — the paper's "30 %
+//! random workload deviation every 5 seconds" capturing IPS
+//! fluctuation, congestion and camera churn. Per-tick arrivals are
+//! Poisson around the current level.
+
+use adapex_tensor::rng::rng_from_seed;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// Workload shape parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Connected cameras.
+    pub cameras: usize,
+    /// Nominal request rate per camera (inferences/second).
+    pub ips_per_camera: f64,
+    /// Run length in seconds.
+    pub duration_s: f64,
+    /// Relative deviation bound (0.30 = ±30 %).
+    pub deviation: f64,
+    /// Seconds between deviation re-draws.
+    pub deviation_period_s: f64,
+}
+
+impl WorkloadConfig {
+    /// The paper's scenario: 20 cameras x 30 IPS for 25 s, ±30 % every 5 s.
+    pub fn paper_default() -> Self {
+        WorkloadConfig {
+            cameras: 20,
+            ips_per_camera: 30.0,
+            duration_s: 25.0,
+            deviation: 0.30,
+            deviation_period_s: 5.0,
+        }
+    }
+
+    /// Nominal aggregate rate (inferences/second).
+    pub fn nominal_ips(&self) -> f64 {
+        self.cameras as f64 * self.ips_per_camera
+    }
+
+    /// Samples the per-period offered rates for one run.
+    pub fn sample(&self, seed: u64) -> WorkloadTrace {
+        let mut rng = rng_from_seed(seed);
+        let periods = (self.duration_s / self.deviation_period_s).ceil() as usize;
+        let nominal = self.nominal_ips();
+        let rates = (0..periods.max(1))
+            .map(|_| nominal * (1.0 + rng.random_range(-self.deviation..=self.deviation)))
+            .collect();
+        WorkloadTrace {
+            config: *self,
+            rates,
+        }
+    }
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig::paper_default()
+    }
+}
+
+/// One sampled workload realization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadTrace {
+    /// The generating configuration.
+    pub config: WorkloadConfig,
+    /// Offered rate per deviation period (inferences/second).
+    pub rates: Vec<f64>,
+}
+
+impl WorkloadTrace {
+    /// Offered rate at time `t` seconds.
+    pub fn rate_at(&self, t: f64) -> f64 {
+        let idx = (t / self.config.deviation_period_s).floor() as usize;
+        self.rates[idx.min(self.rates.len() - 1)]
+    }
+
+    /// Poisson arrival count for a tick of `dt` seconds at time `t`.
+    pub fn arrivals(&self, t: f64, dt: f64, rng: &mut StdRng) -> usize {
+        poisson(self.rate_at(t) * dt, rng)
+    }
+
+    /// Mean offered rate over the run.
+    pub fn mean_rate(&self) -> f64 {
+        if self.rates.is_empty() {
+            0.0
+        } else {
+            self.rates.iter().sum::<f64>() / self.rates.len() as f64
+        }
+    }
+}
+
+/// Knuth's Poisson sampler (fine for the per-tick λ ≈ 6 used here).
+fn poisson(lambda: f64, rng: &mut StdRng) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let limit = (-lambda).exp();
+    let mut product: f64 = rng.random();
+    let mut count = 0usize;
+    while product > limit {
+        count += 1;
+        product *= rng.random::<f64>();
+        if count > 10_000 {
+            break; // guard against pathological λ
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_matches_paper() {
+        assert_eq!(WorkloadConfig::paper_default().nominal_ips(), 600.0);
+    }
+
+    #[test]
+    fn deviation_stays_in_bounds() {
+        let cfg = WorkloadConfig::paper_default();
+        let trace = cfg.sample(3);
+        assert_eq!(trace.rates.len(), 5); // 25 s / 5 s
+        for &r in &trace.rates {
+            assert!((420.0..=780.0).contains(&r), "rate {r} outside ±30 %");
+        }
+    }
+
+    #[test]
+    fn rate_is_piecewise_constant() {
+        let trace = WorkloadConfig::paper_default().sample(7);
+        assert_eq!(trace.rate_at(0.0), trace.rates[0]);
+        assert_eq!(trace.rate_at(4.99), trace.rates[0]);
+        assert_eq!(trace.rate_at(5.01), trace.rates[1]);
+        // Past the end: clamps to the last period.
+        assert_eq!(trace.rate_at(1000.0), trace.rates[4]);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let cfg = WorkloadConfig::paper_default();
+        assert_eq!(cfg.sample(11), cfg.sample(11));
+        assert_ne!(cfg.sample(11).rates, cfg.sample(12).rates);
+    }
+
+    #[test]
+    fn poisson_mean_is_plausible() {
+        let mut rng = rng_from_seed(5);
+        let n = 20_000;
+        let total: usize = (0..n).map(|_| poisson(6.0, &mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 6.0).abs() < 0.15, "poisson mean {mean}");
+    }
+
+    #[test]
+    fn arrivals_track_rate() {
+        let trace = WorkloadConfig::paper_default().sample(9);
+        let mut rng = rng_from_seed(1);
+        let mut total = 0usize;
+        let dt = 0.01;
+        let mut t = 0.0;
+        while t < 25.0 {
+            total += trace.arrivals(t, dt, &mut rng);
+            t += dt;
+        }
+        let expected: f64 = trace.rates.iter().map(|r| r * 5.0).sum();
+        let got = total as f64;
+        assert!(
+            (got - expected).abs() / expected < 0.05,
+            "arrivals {got} vs expected {expected}"
+        );
+    }
+}

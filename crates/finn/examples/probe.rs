@@ -1,0 +1,37 @@
+//! Internal calibration probe: compiles width-scaled CNVs (plain and
+//! early-exit, several pruning-like widths) and prints synthesis numbers
+//! so the power/performance constants can be sanity-checked against the
+//! paper's bands (IPS ~ hundreds, power 1.1–1.4 W, latency a few ms).
+
+use adapex_nn::cnv::{CnvConfig, ExitsConfig};
+use finn_dataflow::{compile, FoldingConfig, FpgaDevice, ModelIr};
+
+fn main() {
+    let dev = FpgaDevice::zcu104();
+    for width in [4usize, 6, 8] {
+        for ee in [false, true] {
+            let net = if ee {
+                CnvConfig::scaled(width).build_early_exit(10, &ExitsConfig::paper_default(), 1)
+            } else {
+                CnvConfig::scaled(width).build(10, 1)
+            };
+            let ir = ModelIr::from_summary(&net.summarize());
+            let folding = FoldingConfig::auto(&ir, 4, 4);
+            match compile(&ir, &folding, &dev, 100.0) {
+                Ok(acc) => {
+                    println!("w={width} ee={ee}: {}", acc.report().summary());
+                    if ee {
+                        for fr in [[0.0, 0.0, 1.0], [0.5, 0.2, 0.3], [0.9, 0.05, 0.05]] {
+                            let p = acc.performance(&fr);
+                            println!(
+                                "   fr {:?}: {:.0} IPS {:.2} ms {:.2} W {:.3} mJ",
+                                fr, p.ips, p.avg_latency_ms, p.power_w, p.energy_per_inference_mj
+                            );
+                        }
+                    }
+                }
+                Err(e) => println!("w={width} ee={ee}: ERROR {e}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,601 @@
+//! The compilation pipeline: IR + folding → placed dataflow accelerator.
+//!
+//! Mirrors FINN's transformation flow (paper Sec. II and IV-A1): every
+//! conv becomes SWU → MVTU, every FC becomes an MVTU, pools become pool
+//! units, AXI-stream FIFOs join consecutive modules, and — AdaPEx's
+//! extension — a **Branch** module duplicates the stream wherever an
+//! early exit attaches, with a deep FIFO buffering the feature map on
+//! the exit side (the BRAM overhead discussed around Fig. 5(e)).
+
+use crate::device::FpgaDevice;
+use crate::folding::FoldingConfig;
+use crate::graph::{DataflowGraph, ExitPath, PlacedModule, Segment};
+use crate::ir::{IrNode, IrOp, ModelIr};
+use crate::modules::HlsModule;
+use crate::power::{PerformancePoint, PowerModel};
+use crate::report::SynthesisReport;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Default inter-module FIFO depth (transactions).
+const FIFO_DEPTH: usize = 32;
+/// Depth cap for the exit-side feature-map buffer FIFO.
+const EXIT_BUFFER_CAP: usize = 2048;
+/// Bit width assumed for unquantized (logit / input image) streams.
+const RAW_STREAM_BITS: u32 = 8;
+
+/// Compilation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A matrix node has no folding entry.
+    MissingFolding {
+        /// Node name.
+        node: String,
+    },
+    /// A folding entry violates a divisibility constraint.
+    IllegalFolding {
+        /// Node name.
+        node: String,
+        /// Human-readable violation.
+        detail: String,
+    },
+    /// The placed design exceeds the device budget.
+    ResourceOverflow {
+        /// Violated resource.
+        resource: &'static str,
+        /// Amount required.
+        used: u64,
+        /// Amount available.
+        available: u64,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::MissingFolding { node } => {
+                write!(f, "no folding entry for matrix node `{node}`")
+            }
+            CompileError::IllegalFolding { node, detail } => {
+                write!(f, "illegal folding for `{node}`: {detail}")
+            }
+            CompileError::ResourceOverflow {
+                resource,
+                used,
+                available,
+            } => write!(
+                f,
+                "design needs {used} {resource} but the device has {available}"
+            ),
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+/// A compiled accelerator: the placed graph plus its synthesis report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Accelerator {
+    graph: DataflowGraph,
+    report: SynthesisReport,
+    clock_mhz: f64,
+    static_power_w: f64,
+    power_model: PowerModel,
+}
+
+impl Accelerator {
+    /// The synthesis report.
+    pub fn report(&self) -> &SynthesisReport {
+        &self.report
+    }
+
+    /// The placed dataflow graph.
+    pub fn graph(&self) -> &DataflowGraph {
+        &self.graph
+    }
+
+    /// Number of exits (early + final).
+    pub fn num_exits(&self) -> usize {
+        self.graph.num_exits()
+    }
+
+    /// Evaluates the operating point for a given exit-taken mix
+    /// (`exit_fractions` sums to 1, early exits first).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a fraction-count mismatch.
+    pub fn performance(&self, exit_fractions: &[f64]) -> PerformancePoint {
+        let activity = self.graph.module_activity(exit_fractions);
+        let ii = self.graph.effective_ii(exit_fractions).max(1.0);
+        let clock_hz = self.clock_mhz * 1.0e6;
+        let ips = clock_hz / ii;
+        let avg_latency_ms = exit_fractions
+            .iter()
+            .enumerate()
+            .map(|(e, &f)| f * self.graph.path_cycles_to_exit(e) as f64)
+            .sum::<f64>()
+            / clock_hz
+            * 1_000.0;
+        let power_w = self.static_power_w + self.power_model.dynamic_power_w(&self.graph, &activity);
+        PerformancePoint {
+            ips,
+            avg_latency_ms,
+            power_w,
+            energy_per_inference_mj: power_w / ips * 1_000.0,
+            exit_fractions: exit_fractions.to_vec(),
+        }
+    }
+}
+
+/// Tracked state of the stream flowing between modules.
+#[derive(Debug, Clone, Copy)]
+struct StreamState {
+    channels: usize,
+    hw: (usize, usize),
+    act_bits: u32,
+    lanes: usize,
+}
+
+impl StreamState {
+    fn width_bits(&self) -> usize {
+        self.lanes * self.act_bits as usize
+    }
+
+    fn transactions(&self) -> usize {
+        self.hw.0 * self.hw.1 * self.channels.div_ceil(self.lanes.max(1))
+    }
+}
+
+/// Compiles `ir` with `folding` for `device` at `clock_mhz`.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] when folding entries are missing or illegal,
+/// or the placed design does not fit the device.
+///
+/// # Panics
+///
+/// Panics if `clock_mhz` is not positive.
+pub fn compile(
+    ir: &ModelIr,
+    folding: &FoldingConfig,
+    device: &FpgaDevice,
+    clock_mhz: f64,
+) -> Result<Accelerator, CompileError> {
+    assert!(clock_mhz > 0.0, "clock must be positive");
+    let mut modules: Vec<PlacedModule> = Vec::new();
+    let mut backbone_order: Vec<usize> = Vec::new();
+    let mut exits: Vec<ExitPath> = Vec::new();
+
+    let input_stream = StreamState {
+        channels: ir.input_dims.first().copied().unwrap_or(1),
+        hw: (
+            ir.input_dims.get(1).copied().unwrap_or(1),
+            ir.input_dims.get(2).copied().unwrap_or(1),
+        ),
+        act_bits: RAW_STREAM_BITS,
+        lanes: 1,
+    };
+
+    let mut stream = input_stream;
+    for (j, node) in ir.backbone.iter().enumerate() {
+        let placed = lower_node(node, folding, stream, Segment::Backbone, &mut modules)?;
+        backbone_order.extend(placed.clone());
+        stream = next_stream(node, folding, stream)?;
+
+        // Exits forking at this node's output.
+        for (e, exit_ir) in ir.exits.iter().enumerate() {
+            if exit_ir.attach_after != j {
+                continue;
+            }
+            // Branch module duplicating the junction stream (backbone side).
+            let branch_idx = modules.len();
+            modules.push(PlacedModule {
+                name: format!("branch_exit{e}"),
+                segment: Segment::Backbone,
+                module: HlsModule::Branch {
+                    width_bits: stream.width_bits(),
+                    stream_len: stream.transactions(),
+                },
+            });
+            backbone_order.push(branch_idx);
+
+            // Exit side: deep FIFO buffering the duplicated feature map,
+            // then the branch's own modules.
+            let mut exit_modules = Vec::new();
+            let buf_idx = modules.len();
+            modules.push(PlacedModule {
+                name: format!("exit{e}_buffer"),
+                segment: Segment::Exit(e),
+                module: HlsModule::Fifo {
+                    width_bits: stream.width_bits(),
+                    depth: stream.transactions().min(EXIT_BUFFER_CAP),
+                },
+            });
+            exit_modules.push(buf_idx);
+            let mut e_stream = stream;
+            for e_node in &exit_ir.nodes {
+                let placed = lower_node(e_node, folding, e_stream, Segment::Exit(e), &mut modules)?;
+                exit_modules.extend(placed);
+                e_stream = next_stream(e_node, folding, e_stream)?;
+            }
+            exits.push(ExitPath {
+                junction_after: backbone_order.len() - 1,
+                modules: exit_modules,
+            });
+        }
+    }
+
+    let graph = DataflowGraph {
+        modules,
+        backbone_order,
+        exits,
+    };
+
+    let resources = graph.total_resources();
+    device
+        .check_fit(resources)
+        .map_err(|(resource, used, available)| CompileError::ResourceOverflow {
+            resource,
+            used,
+            available,
+        })?;
+
+    let power_model = PowerModel::calibrated();
+    let clock_hz = clock_mhz * 1.0e6;
+    let ii = graph.max_cycles().max(1);
+    let all_active = vec![1.0; graph.modules.len()];
+    let num_exits = graph.num_exits();
+    let report = SynthesisReport {
+        clock_mhz,
+        resources,
+        utilization: device.utilization(resources),
+        ii_cycles: ii,
+        throughput_ips: clock_hz / ii as f64,
+        latency_to_exit_ms: (0..num_exits)
+            .map(|e| graph.path_cycles_to_exit(e) as f64 / clock_hz * 1_000.0)
+            .collect(),
+        power_all_active_w: device.static_power_w
+            + power_model.dynamic_power_w(&graph, &all_active),
+        reconfig_time_ms: device.reconfig_time_ms(),
+        backbone_macs: ir.backbone_macs(),
+    };
+
+    Ok(Accelerator {
+        graph,
+        report,
+        clock_mhz,
+        static_power_w: device.static_power_w,
+        power_model,
+    })
+}
+
+/// Lowers one IR node into modules (FIFO + compute), returning the
+/// indices of the placed modules.
+fn lower_node(
+    node: &IrNode,
+    folding: &FoldingConfig,
+    stream: StreamState,
+    segment: Segment,
+    modules: &mut Vec<PlacedModule>,
+) -> Result<Vec<usize>, CompileError> {
+    let mut placed = Vec::new();
+    let mut push = |m: PlacedModule, modules: &mut Vec<PlacedModule>| {
+        modules.push(m);
+        placed.push(modules.len() - 1);
+    };
+
+    // Inter-module FIFO on the incoming stream.
+    push(
+        PlacedModule {
+            name: format!("{}_fifo", node.name),
+            segment,
+            module: HlsModule::Fifo {
+                width_bits: stream.width_bits().max(1),
+                depth: FIFO_DEPTH,
+            },
+        },
+        modules,
+    );
+
+    match &node.op {
+        IrOp::Conv {
+            c_in,
+            c_out,
+            kernel,
+            in_hw,
+            out_hw,
+            weight_bits,
+            act_bits,
+            thresholds,
+            ..
+        } => {
+            let f = folding
+                .get(&node.name)
+                .ok_or_else(|| CompileError::MissingFolding {
+                    node: node.name.clone(),
+                })?;
+            if c_out % f.pe != 0 {
+                return Err(CompileError::IllegalFolding {
+                    node: node.name.clone(),
+                    detail: format!("PE {} does not divide {} filters", f.pe, c_out),
+                });
+            }
+            if c_in % f.simd != 0 {
+                return Err(CompileError::IllegalFolding {
+                    node: node.name.clone(),
+                    detail: format!("SIMD {} does not divide {} input channels", f.simd, c_in),
+                });
+            }
+            let out_pixels = out_hw.0 * out_hw.1;
+            push(
+                PlacedModule {
+                    name: format!("{}_swu", node.name),
+                    segment,
+                    module: HlsModule::Swu {
+                        c_in: *c_in,
+                        kernel: *kernel,
+                        in_hw: *in_hw,
+                        out_pixels,
+                        simd: f.simd,
+                        act_bits: stream.act_bits,
+                    },
+                },
+                modules,
+            );
+            push(
+                PlacedModule {
+                    name: format!("{}_mvtu", node.name),
+                    segment,
+                    module: HlsModule::Mvtu {
+                        rows: *c_out,
+                        cols: c_in * kernel * kernel,
+                        pixels: out_pixels,
+                        pe: f.pe,
+                        simd: f.simd,
+                        weight_bits: *weight_bits,
+                        act_bits: act_bits.unwrap_or(RAW_STREAM_BITS),
+                        thresholds: *thresholds,
+                    },
+                },
+                modules,
+            );
+        }
+        IrOp::Fc {
+            in_features,
+            out_features,
+            weight_bits,
+            act_bits,
+            thresholds,
+        } => {
+            let f = folding
+                .get(&node.name)
+                .ok_or_else(|| CompileError::MissingFolding {
+                    node: node.name.clone(),
+                })?;
+            if out_features % f.pe != 0 {
+                return Err(CompileError::IllegalFolding {
+                    node: node.name.clone(),
+                    detail: format!("PE {} does not divide {} outputs", f.pe, out_features),
+                });
+            }
+            if in_features % f.simd != 0 {
+                return Err(CompileError::IllegalFolding {
+                    node: node.name.clone(),
+                    detail: format!("SIMD {} does not divide {} inputs", f.simd, in_features),
+                });
+            }
+            push(
+                PlacedModule {
+                    name: format!("{}_mvtu", node.name),
+                    segment,
+                    module: HlsModule::Mvtu {
+                        rows: *out_features,
+                        cols: *in_features,
+                        pixels: 1,
+                        pe: f.pe,
+                        simd: f.simd,
+                        weight_bits: *weight_bits,
+                        act_bits: act_bits.unwrap_or(RAW_STREAM_BITS),
+                        thresholds: *thresholds,
+                    },
+                },
+                modules,
+            );
+        }
+        IrOp::MaxPool {
+            kernel,
+            channels,
+            in_hw,
+            ..
+        } => {
+            push(
+                PlacedModule {
+                    name: format!("{}_pool", node.name),
+                    segment,
+                    module: HlsModule::Pool {
+                        channels: *channels,
+                        kernel: *kernel,
+                        in_hw: *in_hw,
+                        act_bits: stream.act_bits,
+                    },
+                },
+                modules,
+            );
+        }
+    }
+    Ok(placed)
+}
+
+/// The stream state after a node.
+fn next_stream(
+    node: &IrNode,
+    folding: &FoldingConfig,
+    stream: StreamState,
+) -> Result<StreamState, CompileError> {
+    Ok(match &node.op {
+        IrOp::Conv {
+            c_out,
+            out_hw,
+            act_bits,
+            ..
+        } => {
+            let f = folding
+                .get(&node.name)
+                .ok_or_else(|| CompileError::MissingFolding {
+                    node: node.name.clone(),
+                })?;
+            StreamState {
+                channels: *c_out,
+                hw: *out_hw,
+                act_bits: act_bits.unwrap_or(RAW_STREAM_BITS),
+                lanes: f.pe,
+            }
+        }
+        IrOp::Fc {
+            out_features,
+            act_bits,
+            ..
+        } => {
+            let f = folding
+                .get(&node.name)
+                .ok_or_else(|| CompileError::MissingFolding {
+                    node: node.name.clone(),
+                })?;
+            StreamState {
+                channels: *out_features,
+                hw: (1, 1),
+                act_bits: act_bits.unwrap_or(RAW_STREAM_BITS),
+                lanes: f.pe,
+            }
+        }
+        IrOp::MaxPool {
+            channels, out_hw, ..
+        } => StreamState {
+            channels: *channels,
+            hw: *out_hw,
+            act_bits: stream.act_bits,
+            lanes: stream.lanes,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapex_nn::cnv::{CnvConfig, ExitsConfig};
+
+    fn tiny_ir() -> ModelIr {
+        let net = CnvConfig::tiny().build_early_exit(10, &ExitsConfig::paper_default(), 1);
+        ModelIr::from_summary(&net.summarize())
+    }
+
+    fn compiled() -> Accelerator {
+        let ir = tiny_ir();
+        let folding = FoldingConfig::auto(&ir, 4, 4);
+        compile(&ir, &folding, &FpgaDevice::zcu104(), 100.0).expect("compile")
+    }
+
+    #[test]
+    fn compiles_cnv_with_exits() {
+        let acc = compiled();
+        assert_eq!(acc.num_exits(), 3);
+        let r = acc.report();
+        assert!(r.throughput_ips > 0.0);
+        assert_eq!(r.latency_to_exit_ms.len(), 3);
+        // Earlier exits have lower latency.
+        assert!(r.latency_to_exit_ms[0] < r.latency_to_exit_ms[2]);
+        assert!(r.power_all_active_w > FpgaDevice::zcu104().static_power_w);
+        assert!((r.reconfig_time_ms - 145.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn graph_has_branch_modules_per_exit() {
+        let acc = compiled();
+        let branches = acc
+            .graph()
+            .modules
+            .iter()
+            .filter(|m| matches!(m.module, HlsModule::Branch { .. }))
+            .count();
+        assert_eq!(branches, 2);
+    }
+
+    #[test]
+    fn missing_folding_is_an_error() {
+        let ir = tiny_ir();
+        let folding = FoldingConfig::new();
+        let err = compile(&ir, &folding, &FpgaDevice::zcu104(), 100.0).unwrap_err();
+        assert!(matches!(err, CompileError::MissingFolding { .. }));
+        assert!(err.to_string().contains("no folding entry"));
+    }
+
+    #[test]
+    fn illegal_folding_is_an_error() {
+        let ir = tiny_ir();
+        let mut folding = FoldingConfig::auto(&ir, 4, 4);
+        // First backbone conv has 4 filters; PE 3 does not divide it.
+        folding.set("bb_conv1", crate::folding::MvtuFolding::new(3, 1));
+        let err = compile(&ir, &folding, &FpgaDevice::zcu104(), 100.0).unwrap_err();
+        assert!(matches!(err, CompileError::IllegalFolding { .. }), "{err}");
+    }
+
+    #[test]
+    fn overflow_on_a_tiny_device() {
+        let ir = tiny_ir();
+        let folding = FoldingConfig::auto(&ir, 4, 4);
+        let mut dev = FpgaDevice::zcu104();
+        dev.lut = 500;
+        let err = compile(&ir, &folding, &dev, 100.0).unwrap_err();
+        assert!(matches!(err, CompileError::ResourceOverflow { .. }));
+    }
+
+    #[test]
+    fn more_parallelism_means_more_throughput_and_resources() {
+        let ir = tiny_ir();
+        let dev = FpgaDevice::zcu104();
+        let slow = compile(&ir, &FoldingConfig::auto(&ir, 1, 1), &dev, 100.0).unwrap();
+        let fast = compile(&ir, &FoldingConfig::auto(&ir, 8, 8), &dev, 100.0).unwrap();
+        assert!(fast.report().throughput_ips > slow.report().throughput_ips);
+        assert!(fast.report().resources.lut > slow.report().resources.lut);
+    }
+
+    #[test]
+    fn early_exit_mix_raises_throughput_and_cuts_energy() {
+        let acc = compiled();
+        let all_final = acc.performance(&[0.0, 0.0, 1.0]);
+        let mostly_early = acc.performance(&[0.8, 0.1, 0.1]);
+        assert!(mostly_early.ips >= all_final.ips);
+        assert!(mostly_early.avg_latency_ms < all_final.avg_latency_ms);
+        assert!(mostly_early.power_w <= all_final.power_w + 1e-9);
+        assert!(mostly_early.energy_per_inference_mj < all_final.energy_per_inference_mj);
+    }
+
+    #[test]
+    fn pruned_model_compiles_smaller_and_faster() {
+        use adapex_prune_free::prune_like;
+        // Inline helper below fakes pruning by building a narrower CNV.
+        let wide = {
+            let net = CnvConfig::scaled(8).build(10, 1);
+            ModelIr::from_summary(&net.summarize())
+        };
+        let narrow = prune_like();
+        let dev = FpgaDevice::zcu104();
+        let acc_w = compile(&wide, &FoldingConfig::auto(&wide, 2, 2), &dev, 100.0).unwrap();
+        let acc_n = compile(&narrow, &FoldingConfig::auto(&narrow, 2, 2), &dev, 100.0).unwrap();
+        assert!(acc_n.report().resources.lut < acc_w.report().resources.lut);
+        assert!(acc_n.report().throughput_ips > acc_w.report().throughput_ips);
+        assert!(acc_n.report().final_latency_ms() < acc_w.report().final_latency_ms());
+    }
+
+    /// Narrower-CNV helper for the pruning comparison test.
+    mod adapex_prune_free {
+        use super::*;
+        pub fn prune_like() -> ModelIr {
+            let net = CnvConfig::scaled(4).build(10, 1);
+            ModelIr::from_summary(&net.summarize())
+        }
+    }
+}

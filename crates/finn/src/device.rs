@@ -1,0 +1,124 @@
+//! FPGA device model.
+
+use crate::modules::ResourceUsage;
+use serde::{Deserialize, Serialize};
+
+/// An FPGA device: resource budget plus full-reconfiguration parameters.
+///
+/// Reconfiguration follows the paper's runtime model: switching the
+/// pruning rate means loading a new full bitstream through the
+/// configuration port, during which the accelerator is offline. The
+/// paper reports four reconfigurations totalling 580 ms on the ZCU104
+/// (~145 ms each), which [`FpgaDevice::zcu104`] reproduces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FpgaDevice {
+    /// Device name.
+    pub name: String,
+    /// LUT budget.
+    pub lut: u64,
+    /// Flip-flop budget.
+    pub ff: u64,
+    /// BRAM36 budget.
+    pub bram36: u64,
+    /// DSP48 budget.
+    pub dsp: u64,
+    /// Full bitstream size in bytes.
+    pub bitstream_bytes: u64,
+    /// Configuration-port bandwidth in bytes/second.
+    pub config_bandwidth: u64,
+    /// Static (idle) power in watts.
+    pub static_power_w: f64,
+}
+
+impl FpgaDevice {
+    /// The paper's target: Xilinx Zynq UltraScale+ ZCU104 (XCZU7EV).
+    pub fn zcu104() -> Self {
+        FpgaDevice {
+            name: "ZCU104 (XCZU7EV)".to_string(),
+            lut: 230_400,
+            ff: 460_800,
+            bram36: 312,
+            dsp: 1_728,
+            bitstream_bytes: 29_000_000,
+            config_bandwidth: 200_000_000,
+            static_power_w: 0.60,
+        }
+    }
+
+    /// Full-reconfiguration time in milliseconds.
+    pub fn reconfig_time_ms(&self) -> f64 {
+        self.bitstream_bytes as f64 / self.config_bandwidth as f64 * 1_000.0
+    }
+
+    /// Whether `usage` fits the budget; on overflow, names the violated
+    /// resource.
+    pub fn check_fit(&self, usage: ResourceUsage) -> Result<(), (&'static str, u64, u64)> {
+        if usage.lut > self.lut {
+            return Err(("LUT", usage.lut, self.lut));
+        }
+        if usage.ff > self.ff {
+            return Err(("FF", usage.ff, self.ff));
+        }
+        if usage.bram36 > self.bram36 {
+            return Err(("BRAM36", usage.bram36, self.bram36));
+        }
+        if usage.dsp > self.dsp {
+            return Err(("DSP", usage.dsp, self.dsp));
+        }
+        Ok(())
+    }
+
+    /// Utilization fractions `(lut, ff, bram, dsp)` of `usage`.
+    pub fn utilization(&self, usage: ResourceUsage) -> (f64, f64, f64, f64) {
+        (
+            usage.lut as f64 / self.lut as f64,
+            usage.ff as f64 / self.ff as f64,
+            usage.bram36 as f64 / self.bram36 as f64,
+            usage.dsp as f64 / self.dsp as f64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zcu104_reconfig_matches_paper_rate() {
+        // Paper: 4 reconfigurations took 580 ms total -> 145 ms each.
+        let t = FpgaDevice::zcu104().reconfig_time_ms();
+        assert!((t - 145.0).abs() < 1.0, "reconfig {t} ms");
+    }
+
+    #[test]
+    fn fit_check_names_offender() {
+        let dev = FpgaDevice::zcu104();
+        let ok = ResourceUsage {
+            bram36: 100,
+            lut: 1000,
+            ff: 1000,
+            dsp: 0,
+        };
+        assert!(dev.check_fit(ok).is_ok());
+        let too_big = ResourceUsage {
+            bram36: 500,
+            ..ok
+        };
+        assert_eq!(dev.check_fit(too_big).unwrap_err().0, "BRAM36");
+    }
+
+    #[test]
+    fn utilization_fractions() {
+        let dev = FpgaDevice::zcu104();
+        let half = ResourceUsage {
+            bram36: 156,
+            lut: 115_200,
+            ff: 230_400,
+            dsp: 864,
+        };
+        let (l, f, b, d) = dev.utilization(half);
+        for v in [l, f, b, d] {
+            assert!((v - 0.5).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! PE/SIMD folding configuration (FINN's JSON tuning file).
+//!
+//! Every MVTU is configured with a number of processing elements (PE,
+//! parallelism over matrix rows / output channels) and SIMD lanes
+//! (parallelism over matrix columns / input channels). FINN reads these
+//! from a JSON file keyed by layer name; [`FoldingConfig`] serializes to
+//! the same shape, and [`FoldingConfig::auto`] derives a legal default
+//! from the IR.
+
+use crate::ir::{IrNode, IrOp, ModelIr};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Parallelism of one MVTU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MvtuFolding {
+    /// Processing elements (must divide the matrix row count, i.e. the
+    /// output channels / features).
+    pub pe: usize,
+    /// SIMD lanes (must divide the per-pixel matrix column count: for a
+    /// conv that is `c_in` — the SWU serializes the `k*k` window — and
+    /// for an FC the input features).
+    pub simd: usize,
+}
+
+impl MvtuFolding {
+    /// New folding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is zero.
+    pub fn new(pe: usize, simd: usize) -> Self {
+        assert!(pe > 0 && simd > 0, "PE and SIMD must be positive");
+        MvtuFolding { pe, simd }
+    }
+}
+
+/// Folding for every matrix node in a model, keyed by IR node name
+/// (BTreeMap so the JSON serialization is stable).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FoldingConfig {
+    /// Per-MVTU folding entries.
+    pub entries: BTreeMap<String, MvtuFolding>,
+}
+
+impl FoldingConfig {
+    /// Empty configuration.
+    pub fn new() -> Self {
+        FoldingConfig {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Derives a legal folding for every matrix node: the largest divisor
+    /// of the row count at most `pe_target`, and of the column count at
+    /// most `simd_target` (FINN's usual starting point before manual
+    /// tuning).
+    pub fn auto(ir: &ModelIr, pe_target: usize, simd_target: usize) -> Self {
+        let mut entries = BTreeMap::new();
+        for node in ir.matrix_nodes() {
+            let (rows, cols) = match &node.op {
+                IrOp::Conv { c_out, c_in, .. } => (*c_out, *c_in),
+                IrOp::Fc {
+                    out_features,
+                    in_features,
+                    ..
+                } => (*out_features, *in_features),
+                IrOp::MaxPool { .. } => continue,
+            };
+            entries.insert(
+                node.name.clone(),
+                MvtuFolding {
+                    pe: largest_divisor_at_most(rows, pe_target),
+                    simd: largest_divisor_at_most(cols, simd_target),
+                },
+            );
+        }
+        FoldingConfig { entries }
+    }
+
+    /// Derives a rate-balanced folding: every MVTU gets the cheapest
+    /// `(pe, simd)` whose cycle count stays at or below `target_cycles`
+    /// — how FINN users actually tune an accelerator to a frame-rate
+    /// budget. Nodes *before the first exit junction* are folded to
+    /// `target_cycles / pre_junction_speedup`: AdaPEx's branch
+    /// architecture only converts early-exited inputs into extra
+    /// throughput when the shared front of the pipeline runs faster
+    /// than the gated deep layers, so the generator co-designs the
+    /// folding with the exit placement (DESIGN.md §4).
+    ///
+    /// The folding is computed once, on the **unpruned** model, and
+    /// reused verbatim by every pruned variant — which is precisely why
+    /// the pruner must respect the PE/SIMD divisibility constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_cycles == 0` or `pre_junction_speedup <= 0`.
+    pub fn balanced(ir: &ModelIr, target_cycles: u64, pre_junction_speedup: f64) -> Self {
+        assert!(target_cycles > 0, "target cycles must be positive");
+        assert!(pre_junction_speedup > 0.0, "speedup must be positive");
+        let first_junction = ir.exits.iter().map(|e| e.attach_after).min();
+        let mut entries = BTreeMap::new();
+        let mut add = |node: &IrNode, tgt: u64| {
+            let (rows, simd_base, cols, pixels) = match &node.op {
+                IrOp::Conv {
+                    c_out,
+                    c_in,
+                    kernel,
+                    out_hw,
+                    ..
+                } => (*c_out, *c_in, c_in * kernel * kernel, out_hw.0 * out_hw.1),
+                IrOp::Fc {
+                    out_features,
+                    in_features,
+                    ..
+                } => (*out_features, *in_features, *in_features, 1),
+                IrOp::MaxPool { .. } => return,
+            };
+            entries.insert(node.name.clone(), cheapest_folding(rows, simd_base, cols, pixels, tgt));
+        };
+        for (j, node) in ir.backbone.iter().enumerate() {
+            let pre = first_junction.is_some_and(|fj| j <= fj);
+            let tgt = if pre {
+                ((target_cycles as f64 / pre_junction_speedup) as u64).max(1)
+            } else {
+                target_cycles
+            };
+            add(node, tgt);
+        }
+        // Exit branches get the accelerated budget too: when the
+        // threshold is low most inputs flow through an exit, so a lazily
+        // folded exit would throttle the whole pipeline — the paper's
+        // branch design promises "neither backbone nor exit throughput
+        // is undermined".
+        for exit in &ir.exits {
+            for node in &exit.nodes {
+                add(
+                    node,
+                    ((target_cycles as f64 / pre_junction_speedup) as u64).max(1),
+                );
+            }
+        }
+        FoldingConfig { entries }
+    }
+
+    /// Folding for a node, if configured.
+    pub fn get(&self, name: &str) -> Option<MvtuFolding> {
+        self.entries.get(name).copied()
+    }
+
+    /// Inserts or replaces a node's folding.
+    pub fn set(&mut self, name: impl Into<String>, folding: MvtuFolding) {
+        self.entries.insert(name.into(), folding);
+    }
+
+    /// Serializes to FINN-style JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when serialization fails (it cannot for this
+    /// type, but the signature mirrors `serde_json`).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses FINN-style JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+impl Default for FoldingConfig {
+    fn default() -> Self {
+        FoldingConfig::new()
+    }
+}
+
+/// Largest divisor of `n` that is `<= cap` (at least 1).
+pub fn largest_divisor_at_most(n: usize, cap: usize) -> usize {
+    let cap = cap.max(1).min(n.max(1));
+    (1..=cap).rev().find(|&d| n.is_multiple_of(d)).unwrap_or(1)
+}
+
+/// Cheapest `(pe, simd)` (smallest `pe * simd`) meeting a cycle budget.
+///
+/// `simd` must divide `simd_base` (the input channel count), `pe` must
+/// divide `rows`; cycles are `pixels * ceil(rows/pe) * ceil(cols/simd)`.
+/// When even full parallelism misses the budget, the fastest legal
+/// folding is returned.
+fn cheapest_folding(rows: usize, simd_base: usize, cols: usize, pixels: usize, target: u64) -> MvtuFolding {
+    let pe_options: Vec<usize> = (1..=rows).filter(|&d| rows.is_multiple_of(d)).collect();
+    let simd_options: Vec<usize> =
+        (1..=simd_base).filter(|&d| simd_base.is_multiple_of(d)).collect();
+    let cycles = |pe: usize, simd: usize| -> u64 {
+        (pixels as u64) * (rows.div_ceil(pe) as u64) * (cols.div_ceil(simd) as u64)
+    };
+    let mut best: Option<(usize, MvtuFolding)> = None;
+    let mut fastest = MvtuFolding::new(rows, simd_base);
+    let mut fastest_cycles = u64::MAX;
+    for &pe in &pe_options {
+        for &simd in &simd_options {
+            let c = cycles(pe, simd);
+            if c < fastest_cycles {
+                fastest_cycles = c;
+                fastest = MvtuFolding::new(pe, simd);
+            }
+            if c <= target {
+                let cost = pe * simd;
+                if best.as_ref().is_none_or(|(b, _)| cost < *b) {
+                    best = Some((cost, MvtuFolding::new(pe, simd)));
+                }
+            }
+        }
+    }
+    best.map(|(_, f)| f).unwrap_or(fastest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapex_nn::cnv::{CnvConfig, ExitsConfig};
+
+    #[test]
+    fn divisor_search() {
+        assert_eq!(largest_divisor_at_most(64, 16), 16);
+        assert_eq!(largest_divisor_at_most(30, 16), 15);
+        assert_eq!(largest_divisor_at_most(7, 4), 1);
+        assert_eq!(largest_divisor_at_most(8, 100), 8);
+        assert_eq!(largest_divisor_at_most(0, 4), 1);
+    }
+
+    #[test]
+    fn auto_folding_is_legal_everywhere() {
+        let net = CnvConfig::scaled(8).build_early_exit(10, &ExitsConfig::paper_default(), 1);
+        let ir = crate::ir::ModelIr::from_summary(&net.summarize());
+        let folding = FoldingConfig::auto(&ir, 4, 4);
+        for node in ir.matrix_nodes() {
+            let f = folding.get(&node.name).expect("every matrix node folded");
+            match &node.op {
+                IrOp::Conv { c_out, c_in, .. } => {
+                    assert_eq!(c_out % f.pe, 0, "{}", node.name);
+                    assert_eq!(c_in % f.simd, 0, "{}", node.name);
+                }
+                IrOp::Fc {
+                    out_features,
+                    in_features,
+                    ..
+                } => {
+                    assert_eq!(out_features % f.pe, 0, "{}", node.name);
+                    assert_eq!(in_features % f.simd, 0, "{}", node.name);
+                }
+                IrOp::MaxPool { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_matches_finn_shape() {
+        let mut cfg = FoldingConfig::new();
+        cfg.set("bb_conv1", MvtuFolding::new(4, 3));
+        let json = cfg.to_json().expect("serialize");
+        assert!(json.contains("bb_conv1"));
+        assert!(json.contains("\"pe\": 4"));
+        let back = FoldingConfig::from_json(&json).expect("parse");
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "PE and SIMD must be positive")]
+    fn rejects_zero_pe() {
+        MvtuFolding::new(0, 1);
+    }
+
+    #[test]
+    fn balanced_folding_meets_cycle_budget() {
+        let net = CnvConfig::scaled(8).build_early_exit(10, &ExitsConfig::paper_default(), 1);
+        let ir = crate::ir::ModelIr::from_summary(&net.summarize());
+        let target = 250_000u64;
+        let folding = FoldingConfig::balanced(&ir, target, 1.5);
+        for node in ir.matrix_nodes() {
+            let f = folding.get(&node.name).expect("folded");
+            let (rows, cols, pixels, c_in) = match &node.op {
+                IrOp::Conv {
+                    c_out,
+                    c_in,
+                    kernel,
+                    out_hw,
+                    ..
+                } => (*c_out, c_in * kernel * kernel, out_hw.0 * out_hw.1, *c_in),
+                IrOp::Fc {
+                    out_features,
+                    in_features,
+                    ..
+                } => (*out_features, *in_features, 1, *in_features),
+                IrOp::MaxPool { .. } => continue,
+            };
+            assert_eq!(rows % f.pe, 0, "{}", node.name);
+            assert_eq!(c_in % f.simd, 0, "{}", node.name);
+            let cycles =
+                pixels as u64 * (rows.div_ceil(f.pe) as u64) * (cols.div_ceil(f.simd) as u64);
+            assert!(
+                cycles <= target,
+                "{}: {cycles} cycles exceeds target {target}",
+                node.name
+            );
+        }
+    }
+
+    #[test]
+    fn pre_junction_nodes_are_folded_faster() {
+        let net = CnvConfig::scaled(8).build_early_exit(10, &ExitsConfig::paper_default(), 1);
+        let ir = crate::ir::ModelIr::from_summary(&net.summarize());
+        let folding = FoldingConfig::balanced(&ir, 400_000, 2.0);
+        // First conv processes 900 px * 8 rows * 27 cols = 194k cycles at
+        // (1,1); the pre-junction budget 200k admits it, but conv2
+        // (784 * 8 * 72 = 451k at (1,1)) must parallelize beyond (1,1).
+        let f2 = folding.get("bb_conv2").expect("conv2 folded");
+        assert!(f2.pe * f2.simd > 1, "conv2 should need parallelism: {f2:?}");
+    }
+}

@@ -1,0 +1,248 @@
+//! The placed dataflow graph: modules, paths and activity analysis.
+
+use crate::modules::{HlsModule, ResourceUsage};
+use serde::{Deserialize, Serialize};
+
+/// Which part of the network a module belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Segment {
+    /// The original CNN's pipeline.
+    Backbone,
+    /// An early-exit branch (by exit ordinal).
+    Exit(usize),
+}
+
+/// One module placed in the accelerator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacedModule {
+    /// Stable instance name, e.g. `bb_conv2_mvtu`.
+    pub name: String,
+    /// Segment membership.
+    pub segment: Segment,
+    /// The hardware module.
+    pub module: HlsModule,
+}
+
+/// One exit branch's path through the graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExitPath {
+    /// Position within the backbone module order after which the branch
+    /// forks (inclusive: inputs taking this exit traverse backbone
+    /// modules `0..=junction_after`).
+    pub junction_after: usize,
+    /// Indices (into `DataflowGraph::modules`) of the branch's modules.
+    pub modules: Vec<usize>,
+}
+
+/// A complete placed accelerator graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataflowGraph {
+    /// All modules.
+    pub modules: Vec<PlacedModule>,
+    /// Indices of backbone modules in dataflow order.
+    pub backbone_order: Vec<usize>,
+    /// Early-exit paths in exit order.
+    pub exits: Vec<ExitPath>,
+}
+
+impl DataflowGraph {
+    /// Total exits including the final backbone output.
+    pub fn num_exits(&self) -> usize {
+        self.exits.len() + 1
+    }
+
+    /// Sum of all module resources.
+    pub fn total_resources(&self) -> ResourceUsage {
+        self.modules
+            .iter()
+            .map(|m| m.module.resources())
+            .fold(ResourceUsage::zero(), |acc, r| acc + r)
+    }
+
+    /// Resources used by one segment only.
+    pub fn segment_resources(&self, segment: Segment) -> ResourceUsage {
+        self.modules
+            .iter()
+            .filter(|m| m.segment == segment)
+            .map(|m| m.module.resources())
+            .fold(ResourceUsage::zero(), |acc, r| acc + r)
+    }
+
+    /// Static initiation interval: the slowest module with every input
+    /// traversing the full graph (the classic FINN throughput bound).
+    pub fn max_cycles(&self) -> u64 {
+        self.modules
+            .iter()
+            .map(|m| m.module.cycles())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Pipeline cycles from input to exit `e`'s output (`e` counts early
+    /// exits first; `e == self.exits.len()` is the final backbone exit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e > self.exits.len()`.
+    pub fn path_cycles_to_exit(&self, e: usize) -> u64 {
+        assert!(e <= self.exits.len(), "exit {e} out of range");
+        if e == self.exits.len() {
+            return self
+                .backbone_order
+                .iter()
+                .map(|&i| self.modules[i].module.cycles())
+                .sum();
+        }
+        let path = &self.exits[e];
+        let backbone: u64 = self.backbone_order[..=path.junction_after]
+            .iter()
+            .map(|&i| self.modules[i].module.cycles())
+            .sum();
+        let branch: u64 = path
+            .modules
+            .iter()
+            .map(|&i| self.modules[i].module.cycles())
+            .sum();
+        backbone + branch
+    }
+
+    /// Per-module traversal fraction given exit-taken fractions
+    /// (`exit_fractions.len() == self.num_exits()`, early exits first).
+    ///
+    /// Inputs that exit at branch `e` traverse the backbone only up to the
+    /// junction; AdaPEx gates the remaining stream, so deeper modules see
+    /// proportionally less work.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a fraction-count mismatch.
+    pub fn module_activity(&self, exit_fractions: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            exit_fractions.len(),
+            self.num_exits(),
+            "one fraction per exit"
+        );
+        let mut activity = vec![0.0f64; self.modules.len()];
+        let f_final = exit_fractions[self.exits.len()];
+        for (pos, &mi) in self.backbone_order.iter().enumerate() {
+            // Traversed by final-exit inputs plus every early exit whose
+            // junction is at or beyond this position.
+            let mut a = f_final;
+            for (e, path) in self.exits.iter().enumerate() {
+                if path.junction_after >= pos {
+                    a += exit_fractions[e];
+                }
+            }
+            activity[mi] = a;
+        }
+        for (e, path) in self.exits.iter().enumerate() {
+            for &mi in &path.modules {
+                activity[mi] = exit_fractions[e];
+            }
+        }
+        activity
+    }
+
+    /// Effective initiation interval under exit gating: each module's
+    /// average occupancy is `activity * cycles`, and the pipeline is
+    /// bounded by the busiest module.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a fraction-count mismatch.
+    pub fn effective_ii(&self, exit_fractions: &[f64]) -> f64 {
+        let activity = self.module_activity(exit_fractions);
+        self.modules
+            .iter()
+            .zip(&activity)
+            .map(|(m, &a)| a * m.module.cycles() as f64)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Backbone of three 100/200/300-cycle modules with an exit (one
+    /// 50-cycle module) attached after the first.
+    fn toy_graph() -> DataflowGraph {
+        let mk = |cycles: usize| HlsModule::Branch {
+            width_bits: 1,
+            stream_len: cycles,
+        };
+        DataflowGraph {
+            modules: vec![
+                PlacedModule {
+                    name: "b0".into(),
+                    segment: Segment::Backbone,
+                    module: mk(100),
+                },
+                PlacedModule {
+                    name: "b1".into(),
+                    segment: Segment::Backbone,
+                    module: mk(200),
+                },
+                PlacedModule {
+                    name: "b2".into(),
+                    segment: Segment::Backbone,
+                    module: mk(300),
+                },
+                PlacedModule {
+                    name: "e0".into(),
+                    segment: Segment::Exit(0),
+                    module: mk(50),
+                },
+            ],
+            backbone_order: vec![0, 1, 2],
+            exits: vec![ExitPath {
+                junction_after: 0,
+                modules: vec![3],
+            }],
+        }
+    }
+
+    #[test]
+    fn path_cycles() {
+        let g = toy_graph();
+        assert_eq!(g.path_cycles_to_exit(0), 100 + 50);
+        assert_eq!(g.path_cycles_to_exit(1), 600);
+        assert_eq!(g.max_cycles(), 300);
+    }
+
+    #[test]
+    fn activity_reflects_exit_fractions() {
+        let g = toy_graph();
+        let a = g.module_activity(&[0.6, 0.4]);
+        assert!((a[0] - 1.0).abs() < 1e-9); // junction module sees all
+        assert!((a[1] - 0.4).abs() < 1e-9); // deep modules only final
+        assert!((a[2] - 0.4).abs() < 1e-9);
+        assert!((a[3] - 0.6).abs() < 1e-9); // exit module
+    }
+
+    #[test]
+    fn effective_ii_drops_when_inputs_exit_early() {
+        let g = toy_graph();
+        let all_final = g.effective_ii(&[0.0, 1.0]);
+        let mostly_early = g.effective_ii(&[0.9, 0.1]);
+        assert_eq!(all_final, 300.0);
+        assert!(mostly_early < all_final);
+        // Bound: junction module always sees everything.
+        assert!(mostly_early >= 100.0);
+    }
+
+    #[test]
+    fn segment_resources_split() {
+        let g = toy_graph();
+        let bb = g.segment_resources(Segment::Backbone);
+        let ex = g.segment_resources(Segment::Exit(0));
+        let total = g.total_resources();
+        assert_eq!(bb.lut + ex.lut, total.lut);
+    }
+
+    #[test]
+    #[should_panic(expected = "one fraction per exit")]
+    fn activity_rejects_bad_fraction_count() {
+        toy_graph().module_activity(&[1.0]);
+    }
+}

@@ -1,0 +1,64 @@
+//! Analytical model of FINN-style FPGA dataflow CNN accelerators.
+//!
+//! The AdaPEx paper synthesizes each pruned early-exit CNN into a FINN
+//! dataflow accelerator on a ZCU104 board and measures throughput,
+//! latency, resources and power with Vivado + Verilator. This crate is
+//! the reproduction's stand-in for that hardware flow (DESIGN.md §1): a
+//! first-order analytical model of the FINN architecture as published in
+//! FINN-R, with the paper's **branch module** extension:
+//!
+//! * [`ir`] — an ONNX-like intermediate representation of the network,
+//!   produced from the training engine's structural summary, plus the
+//!   *streamlining* pass that absorbs BatchNorm/quant activations into
+//!   MVTU thresholds (as real FINN does).
+//! * [`folding`] — per-MVTU PE/SIMD parallelism, mirroring FINN's JSON
+//!   folding configuration file.
+//! * [`modules`] — cycle and resource estimators for the HLS module
+//!   library: SWU (sliding window), MVTU (matrix-vector-threshold), pool,
+//!   FIFO, and the stream-duplicating **Branch** module AdaPEx adds for
+//!   early exits.
+//! * [`compiler`] — the transformation pipeline that lowers IR +
+//!   folding into a placed [`graph::DataflowGraph`], checks the device
+//!   budget, and emits a [`report::SynthesisReport`].
+//! * [`device`] — the FPGA device model (ZCU104 / XCZU7EV) including
+//!   full-reconfiguration timing.
+//! * [`stream_sim`] — a discrete-event stream simulation (the
+//!   reproduction's Verilator stand-in) that cross-checks the
+//!   analytical throughput/latency estimates inference by inference.
+//! * [`power`] — the resource-proportional power model and the
+//!   exit-fraction-aware performance/energy evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use adapex_nn::cnv::{CnvConfig, ExitsConfig};
+//! use finn_dataflow::{compile, FoldingConfig, FpgaDevice, ModelIr};
+//!
+//! # fn main() -> Result<(), finn_dataflow::CompileError> {
+//! let net = CnvConfig::tiny().build_early_exit(10, &ExitsConfig::paper_default(), 1);
+//! let ir = ModelIr::from_summary(&net.summarize());
+//! let folding = FoldingConfig::auto(&ir, 4, 4);
+//! let acc = compile(&ir, &folding, &FpgaDevice::zcu104(), 100.0)?;
+//! assert!(acc.report().throughput_ips > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod compiler;
+pub mod device;
+pub mod folding;
+pub mod graph;
+pub mod ir;
+pub mod modules;
+pub mod power;
+pub mod report;
+pub mod stream_sim;
+
+pub use compiler::{compile, Accelerator, CompileError};
+pub use device::FpgaDevice;
+pub use folding::{FoldingConfig, MvtuFolding};
+pub use ir::{IrNode, IrOp, ModelIr};
+pub use modules::{HlsModule, ResourceUsage};
+pub use power::{PerformancePoint, PowerModel};
+pub use report::SynthesisReport;
+pub use stream_sim::{assignments_from_fractions, simulate_stream, StreamSimReport};

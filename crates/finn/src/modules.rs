@@ -1,0 +1,423 @@
+//! The HLS module library: cycle and resource estimators.
+//!
+//! Each module mirrors one of FINN's HLS template classes (paper Sec. II)
+//! plus the **Branch** module AdaPEx contributes (Sec. IV-A1). The
+//! estimators are first-order analytical models of the published FINN-R
+//! architecture: cycles follow the folding arithmetic exactly; resources
+//! use calibrated per-primitive costs (a 2-bit MAC in LUTs, BRAM36 blocks
+//! for weight/line/FIFO storage). Absolute numbers are approximate by
+//! design — every experiment in the paper depends on *relative* resource
+//! and timing behaviour across pruned variants.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+/// Bits in one BRAM36 block.
+pub const BRAM36_BITS: u64 = 36 * 1024;
+
+/// Memories at or below this size are implemented in distributed LUTRAM
+/// rather than block RAM (Vivado's default inference behaviour, which
+/// FINN relies on for small weight/line buffers).
+pub const LUTRAM_THRESHOLD_BITS: u64 = 4 * 1024;
+
+/// LUTs consumed per bit of distributed LUTRAM (conservative: includes
+/// addressing overhead).
+const LUTRAM_BITS_PER_LUT: u64 = 8;
+
+/// Memory cost helper: `(bram36, lut)` for a memory of `bits`, with the
+/// BRAM side partitioned into `banks` independent banks (e.g. one per
+/// PE).
+fn memory_cost(bits: u64, banks: u64) -> (u64, u64) {
+    if bits == 0 {
+        return (0, 0);
+    }
+    let banks = banks.max(1);
+    if bits / banks <= LUTRAM_THRESHOLD_BITS {
+        (0, bits.div_ceil(LUTRAM_BITS_PER_LUT))
+    } else {
+        (banks * (bits / banks).div_ceil(BRAM36_BITS), 0)
+    }
+}
+
+/// FPGA resource vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    /// BRAM36 blocks.
+    pub bram36: u64,
+    /// Look-up tables.
+    pub lut: u64,
+    /// Flip-flops.
+    pub ff: u64,
+    /// DSP48 slices.
+    pub dsp: u64,
+}
+
+impl ResourceUsage {
+    /// Zero usage.
+    pub fn zero() -> Self {
+        ResourceUsage::default()
+    }
+}
+
+impl Add for ResourceUsage {
+    type Output = ResourceUsage;
+    fn add(self, rhs: ResourceUsage) -> ResourceUsage {
+        ResourceUsage {
+            bram36: self.bram36 + rhs.bram36,
+            lut: self.lut + rhs.lut,
+            ff: self.ff + rhs.ff,
+            dsp: self.dsp + rhs.dsp,
+        }
+    }
+}
+
+impl AddAssign for ResourceUsage {
+    fn add_assign(&mut self, rhs: ResourceUsage) {
+        *self = *self + rhs;
+    }
+}
+
+/// One placed hardware module.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HlsModule {
+    /// Sliding Window Unit: streams an input feature map and emits one
+    /// `k*k*c_in` window per output pixel (streaming im2col).
+    Swu {
+        /// Input channels.
+        c_in: usize,
+        /// Kernel size.
+        kernel: usize,
+        /// Input feature map height/width.
+        in_hw: (usize, usize),
+        /// Output pixels (`out_h * out_w`).
+        out_pixels: usize,
+        /// SIMD lanes of the consuming MVTU.
+        simd: usize,
+        /// Activation bit width of the stream.
+        act_bits: u32,
+    },
+    /// Matrix-Vector-Threshold Unit: the workhorse executing convs
+    /// (after an SWU) and FC layers.
+    Mvtu {
+        /// Matrix rows (output channels / features).
+        rows: usize,
+        /// Matrix columns per output pixel (`k*k*c_in` or `in_features`).
+        cols: usize,
+        /// Output pixels this MVTU produces per inference (1 for FC).
+        pixels: usize,
+        /// Processing elements.
+        pe: usize,
+        /// SIMD lanes.
+        simd: usize,
+        /// Weight bit width.
+        weight_bits: u32,
+        /// Output activation bit width (8 for raw logits).
+        act_bits: u32,
+        /// Whether threshold units are instantiated (absorbed BN/quant).
+        thresholds: bool,
+    },
+    /// Max-pooling unit.
+    Pool {
+        /// Channels.
+        channels: usize,
+        /// Window size.
+        kernel: usize,
+        /// Input feature-map height/width.
+        in_hw: (usize, usize),
+        /// Activation bit width.
+        act_bits: u32,
+    },
+    /// AdaPEx's stream-duplicating branch module: copies the incoming
+    /// AXI stream into two independent streams (backbone + exit) without
+    /// stalling either (paper Sec. IV-A1).
+    Branch {
+        /// Stream width in bits (`simd * act_bits` of the junction).
+        width_bits: usize,
+        /// Stream transactions per inference.
+        stream_len: usize,
+    },
+    /// Inter-module AXI stream FIFO.
+    Fifo {
+        /// Stream width in bits.
+        width_bits: usize,
+        /// Depth in transactions.
+        depth: usize,
+    },
+}
+
+impl HlsModule {
+    /// Cycles this module needs per inference (its initiation interval
+    /// contribution in the dataflow pipeline).
+    pub fn cycles(&self) -> u64 {
+        match self {
+            HlsModule::Swu {
+                c_in,
+                in_hw,
+                simd,
+                ..
+            } => (in_hw.0 * in_hw.1) as u64 * div_ceil(*c_in, *simd) as u64,
+            HlsModule::Mvtu {
+                rows,
+                cols,
+                pixels,
+                pe,
+                simd,
+                ..
+            } => (*pixels as u64) * div_ceil(*rows, *pe) as u64 * div_ceil(*cols, *simd) as u64,
+            HlsModule::Pool { in_hw, .. } => (in_hw.0 * in_hw.1) as u64,
+            HlsModule::Branch { stream_len, .. } => *stream_len as u64,
+            HlsModule::Fifo { .. } => 0,
+        }
+    }
+
+    /// Estimated resource usage.
+    pub fn resources(&self) -> ResourceUsage {
+        match self {
+            HlsModule::Swu {
+                c_in,
+                kernel,
+                in_hw,
+                simd,
+                act_bits,
+                ..
+            } => {
+                // Line buffer: k rows of the input feature map.
+                let buffer_bits = (*kernel * in_hw.1 * *c_in) as u64 * u64::from(*act_bits);
+                let (bram, mem_lut) = memory_cost(buffer_bits, 1);
+                ResourceUsage {
+                    bram36: bram,
+                    lut: 120 + 8 * *simd as u64 + mem_lut,
+                    ff: 90 + 6 * *simd as u64,
+                    dsp: 0,
+                }
+            }
+            HlsModule::Mvtu {
+                rows,
+                cols,
+                pe,
+                simd,
+                weight_bits,
+                act_bits,
+                thresholds,
+                ..
+            } => {
+                let weight_bits_total = (*rows * *cols) as u64 * u64::from(*weight_bits);
+                // Weight memory is partitioned per PE; small partitions
+                // infer distributed LUTRAM, large ones block RAM.
+                let (bram, weight_lut) = memory_cost(weight_bits_total, *pe as u64);
+                let mac_lut = 3 * u64::from(*weight_bits) * u64::from(*act_bits).max(2);
+                let threshold_lut = if *thresholds {
+                    *pe as u64 * (1u64 << (*act_bits).min(4)) * 8
+                } else {
+                    0
+                };
+                let lut = 150 + (*pe * *simd) as u64 * mac_lut + threshold_lut + weight_lut;
+                ResourceUsage {
+                    bram36: bram,
+                    lut,
+                    ff: 120 + lut * 4 / 5,
+                    // FINN maps narrow-precision MACs onto LUTs.
+                    dsp: if *weight_bits <= 4 { 0 } else { (*pe * *simd) as u64 },
+                }
+            }
+            HlsModule::Pool {
+                channels,
+                kernel,
+                in_hw,
+                act_bits,
+            } => {
+                let buffer_bits = (*kernel * in_hw.1 * *channels) as u64 * u64::from(*act_bits);
+                let (bram, mem_lut) = memory_cost(buffer_bits, 1);
+                ResourceUsage {
+                    bram36: bram,
+                    lut: 60 + *channels as u64 * u64::from(*act_bits) / 2 + mem_lut,
+                    ff: 50 + *channels as u64 * u64::from(*act_bits) / 2,
+                    dsp: 0,
+                }
+            }
+            HlsModule::Branch { width_bits, .. } => ResourceUsage {
+                bram36: 0,
+                lut: 50 + *width_bits as u64,
+                ff: 50 + *width_bits as u64,
+                dsp: 0,
+            },
+            HlsModule::Fifo { width_bits, depth } => {
+                let bits = (*width_bits * *depth) as u64;
+                if *depth > 64 {
+                    // Deep feature-map buffers: LUTRAM when small, BRAM
+                    // beyond the inference threshold.
+                    let (bram, mem_lut) = memory_cost(bits.max(LUTRAM_THRESHOLD_BITS + 1), 1);
+                    ResourceUsage {
+                        bram36: bram,
+                        lut: 80 + mem_lut,
+                        ff: 90,
+                        dsp: 0,
+                    }
+                } else {
+                    // Shallow FIFOs live in shift-register LUTs.
+                    ResourceUsage {
+                        bram36: 0,
+                        lut: 30 + bits / 16,
+                        ff: 40,
+                        dsp: 0,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Short kind label for reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HlsModule::Swu { .. } => "SWU",
+            HlsModule::Mvtu { .. } => "MVTU",
+            HlsModule::Pool { .. } => "Pool",
+            HlsModule::Branch { .. } => "Branch",
+            HlsModule::Fifo { .. } => "FIFO",
+        }
+    }
+}
+
+fn div_ceil(a: usize, b: usize) -> usize {
+    a.div_ceil(b.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mvtu(rows: usize, cols: usize, pixels: usize, pe: usize, simd: usize) -> HlsModule {
+        HlsModule::Mvtu {
+            rows,
+            cols,
+            pixels,
+            pe,
+            simd,
+            weight_bits: 2,
+            act_bits: 2,
+            thresholds: true,
+        }
+    }
+
+    #[test]
+    fn mvtu_cycles_follow_folding_arithmetic() {
+        // 64x576 matrix over 784 pixels at PE=16, SIMD=16:
+        // 784 * (64/16) * (576/16) = 784 * 4 * 36.
+        assert_eq!(mvtu(64, 576, 784, 16, 16).cycles(), 784 * 4 * 36);
+        // Doubling PE halves cycles.
+        assert_eq!(
+            mvtu(64, 576, 784, 32, 16).cycles() * 2,
+            mvtu(64, 576, 784, 16, 16).cycles()
+        );
+    }
+
+    #[test]
+    fn fc_mvtu_is_single_pixel() {
+        assert_eq!(mvtu(512, 256, 1, 8, 8).cycles(), 64 * 32);
+    }
+
+    #[test]
+    fn more_parallel_mvtu_uses_more_luts() {
+        let small = mvtu(64, 576, 784, 4, 4).resources();
+        let big = mvtu(64, 576, 784, 16, 16).resources();
+        assert!(big.lut > small.lut);
+        assert!(big.bram36 >= small.bram36);
+    }
+
+    #[test]
+    fn two_bit_mvtu_uses_no_dsps() {
+        assert_eq!(mvtu(64, 576, 784, 8, 8).resources().dsp, 0);
+        let wide = HlsModule::Mvtu {
+            rows: 64,
+            cols: 576,
+            pixels: 784,
+            pe: 8,
+            simd: 8,
+            weight_bits: 8,
+            act_bits: 8,
+            thresholds: false,
+        };
+        assert!(wide.resources().dsp > 0);
+    }
+
+    #[test]
+    fn pruned_weight_memory_shrinks() {
+        // Full-CNV-scale matrices live in BRAM and shrink with pruning.
+        let full = mvtu(256, 2304, 9, 8, 8).resources();
+        let pruned = mvtu(128, 1152, 9, 8, 8).resources();
+        assert!(pruned.bram36 < full.bram36);
+        // Reproduction-scale matrices live in LUTRAM and still shrink.
+        let small_full = mvtu(16, 144, 9, 2, 2).resources();
+        let small_pruned = mvtu(8, 72, 9, 2, 2).resources();
+        assert_eq!(small_full.bram36, 0);
+        assert!(small_pruned.lut < small_full.lut);
+    }
+
+    #[test]
+    fn swu_cycles_are_stream_bound() {
+        let swu = HlsModule::Swu {
+            c_in: 16,
+            kernel: 3,
+            in_hw: (32, 32),
+            out_pixels: 900,
+            simd: 4,
+            act_bits: 2,
+        };
+        assert_eq!(swu.cycles(), 1024 * 4);
+        // 3x32x16x2 = 3072 bits of line buffer: small enough for LUTRAM.
+        let r = swu.resources();
+        assert_eq!(r.bram36, 0);
+        assert!(r.lut > 120 + 8 * 4, "line buffer must cost LUTs");
+        // A full-width CNV SWU (64ch, 8-bit) exceeds the LUTRAM bound.
+        let big = HlsModule::Swu {
+            c_in: 64,
+            kernel: 3,
+            in_hw: (32, 32),
+            out_pixels: 900,
+            simd: 4,
+            act_bits: 8,
+        };
+        assert!(big.resources().bram36 >= 1);
+    }
+
+    #[test]
+    fn deep_fifo_moves_to_bram() {
+        let shallow = HlsModule::Fifo {
+            width_bits: 16,
+            depth: 32,
+        };
+        let deep = HlsModule::Fifo {
+            width_bits: 16,
+            depth: 1024,
+        };
+        assert_eq!(shallow.resources().bram36, 0);
+        assert!(deep.resources().bram36 >= 1);
+        assert_eq!(shallow.cycles(), 0);
+    }
+
+    #[test]
+    fn branch_is_cheap_and_stall_free() {
+        let b = HlsModule::Branch {
+            width_bits: 8,
+            stream_len: 784,
+        };
+        // Pass-through: cycles equal the stream length, no BRAM of its own.
+        assert_eq!(b.cycles(), 784);
+        assert_eq!(b.resources().bram36, 0);
+        assert_eq!(b.kind(), "Branch");
+    }
+
+    #[test]
+    fn resource_addition() {
+        let a = ResourceUsage {
+            bram36: 1,
+            lut: 10,
+            ff: 5,
+            dsp: 0,
+        };
+        let mut sum = a + a;
+        sum += a;
+        assert_eq!(sum.bram36, 3);
+        assert_eq!(sum.lut, 30);
+    }
+}

@@ -1,0 +1,85 @@
+//! Synthesis report: what Vivado + Verilator would tell you.
+
+use crate::modules::ResourceUsage;
+use serde::{Deserialize, Serialize};
+
+/// Static synthesis results for one accelerator (all-inputs-full-depth
+/// operating point; use [`Accelerator::performance`] for exit-fraction
+/// aware numbers).
+///
+/// [`Accelerator::performance`]: crate::compiler::Accelerator::performance
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthesisReport {
+    /// Clock frequency in MHz.
+    pub clock_mhz: f64,
+    /// Total placed resources.
+    pub resources: ResourceUsage,
+    /// Device utilization fractions `(lut, ff, bram, dsp)`.
+    pub utilization: (f64, f64, f64, f64),
+    /// Static initiation interval in cycles (slowest module, all active).
+    pub ii_cycles: u64,
+    /// Pipeline throughput at the static II, in inferences per second.
+    pub throughput_ips: f64,
+    /// Pipeline latency to each exit in milliseconds (early exits first,
+    /// final backbone exit last).
+    pub latency_to_exit_ms: Vec<f64>,
+    /// Board power with every module fully active, in watts.
+    pub power_all_active_w: f64,
+    /// Full-reconfiguration time for this device, in milliseconds.
+    pub reconfig_time_ms: f64,
+    /// Total multiply-accumulates per full-depth inference.
+    pub backbone_macs: u64,
+}
+
+impl SynthesisReport {
+    /// Latency to the final (backbone) exit in milliseconds.
+    pub fn final_latency_ms(&self) -> f64 {
+        *self
+            .latency_to_exit_ms
+            .last()
+            .expect("at least the final exit exists")
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:.1} MHz | II {} cy | {:.0} IPS | lat {:.2} ms | LUT {:.1}% BRAM {:.1}% | {:.2} W",
+            self.clock_mhz,
+            self.ii_cycles,
+            self.throughput_ips,
+            self.final_latency_ms(),
+            self.utilization.0 * 100.0,
+            self.utilization.2 * 100.0,
+            self.power_all_active_w,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_renders() {
+        let r = SynthesisReport {
+            clock_mhz: 100.0,
+            resources: ResourceUsage {
+                bram36: 10,
+                lut: 1000,
+                ff: 800,
+                dsp: 0,
+            },
+            utilization: (0.1, 0.05, 0.2, 0.0),
+            ii_cycles: 1000,
+            throughput_ips: 100_000.0,
+            latency_to_exit_ms: vec![0.5, 1.5],
+            power_all_active_w: 1.2,
+            reconfig_time_ms: 145.0,
+            backbone_macs: 1_000_000,
+        };
+        assert_eq!(r.final_latency_ms(), 1.5);
+        let s = r.summary();
+        assert!(s.contains("100000 IPS") || s.contains("100000"), "{s}");
+        assert!(s.contains("1.2"), "{s}");
+    }
+}

@@ -1,0 +1,249 @@
+//! Discrete-event stream simulation of a placed accelerator.
+//!
+//! The paper extracts performance with Verilator RTL simulations; this
+//! module is the analytical model's cross-check at that level: it pushes
+//! individual inferences through the [`DataflowGraph`] as a pipeline of
+//! busy/free stages, honouring module service times, the branch fork at
+//! every exit junction, and AdaPEx's stream gating (an inference that
+//! accepts an early exit never occupies the deeper backbone stages).
+//!
+//! The simulated steady-state initiation interval converges to
+//! [`DataflowGraph::effective_ii`] and unloaded latencies equal
+//! [`DataflowGraph::path_cycles_to_exit`] — the estimator tests pin this
+//! agreement down.
+
+use crate::graph::DataflowGraph;
+use serde::{Deserialize, Serialize};
+
+/// Result of one stream simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamSimReport {
+    /// Inferences completed.
+    pub completed: usize,
+    /// Completion timestamp (cycles) of every inference, in input order.
+    pub completion_cycles: Vec<u64>,
+    /// Latency (cycles) of every inference, in input order.
+    pub latency_cycles: Vec<u64>,
+    /// Steady-state initiation interval estimate: mean inter-completion
+    /// gap over the second half of the run.
+    pub steady_ii_cycles: f64,
+    /// Mean latency in cycles per exit (index = exit ordinal, final
+    /// backbone exit last); `None` when no inference took that exit.
+    pub mean_latency_by_exit: Vec<Option<f64>>,
+}
+
+impl StreamSimReport {
+    /// Simulated sustained throughput in inferences per second at
+    /// `clock_mhz`.
+    pub fn throughput_ips(&self, clock_mhz: f64) -> f64 {
+        if self.steady_ii_cycles <= 0.0 {
+            return 0.0;
+        }
+        clock_mhz * 1.0e6 / self.steady_ii_cycles
+    }
+}
+
+/// Simulates `assignments.len()` back-to-back inferences through the
+/// graph; `assignments[i]` is the exit inference `i` takes (early exits
+/// first, `graph.exits.len()` = final backbone exit).
+///
+/// Inferences are offered as fast as the pipeline accepts them, so the
+/// measured inter-completion gap is the pipeline's intrinsic initiation
+/// interval under that exit mix.
+///
+/// # Panics
+///
+/// Panics if an assignment names a nonexistent exit.
+pub fn simulate_stream(graph: &DataflowGraph, assignments: &[usize]) -> StreamSimReport {
+    let num_exits = graph.num_exits();
+    for &e in assignments {
+        assert!(e < num_exits, "exit {e} out of range {num_exits}");
+    }
+    // Every module's next-free timestamp, in cycles.
+    let mut free_at = vec![0u64; graph.modules.len()];
+    let mut completions = Vec::with_capacity(assignments.len());
+    let mut latencies = Vec::with_capacity(assignments.len());
+    let mut latency_sum = vec![0u64; num_exits];
+    let mut latency_count = vec![0usize; num_exits];
+
+    for &exit in assignments {
+        // An inference enters as soon as the first stage can take it.
+        let entered = *free_at.first().unwrap_or(&0);
+        let mut ready = entered;
+        // Traverse the backbone up to (and including) the junction for an
+        // early exit, or the whole backbone for the final exit.
+        let junction = if exit < graph.exits.len() {
+            graph.exits[exit].junction_after
+        } else {
+            graph.backbone_order.len().saturating_sub(1)
+        };
+        for (pos, &mi) in graph.backbone_order.iter().enumerate() {
+            if pos > junction {
+                break;
+            }
+            let start = ready.max(free_at[mi]);
+            let finish = start + graph.modules[mi].module.cycles();
+            free_at[mi] = finish;
+            ready = finish;
+        }
+        if exit < graph.exits.len() {
+            for &mi in &graph.exits[exit].modules {
+                let start = ready.max(free_at[mi]);
+                let finish = start + graph.modules[mi].module.cycles();
+                free_at[mi] = finish;
+                ready = finish;
+            }
+        }
+        completions.push(ready);
+        latencies.push(ready - entered);
+        latency_sum[exit] += ready - entered;
+        latency_count[exit] += 1;
+    }
+
+    // Steady-state II from the second half of the completion stream.
+    let steady_ii = if completions.len() >= 4 {
+        let half = completions.len() / 2;
+        let span = completions[completions.len() - 1].saturating_sub(completions[half - 1]);
+        span as f64 / (completions.len() - half) as f64
+    } else if completions.len() >= 2 {
+        (completions[completions.len() - 1] - completions[0]) as f64
+            / (completions.len() - 1) as f64
+    } else {
+        0.0
+    };
+
+    StreamSimReport {
+        completed: completions.len(),
+        steady_ii_cycles: steady_ii,
+        mean_latency_by_exit: latency_sum
+            .iter()
+            .zip(&latency_count)
+            .map(|(&s, &c)| if c == 0 { None } else { Some(s as f64 / c as f64) })
+            .collect(),
+        completion_cycles: completions,
+        latency_cycles: latencies,
+    }
+}
+
+/// Builds a deterministic exit-assignment stream matching target exit
+/// fractions (early exits first, final last): the paper's runtime sees a
+/// mixed input stream, so the simulator round-robins exits in proportion.
+///
+/// # Panics
+///
+/// Panics unless `fractions` has one entry per exit summing to ~1.
+pub fn assignments_from_fractions(fractions: &[f64], count: usize) -> Vec<usize> {
+    assert!(!fractions.is_empty(), "at least one exit fraction");
+    let sum: f64 = fractions.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-6, "fractions must sum to 1, got {sum}");
+    // Largest-remainder style accumulation keeps the mix exact over time.
+    let mut acc = vec![0.0f64; fractions.len()];
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        for (a, f) in acc.iter_mut().zip(fractions) {
+            *a += f;
+        }
+        let pick = acc
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        acc[pick] -= 1.0;
+        out.push(pick);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::compile;
+    use crate::device::FpgaDevice;
+    use crate::folding::FoldingConfig;
+    use crate::ir::ModelIr;
+    use adapex_nn::cnv::{CnvConfig, ExitsConfig};
+
+    fn compiled() -> crate::compiler::Accelerator {
+        let net = CnvConfig::tiny().build_early_exit(10, &ExitsConfig::paper_default(), 1);
+        let ir = ModelIr::from_summary(&net.summarize());
+        let folding = FoldingConfig::balanced(&ir, 100_000, 2.0);
+        compile(&ir, &folding, &FpgaDevice::zcu104(), 100.0).expect("compiles")
+    }
+
+    #[test]
+    fn single_inference_latency_matches_analytical_path() {
+        let acc = compiled();
+        let g = acc.graph();
+        for exit in 0..g.num_exits() {
+            let report = simulate_stream(g, &[exit]);
+            assert_eq!(
+                report.latency_cycles[0],
+                g.path_cycles_to_exit(exit),
+                "exit {exit}"
+            );
+        }
+    }
+
+    #[test]
+    fn steady_ii_converges_to_analytical_effective_ii() {
+        let acc = compiled();
+        let g = acc.graph();
+        for fractions in [
+            vec![0.0, 0.0, 1.0],
+            vec![1.0, 0.0, 0.0],
+            vec![0.5, 0.2, 0.3],
+            vec![0.85, 0.1, 0.05],
+        ] {
+            let assignments = assignments_from_fractions(&fractions, 400);
+            let report = simulate_stream(g, &assignments);
+            let analytical = g.effective_ii(&fractions);
+            let ratio = report.steady_ii_cycles / analytical;
+            assert!(
+                (0.9..=1.35).contains(&ratio),
+                "fractions {fractions:?}: simulated {:.0} vs analytical {analytical:.0} (ratio {ratio:.3})",
+                report.steady_ii_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn completions_are_monotone() {
+        let acc = compiled();
+        let assignments = assignments_from_fractions(&[0.6, 0.2, 0.2], 100);
+        let report = simulate_stream(acc.graph(), &assignments);
+        assert_eq!(report.completed, 100);
+        // The per-exit completion order can interleave, but time never
+        // runs backwards for the same exit path; overall throughput is
+        // positive.
+        assert!(report.throughput_ips(100.0) > 0.0);
+        assert!(report.mean_latency_by_exit.iter().flatten().all(|&l| l > 0.0));
+    }
+
+    #[test]
+    fn early_exit_mix_completes_sooner_in_total() {
+        let acc = compiled();
+        let g = acc.graph();
+        let all_final = simulate_stream(g, &assignments_from_fractions(&[0.0, 0.0, 1.0], 200));
+        let mostly_early = simulate_stream(g, &assignments_from_fractions(&[0.9, 0.05, 0.05], 200));
+        assert!(
+            mostly_early.completion_cycles.last() < all_final.completion_cycles.last(),
+            "gated stream must finish earlier"
+        );
+    }
+
+    #[test]
+    fn assignment_mix_is_exact() {
+        let a = assignments_from_fractions(&[0.25, 0.25, 0.5], 200);
+        let count = |e: usize| a.iter().filter(|&&x| x == e).count();
+        assert_eq!(count(0), 50);
+        assert_eq!(count(1), 50);
+        assert_eq!(count(2), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions must sum to 1")]
+    fn rejects_bad_fractions() {
+        assignments_from_fractions(&[0.5, 0.2], 10);
+    }
+}

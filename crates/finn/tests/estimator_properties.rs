@@ -1,0 +1,132 @@
+//! Property-based tests of the hardware estimators: folding arithmetic,
+//! monotonicity, and compilation determinism.
+
+use adapex_nn::cnv::{CnvConfig, ExitsConfig};
+use finn_dataflow::{compile, FoldingConfig, FpgaDevice, HlsModule, ModelIr};
+use proptest::prelude::*;
+
+fn mvtu(rows: usize, cols: usize, pixels: usize, pe: usize, simd: usize) -> HlsModule {
+    HlsModule::Mvtu {
+        rows,
+        cols,
+        pixels,
+        pe,
+        simd,
+        weight_bits: 2,
+        act_bits: 2,
+        thresholds: true,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cycles never increase when parallelism grows.
+    #[test]
+    fn mvtu_cycles_monotone_in_parallelism(
+        rows in 1usize..128,
+        cols in 1usize..512,
+        pixels in 1usize..1024,
+        pe in 1usize..16,
+        simd in 1usize..16,
+    ) {
+        let base = mvtu(rows, cols, pixels, pe, simd).cycles();
+        let more_pe = mvtu(rows, cols, pixels, pe + 1, simd).cycles();
+        let more_simd = mvtu(rows, cols, pixels, pe, simd + 1).cycles();
+        prop_assert!(more_pe <= base);
+        prop_assert!(more_simd <= base);
+    }
+
+    /// The folding arithmetic is exact when the divisors divide.
+    #[test]
+    fn mvtu_cycles_exact_for_even_folds(
+        rows_factor in 1usize..8,
+        cols_factor in 1usize..8,
+        pe in 1usize..8,
+        simd in 1usize..8,
+        pixels in 1usize..256,
+    ) {
+        let rows = rows_factor * pe;
+        let cols = cols_factor * simd;
+        let cycles = mvtu(rows, cols, pixels, pe, simd).cycles();
+        prop_assert_eq!(cycles, (pixels * rows_factor * cols_factor) as u64);
+    }
+
+    /// Weight memory (BRAM) never shrinks when the matrix grows.
+    #[test]
+    fn mvtu_bram_monotone_in_matrix_size(
+        rows in 1usize..128,
+        cols in 1usize..512,
+        extra in 1usize..64,
+    ) {
+        let small = mvtu(rows, cols, 1, 1, 1).resources().bram36;
+        let bigger = mvtu(rows + extra, cols, 1, 1, 1).resources().bram36;
+        prop_assert!(bigger >= small);
+    }
+
+    /// A legal balanced folding exists for any budget, and compilation
+    /// is deterministic.
+    #[test]
+    fn compilation_is_total_and_deterministic(target in 20_000u64..2_000_000) {
+        let net = CnvConfig::tiny().build_early_exit(10, &ExitsConfig::paper_default(), 1);
+        let ir = ModelIr::from_summary(&net.summarize());
+        let folding = FoldingConfig::balanced(&ir, target, 2.0);
+        let device = FpgaDevice::zcu104();
+        let a = compile(&ir, &folding, &device, 100.0);
+        let b = compile(&ir, &folding, &device, 100.0);
+        prop_assert!(a.is_ok());
+        prop_assert_eq!(a.expect("checked"), b.expect("checked"));
+    }
+
+    /// A smaller cycle budget never produces a slower accelerator.
+    #[test]
+    fn tighter_budget_is_never_slower(lo in 20_000u64..200_000, hi_mult in 2u64..8) {
+        let net = CnvConfig::tiny().build(10, 1);
+        let ir = ModelIr::from_summary(&net.summarize());
+        let device = FpgaDevice::zcu104();
+        let tight = compile(&ir, &FoldingConfig::balanced(&ir, lo, 1.0), &device, 100.0)
+            .expect("compiles");
+        let loose = compile(&ir, &FoldingConfig::balanced(&ir, lo * hi_mult, 1.0), &device, 100.0)
+            .expect("compiles");
+        prop_assert!(tight.report().throughput_ips + 1e-9 >= loose.report().throughput_ips);
+    }
+
+    /// Performance evaluation respects the probability simplex: any
+    /// valid exit mix yields finite, positive numbers bounded by the
+    /// all-final/all-early extremes.
+    #[test]
+    fn performance_is_well_behaved(f0 in 0.0f64..1.0, f1_frac in 0.0f64..1.0) {
+        let net = CnvConfig::tiny().build_early_exit(10, &ExitsConfig::paper_default(), 1);
+        let ir = ModelIr::from_summary(&net.summarize());
+        let acc = compile(
+            &ir,
+            &FoldingConfig::balanced(&ir, 100_000, 2.0),
+            &FpgaDevice::zcu104(),
+            100.0,
+        ).expect("compiles");
+        let f1 = (1.0 - f0) * f1_frac;
+        let f2 = 1.0 - f0 - f1;
+        let p = acc.performance(&[f0, f1, f2]);
+        prop_assert!(p.ips > 0.0 && p.ips.is_finite());
+        prop_assert!(p.avg_latency_ms >= 0.0);
+        prop_assert!(p.power_w > 0.0);
+        prop_assert!(p.energy_per_inference_mj > 0.0);
+        // The effective II is a max of functions linear in the mix, so it
+        // is convex: any mix is bounded by the worst pure-exit vertex,
+        // and the average latency is a convex combination of the path
+        // latencies. (An exit branch may be slower than the remaining
+        // backbone, so neither metric is monotone towards "earlier".)
+        let vertices: Vec<_> = (0..3)
+            .map(|e| {
+                let mut fr = [0.0; 3];
+                fr[e] = 1.0;
+                acc.performance(&fr)
+            })
+            .collect();
+        let worst_ips = vertices.iter().map(|v| v.ips).fold(f64::INFINITY, f64::min);
+        prop_assert!(p.ips + 1e-6 >= worst_ips);
+        let lo = vertices.iter().map(|v| v.avg_latency_ms).fold(f64::INFINITY, f64::min);
+        let hi = vertices.iter().map(|v| v.avg_latency_ms).fold(0.0, f64::max);
+        prop_assert!(p.avg_latency_ms >= lo - 1e-9 && p.avg_latency_ms <= hi + 1e-9);
+    }
+}

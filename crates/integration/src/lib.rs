@@ -1,0 +1,3 @@
+//! Anchor crate for the workspace-level integration tests living in the
+//! repository root's `tests/` directory (see `Cargo.toml`'s `[[test]]`
+//! entries). The crate itself exports nothing.

@@ -1,0 +1,52 @@
+//! Internal calibration tool: trains the reproduction-scale CNV on both
+//! synthetic datasets and prints accuracy per exit — used to tune dataset
+//! noise so accuracy bands land near the paper's (CIFAR-10 ~89 %, GTSRB
+//! ~70 %). Run with `cargo run --release -p adapex-nn --example calibrate`.
+
+use adapex_dataset::{DatasetKind, SyntheticConfig};
+use adapex_nn::cnv::{CnvConfig, ExitsConfig};
+use adapex_nn::eval::evaluate_exits;
+use adapex_nn::train::{TrainConfig, Trainer};
+use std::time::Instant;
+
+fn main() {
+    let width: usize = std::env::var("W").ok().and_then(|v| v.parse().ok()).unwrap_or(16);
+    let epochs: usize = std::env::var("E").ok().and_then(|v| v.parse().ok()).unwrap_or(8);
+    let train_n: usize = std::env::var("N").ok().and_then(|v| v.parse().ok()).unwrap_or(2000);
+    for kind in [DatasetKind::Cifar10Like, DatasetKind::GtsrbLike] {
+        // GTSRB has 4.3x more classes; keep samples-per-class comparable.
+        let scale = kind.num_classes() as f64 / 10.0;
+        let n = (train_n as f64 * scale) as usize;
+        let extra = if kind == DatasetKind::GtsrbLike { 4 } else { 0 };
+        let data = SyntheticConfig::new(kind).with_sizes(n, 500).generate();
+        let mut net = CnvConfig::scaled(width).build_early_exit(
+            kind.num_classes(),
+            &ExitsConfig::paper_default(),
+            42,
+        );
+        let cfg = TrainConfig {
+            epochs: epochs + extra,
+            ..TrainConfig::repro_default()
+        };
+        let t0 = Instant::now();
+        let hist = Trainer::new(cfg).fit(&mut net, &data, 7);
+        let train_time = t0.elapsed();
+        let eval = evaluate_exits(&mut net, &data.test);
+        println!(
+            "{kind}: train {train_time:.1?} loss {:?} train-acc {:.3}",
+            hist.epoch_losses, hist.final_train_accuracy
+        );
+        for e in 0..eval.num_exits() {
+            println!("  exit {e}: standalone acc {:.3}", eval.exit_accuracy(e));
+        }
+        for ct in [0.05f32, 0.5, 0.95] {
+            let r = eval.at_threshold(ct);
+            println!(
+                "  CT {:>4.0}%: acc {:.3} fractions {:?}",
+                ct * 100.0,
+                r.accuracy,
+                r.exit_fractions.iter().map(|f| (f * 100.0).round()).collect::<Vec<_>>()
+            );
+        }
+    }
+}

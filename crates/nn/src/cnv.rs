@@ -1,0 +1,303 @@
+//! The CNV topology (FINN's VGG-like CNN) with configurable width and the
+//! paper's early-exit placement.
+//!
+//! Full CNV is `2x(conv-BN-act) pool` twice, `2x(conv-BN-act)`, then three
+//! FC layers, with 64/128/256 conv channels and 512-wide FCs. The
+//! reproduction keeps the exact block structure but scales all channel
+//! counts by a **width multiplier** so CPU training stays tractable
+//! (DESIGN.md §1). `CnvConfig { width: 64 }` is bit-for-bit the paper's
+//! CNVW2A2 topology.
+
+use crate::layers::{BatchNorm, Layer, MaxPool2d, QuantConv2d, QuantLinear, QuantReLU};
+use crate::network::{EarlyExitNetwork, ExitBranch};
+use crate::quant::QuantSpec;
+use adapex_tensor::conv::ConvGeometry;
+use adapex_tensor::rng::rng_from_seed;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Width/precision configuration of a CNV instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CnvConfig {
+    /// Channel multiplier: conv blocks get `w, w, 2w, 2w, 4w, 4w`
+    /// channels and FCs are `8w` wide. Full CNV is `width = 64`.
+    pub width: usize,
+    /// Weight bit width (2 for CNVW2A2).
+    pub weight_bits: u32,
+    /// Activation bit width (2 for CNVW2A2).
+    pub act_bits: u32,
+}
+
+impl CnvConfig {
+    /// The paper's full CNVW2A2 (64/128/256 channels, 512-wide FCs).
+    pub fn cnv_w2a2() -> Self {
+        CnvConfig {
+            width: 64,
+            weight_bits: 2,
+            act_bits: 2,
+        }
+    }
+
+    /// Width-scaled CNVW2A2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn scaled(width: usize) -> Self {
+        assert!(width > 0, "width must be positive");
+        CnvConfig {
+            width,
+            weight_bits: 2,
+            act_bits: 2,
+        }
+    }
+
+    /// The reproduction's default training scale (width 16).
+    pub fn repro_default() -> Self {
+        CnvConfig::scaled(16)
+    }
+
+    /// Minimal scale for unit tests (width 4).
+    pub fn tiny() -> Self {
+        CnvConfig::scaled(4)
+    }
+
+    /// Conv-block output channel counts `[w, w, 2w, 2w, 4w, 4w]`.
+    pub fn conv_channels(&self) -> [usize; 6] {
+        let w = self.width;
+        [w, w, 2 * w, 2 * w, 4 * w, 4 * w]
+    }
+
+    /// FC hidden width (`8w`; 512 for full CNV).
+    pub fn fc_width(&self) -> usize {
+        8 * self.width
+    }
+
+    fn wspec(&self) -> QuantSpec {
+        QuantSpec::signed(self.weight_bits)
+    }
+
+    fn act(&self) -> QuantReLU {
+        QuantReLU::new(QuantSpec::unsigned(self.act_bits), 2.0)
+    }
+
+    /// Builds the plain (no-early-exit) CNV backbone.
+    pub fn build(&self, num_classes: usize, seed: u64) -> EarlyExitNetwork {
+        let mut rng = rng_from_seed(seed);
+        let backbone = self.build_backbone(num_classes, &mut rng);
+        EarlyExitNetwork::new(backbone, Vec::new(), vec![3, 32, 32], num_classes)
+    }
+
+    /// Builds CNV with early exits attached per `exits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exits.after_blocks` names a block other than 1 or 2
+    /// (block 3's 1x1 maps cannot host the paper's 3x3 exit conv).
+    pub fn build_early_exit(
+        &self,
+        num_classes: usize,
+        exits: &ExitsConfig,
+        seed: u64,
+    ) -> EarlyExitNetwork {
+        let mut rng = rng_from_seed(seed);
+        let backbone = self.build_backbone(num_classes, &mut rng);
+        let mut branches = Vec::new();
+        for &block in &exits.after_blocks {
+            branches.push(self.build_exit(block, num_classes, &mut rng));
+        }
+        branches.sort_by_key(|b| b.attach_after);
+        EarlyExitNetwork::new(backbone, branches, vec![3, 32, 32], num_classes)
+    }
+
+    /// Backbone layers. Indices (documented because exits attach by
+    /// index): conv activations after conv2 and conv4 sit at 5 and 12.
+    fn build_backbone(&self, num_classes: usize, rng: &mut StdRng) -> Vec<Layer> {
+        let ch = self.conv_channels();
+        let ws = self.wspec();
+        let g = ConvGeometry::new(3); // CNV uses unpadded 3x3 convs
+        let mut layers = Vec::new();
+        let push_conv = |layers: &mut Vec<Layer>, cin: usize, cout: usize, rng: &mut StdRng| {
+            layers.push(Layer::Conv(QuantConv2d::new(cin, cout, g, ws, rng)));
+            layers.push(Layer::Norm(BatchNorm::new(cout)));
+            layers.push(Layer::Act(self.act()));
+        };
+        // Block 1: 32 -> 30 -> 28 -> pool -> 14
+        push_conv(&mut layers, 3, ch[0], rng);
+        push_conv(&mut layers, ch[0], ch[1], rng);
+        layers.push(Layer::Pool(MaxPool2d::new(2)));
+        // Block 2: 14 -> 12 -> 10 -> pool -> 5
+        push_conv(&mut layers, ch[1], ch[2], rng);
+        push_conv(&mut layers, ch[2], ch[3], rng);
+        layers.push(Layer::Pool(MaxPool2d::new(2)));
+        // Block 3: 5 -> 3 -> 1
+        push_conv(&mut layers, ch[3], ch[4], rng);
+        push_conv(&mut layers, ch[4], ch[5], rng);
+        // Classifier.
+        let fc = self.fc_width();
+        layers.push(Layer::Flatten);
+        layers.push(Layer::Linear(QuantLinear::new(ch[5], fc, ws, rng)));
+        layers.push(Layer::Norm(BatchNorm::new(fc)));
+        layers.push(Layer::Act(self.act()));
+        layers.push(Layer::Linear(QuantLinear::new(fc, fc, ws, rng)));
+        layers.push(Layer::Norm(BatchNorm::new(fc)));
+        layers.push(Layer::Act(self.act()));
+        layers.push(Layer::Linear(QuantLinear::new(fc, num_classes, ws, rng)));
+        layers
+    }
+
+    /// One exit branch per the paper's recipe (Sec. IV-A1): a conv with
+    /// the host block's configuration, a `k = ⌊DIM/2⌋` max-pool that
+    /// shrinks the map to 2x2 (making FPGA synthesis of the following FCs
+    /// feasible), then two FC layers configured like CNV's own.
+    fn build_exit(&self, block: usize, num_classes: usize, rng: &mut StdRng) -> ExitBranch {
+        let ch = self.conv_channels();
+        let ws = self.wspec();
+        let g = ConvGeometry::new(3);
+        let fc = self.fc_width();
+        // (attach index, channels, conv output DIM) per host block; see
+        // build_backbone for the index layout.
+        let (attach_after, c, dim_after_conv) = match block {
+            1 => (5usize, ch[1], 26usize),  // 28x28 map -> conv -> 26
+            2 => (12, ch[3], 8),            // 10x10 map -> conv -> 8
+            other => panic!("exits are supported after blocks 1 and 2, not {other}"),
+        };
+        let pool_k = dim_after_conv / 2; // paper: k = floor(DIM/2) -> 2x2 map
+        let features = c * 2 * 2;
+        let layers = vec![
+            Layer::Conv(QuantConv2d::new(c, c, g, ws, rng)),
+            Layer::Norm(BatchNorm::new(c)),
+            Layer::Act(self.act()),
+            Layer::Pool(MaxPool2d::new(pool_k)),
+            Layer::Flatten,
+            Layer::Linear(QuantLinear::new(features, fc, ws, rng)),
+            Layer::Norm(BatchNorm::new(fc)),
+            Layer::Act(self.act()),
+            Layer::Linear(QuantLinear::new(fc, num_classes, ws, rng)),
+        ];
+        ExitBranch {
+            attach_after,
+            layers,
+        }
+    }
+}
+
+/// Where and how early exits attach — the paper's "Exits Configuration"
+/// input to the library generator (Fig. 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExitsConfig {
+    /// Host blocks (1-based). The paper's case study uses `[1, 2]`.
+    pub after_blocks: Vec<usize>,
+    /// Joint-loss weight of the first exit (paper: 1.0).
+    pub first_exit_weight: f32,
+    /// Joint-loss weight of every later exit including the final one
+    /// (paper: 0.3).
+    pub other_exit_weight: f32,
+    /// Whether dataflow-aware pruning should also prune the exits' conv
+    /// layers — the paper's `pruned` flag (Sec. IV-A2).
+    pub prune_exits: bool,
+}
+
+impl ExitsConfig {
+    /// The paper's case-study configuration: exits after blocks 1 and 2,
+    /// loss weights 1.0/0.3, exits not pruned.
+    pub fn paper_default() -> Self {
+        ExitsConfig {
+            after_blocks: vec![1, 2],
+            first_exit_weight: 1.0,
+            other_exit_weight: 0.3,
+            prune_exits: false,
+        }
+    }
+
+    /// Joint-loss weights for a network with `num_exits` total exits
+    /// (early + final), first exit weighted `first_exit_weight`.
+    pub fn loss_weights(&self, num_exits: usize) -> Vec<f32> {
+        (0..num_exits)
+            .map(|i| {
+                if i == 0 && num_exits > 1 {
+                    self.first_exit_weight
+                } else {
+                    self.other_exit_weight
+                }
+            })
+            .collect()
+    }
+}
+
+impl Default for ExitsConfig {
+    fn default() -> Self {
+        ExitsConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Activation;
+
+    #[test]
+    fn full_cnv_has_paper_channel_counts() {
+        let cfg = CnvConfig::cnv_w2a2();
+        assert_eq!(cfg.conv_channels(), [64, 64, 128, 128, 256, 256]);
+        assert_eq!(cfg.fc_width(), 512);
+    }
+
+    #[test]
+    fn backbone_shapes_propagate_to_logits() {
+        let mut net = CnvConfig::tiny().build(10, 3);
+        let x = Activation::zeros(2, &[3, 32, 32]);
+        let outs = net.forward(&x, false);
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].dims, vec![10]);
+    }
+
+    #[test]
+    fn early_exit_build_matches_paper_layout() {
+        let net = CnvConfig::tiny().build_early_exit(10, &ExitsConfig::paper_default(), 3);
+        assert_eq!(net.num_exits(), 3);
+        assert_eq!(net.exits[0].attach_after, 5);
+        assert_eq!(net.exits[1].attach_after, 12);
+        // Exit branch: conv, bn, act, pool, flatten, fc, bn, act, fc.
+        assert_eq!(net.exits[0].layers.len(), 9);
+    }
+
+    #[test]
+    fn early_exit_forward_shapes() {
+        let mut net = CnvConfig::tiny().build_early_exit(43, &ExitsConfig::paper_default(), 3);
+        let x = Activation::zeros(1, &[3, 32, 32]);
+        let outs = net.forward(&x, false);
+        assert_eq!(outs.len(), 3);
+        for o in &outs {
+            assert_eq!(o.dims, vec![43]);
+        }
+    }
+
+    #[test]
+    fn loss_weights_follow_paper() {
+        let cfg = ExitsConfig::paper_default();
+        assert_eq!(cfg.loss_weights(3), vec![1.0, 0.3, 0.3]);
+        assert_eq!(cfg.loss_weights(1), vec![0.3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exits are supported after blocks 1 and 2")]
+    fn rejects_block_three_exit() {
+        let cfg = ExitsConfig {
+            after_blocks: vec![3],
+            ..ExitsConfig::paper_default()
+        };
+        CnvConfig::tiny().build_early_exit(10, &cfg, 1);
+    }
+
+    #[test]
+    fn seeding_reproduces_weights() {
+        let mut a = CnvConfig::tiny().build(10, 9);
+        let mut b = CnvConfig::tiny().build(10, 9);
+        assert_eq!(a.param_count(), b.param_count());
+        let x = Activation::new((0..3 * 32 * 32).map(|v| (v as f32 * 0.01).sin()).collect(), 1, vec![3, 32, 32]);
+        let ya = a.forward(&x, false);
+        let yb = b.forward(&x, false);
+        assert_eq!(ya[0].data, yb[0].data);
+    }
+}

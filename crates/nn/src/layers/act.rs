@@ -1,0 +1,132 @@
+use super::Activation;
+use crate::quant::{fake_quantize, QuantSpec};
+use serde::{Deserialize, Serialize};
+
+/// Quantized ReLU: clamp to `[0, clip]`, then snap onto the unsigned
+/// quantization grid (A2 in CNVW2A2 means 2-bit activations, i.e. four
+/// levels). Backward uses the straight-through estimator: gradient passes
+/// where the pre-activation lies strictly inside the clipping window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantReLU {
+    /// Activation quantizer (unsigned).
+    pub spec: QuantSpec,
+    /// Upper clipping bound (the learned `alpha` in PACT-style schemes;
+    /// fixed here).
+    pub clip: f32,
+    #[serde(skip)]
+    cache: Option<ActCache>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct ActCache {
+    mask: Vec<f32>,
+    n: usize,
+    dims: Vec<usize>,
+}
+
+impl QuantReLU {
+    /// New activation with the given quantizer and clip bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` is signed or `clip` is not positive.
+    pub fn new(spec: QuantSpec, clip: f32) -> Self {
+        assert!(!spec.signed, "activation quantizer must be unsigned");
+        assert!(clip > 0.0, "clip bound must be positive");
+        QuantReLU {
+            spec,
+            clip,
+            cache: None,
+        }
+    }
+
+    /// The paper's A2 activation: 2-bit unsigned with clip 2.0.
+    pub fn a2() -> Self {
+        QuantReLU::new(QuantSpec::unsigned(2), 2.0)
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Activation, train: bool) -> Activation {
+        let scale = self.clip / self.spec.q_max() as f32;
+        let mut out = Activation::zeros(x.n, &x.dims);
+        let mut mask = vec![0.0f32; x.data.len()];
+        for ((o, &v), m) in out.data.iter_mut().zip(&x.data).zip(&mut mask) {
+            let clipped = v.clamp(0.0, self.clip);
+            *o = fake_quantize(clipped, scale, self.spec);
+            *m = if v > 0.0 && v < self.clip { 1.0 } else { 0.0 };
+        }
+        if train {
+            self.cache = Some(ActCache {
+                mask,
+                n: x.n,
+                dims: x.dims.clone(),
+            });
+        } else {
+            self.cache = None;
+        }
+        out
+    }
+
+    /// Backward pass (STE): `dX = dY * mask`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no training-mode forward preceded this call.
+    pub fn backward(&mut self, grad_out: &Activation) -> Activation {
+        let cache = self
+            .cache
+            .take()
+            .expect("activation backward requires cached forward");
+        let data = grad_out
+            .data
+            .iter()
+            .zip(&cache.mask)
+            .map(|(&g, &m)| g * m)
+            .collect();
+        Activation::new(data, cache.n, cache.dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a2_has_four_levels() {
+        let mut act = QuantReLU::a2();
+        let xs: Vec<f32> = (-10..30).map(|v| v as f32 / 10.0).collect();
+        let x = Activation::new(xs, 1, vec![40]);
+        let y = act.forward(&x, false);
+        let mut levels: Vec<i32> = y.data.iter().map(|&v| (v * 10.0).round() as i32).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        // clip 2.0, q_max 3 -> grid {0, 2/3, 4/3, 2}
+        assert_eq!(levels.len(), 4, "levels {levels:?}");
+        assert_eq!(levels[0], 0);
+        assert_eq!(*levels.last().unwrap(), 20);
+    }
+
+    #[test]
+    fn negative_inputs_are_zeroed() {
+        let mut act = QuantReLU::a2();
+        let x = Activation::new(vec![-5.0, -0.1], 1, vec![2]);
+        let y = act.forward(&x, false);
+        assert_eq!(y.data, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn ste_passes_gradient_inside_window_only() {
+        let mut act = QuantReLU::a2();
+        let x = Activation::new(vec![-1.0, 0.5, 1.9, 2.5], 1, vec![4]);
+        act.forward(&x, true);
+        let g = Activation::new(vec![1.0; 4], 1, vec![4]);
+        let dx = act.backward(&g);
+        assert_eq!(dx.data, vec![0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "activation quantizer must be unsigned")]
+    fn rejects_signed_spec() {
+        QuantReLU::new(QuantSpec::signed(2), 1.0);
+    }
+}

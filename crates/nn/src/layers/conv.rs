@@ -1,0 +1,346 @@
+use super::{Activation, LayerInfo, Param};
+use crate::quant::{self, QuantSpec};
+use adapex_tensor::conv::{col2im, im2col, ConvGeometry};
+use adapex_tensor::gemm::{gemm, gemm_a_bt, gemm_at_b};
+use adapex_tensor::parallel::{num_threads, parallel_for_chunks};
+use adapex_tensor::rng::kaiming_tensor;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// 2-D convolution with fake-quantized weights.
+///
+/// Weights are stored full precision as `[c_out, c_in * k * k]`; every
+/// forward pass derives the quantized view that the FPGA's MVTU would hold
+/// in its weight memory. Lowered to GEMM via im2col (the software twin of
+/// FINN's SWU→MVTU pipeline).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantConv2d {
+    /// Input channels.
+    pub c_in: usize,
+    /// Output channels (filters). Filter pruning shrinks this.
+    pub c_out: usize,
+    /// Kernel geometry.
+    pub geom: ConvGeometry,
+    /// Full-precision weights, `[c_out, c_in * k * k]`.
+    pub weight: Param,
+    /// Bias, `[c_out]`.
+    pub bias: Param,
+    /// Weight quantizer (2-bit signed for CNVW2A2).
+    pub weight_spec: QuantSpec,
+    #[serde(skip)]
+    cache: Option<ConvCache>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct ConvCache {
+    input: Vec<f32>,
+    n: usize,
+    in_hw: (usize, usize),
+    qweight: Vec<f32>,
+    scales: Vec<f32>,
+}
+
+impl QuantConv2d {
+    /// New convolution with Kaiming-initialised weights.
+    pub fn new(
+        c_in: usize,
+        c_out: usize,
+        geom: ConvGeometry,
+        weight_spec: QuantSpec,
+        rng: &mut StdRng,
+    ) -> Self {
+        let k = geom.kernel;
+        let fan_in = c_in * k * k;
+        let weight = kaiming_tensor(&[c_out, fan_in], fan_in, rng).into_vec();
+        QuantConv2d {
+            c_in,
+            c_out,
+            geom,
+            weight: Param::new(weight),
+            bias: Param::new(vec![0.0; c_out]),
+            weight_spec,
+            cache: None,
+        }
+    }
+
+    /// Per-sample output shape `[c_out, out_h, out_w]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `in_dims` is `[c_in, h, w]` with a fitting window.
+    pub fn out_dims(&self, in_dims: &[usize]) -> Vec<usize> {
+        assert_eq!(in_dims.len(), 3, "conv input must be CHW");
+        assert_eq!(in_dims[0], self.c_in, "conv input channels");
+        let oh = self.geom.output_dim(in_dims[1]).expect("window must fit");
+        let ow = self.geom.output_dim(in_dims[2]).expect("window must fit");
+        vec![self.c_out, oh, ow]
+    }
+
+    /// Structural description.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `in_dims` is a valid CHW input shape.
+    pub fn info(&self, in_dims: &[usize]) -> LayerInfo {
+        let out = self.out_dims(in_dims);
+        LayerInfo::Conv {
+            c_in: self.c_in,
+            c_out: self.c_out,
+            kernel: self.geom.kernel,
+            stride: self.geom.stride,
+            padding: self.geom.padding,
+            in_hw: (in_dims[1], in_dims[2]),
+            out_hw: (out[1], out[2]),
+            weight_bits: self.weight_spec.bits,
+        }
+    }
+
+    /// Forward pass over a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an input shape mismatch.
+    pub fn forward(&mut self, x: &Activation, train: bool) -> Activation {
+        let out_dims = self.out_dims(&x.dims);
+        let (h, w) = (x.dims[1], x.dims[2]);
+        let (oh, ow) = (out_dims[1], out_dims[2]);
+        let pixels = oh * ow;
+        let kk = self.geom.kernel * self.geom.kernel * self.c_in;
+        let (qweight, scales) =
+            quant::quantize_weights_per_row(&self.weight.value, kk, self.weight_spec);
+
+        let mut out = Activation::zeros(x.n, &out_dims);
+        let sample_in = x.sample_len();
+        let sample_out = self.c_out * pixels;
+        let geom = self.geom;
+        let (c_in, c_out) = (self.c_in, self.c_out);
+        let bias = &self.bias.value;
+        let input = &x.data;
+        let qw = &qweight;
+        parallel_for_chunks(x.n, sample_out, &mut out.data, 1, |range, chunk| {
+            for (local, i) in range.enumerate() {
+                let img = &input[i * sample_in..(i + 1) * sample_in];
+                let cols = im2col(img, c_in, h, w, geom);
+                let y = &mut chunk[local * sample_out..(local + 1) * sample_out];
+                gemm(c_out, kk, pixels, qw, &cols, y);
+                for co in 0..c_out {
+                    let b = bias[co];
+                    for v in &mut y[co * pixels..(co + 1) * pixels] {
+                        *v += b;
+                    }
+                }
+            }
+        });
+
+        if train {
+            self.cache = Some(ConvCache {
+                input: x.data.clone(),
+                n: x.n,
+                in_hw: (h, w),
+                qweight,
+                scales,
+            });
+        } else {
+            self.cache = None;
+        }
+        out
+    }
+
+    /// Backward pass; returns the input gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no training-mode forward preceded this call.
+    pub fn backward(&mut self, grad_out: &Activation) -> Activation {
+        let cache = self.cache.take().expect("conv backward requires cached forward");
+        let (h, w) = cache.in_hw;
+        let oh = self.geom.output_dim(h).expect("cached geometry is valid");
+        let ow = self.geom.output_dim(w).expect("cached geometry is valid");
+        let pixels = oh * ow;
+        let k = self.geom.kernel;
+        let kk = self.c_in * k * k;
+        let n = cache.n;
+        assert_eq!(grad_out.n, n, "grad batch size");
+        let sample_in = self.c_in * h * w;
+        let sample_out = self.c_out * pixels;
+
+        let mut grad_in = Activation::zeros(n, &[self.c_in, h, w]);
+
+        // Parallelize over batch images; each worker accumulates its own
+        // dW/db and the main thread reduces them.
+        let workers = num_threads().min(n).max(1);
+        let chunk_len = n.div_ceil(workers);
+        let geom = self.geom;
+        let (c_in, c_out) = (self.c_in, self.c_out);
+        let input = &cache.input;
+        let qw = &cache.qweight;
+        let dy_all = &grad_out.data;
+        let partials: Vec<(Vec<f32>, Vec<f32>)> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut rest: &mut [f32] = &mut grad_in.data;
+            let mut start = 0;
+            while start < n {
+                let end = (start + chunk_len).min(n);
+                let (head, tail) = rest.split_at_mut((end - start) * sample_in);
+                rest = tail;
+                let range = start..end;
+                handles.push(scope.spawn(move || {
+                    let mut dw = vec![0.0f32; c_out * kk];
+                    let mut db = vec![0.0f32; c_out];
+                    let mut dw_img = vec![0.0f32; c_out * kk];
+                    let mut dcols = vec![0.0f32; kk * pixels];
+                    for (local, i) in range.enumerate() {
+                        let img = &input[i * sample_in..(i + 1) * sample_in];
+                        let dy = &dy_all[i * sample_out..(i + 1) * sample_out];
+                        let cols = im2col(img, c_in, h, w, geom);
+                        // dW += dY * cols^T
+                        gemm_a_bt(c_out, pixels, kk, dy, &cols, &mut dw_img);
+                        for (acc, &v) in dw.iter_mut().zip(&dw_img) {
+                            *acc += v;
+                        }
+                        // db += row sums of dY
+                        for co in 0..c_out {
+                            db[co] += dy[co * pixels..(co + 1) * pixels].iter().sum::<f32>();
+                        }
+                        // dCols = W^T * dY ; dX = col2im(dCols)
+                        gemm_at_b(kk, c_out, pixels, qw, dy, &mut dcols);
+                        let dx = col2im(&dcols, c_in, h, w, geom);
+                        head[local * sample_in..(local + 1) * sample_in].copy_from_slice(&dx);
+                    }
+                    (dw, db)
+                }));
+                start = end;
+            }
+            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        });
+
+        // Reduce worker partials into parameter gradients with the STE
+        // clipping mask (saturated weights stop receiving gradient).
+        let spec = self.weight_spec;
+        for (dw, db) in partials {
+            for (i, (slot, (&g, &w0))) in self
+                .weight
+                .grad
+                .iter_mut()
+                .zip(dw.iter().zip(&self.weight.value))
+                .enumerate()
+            {
+                *slot += g * quant::ste_mask(w0, cache.scales[i / kk], spec);
+            }
+            for (slot, &g) in self.bias.grad.iter_mut().zip(&db) {
+                *slot += g;
+            }
+        }
+        grad_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapex_tensor::rng::rng_from_seed;
+
+    fn small_conv(bits: u32) -> QuantConv2d {
+        let spec = if bits >= 8 {
+            QuantSpec::signed(8)
+        } else {
+            QuantSpec::signed(bits)
+        };
+        QuantConv2d::new(2, 3, ConvGeometry::new(3).with_padding(1), spec, &mut rng_from_seed(1))
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut conv = small_conv(8);
+        let x = Activation::zeros(2, &[2, 8, 8]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.dims, vec![3, 8, 8]);
+        assert_eq!(y.n, 2);
+    }
+
+    #[test]
+    fn bias_shifts_output() {
+        let mut conv = small_conv(8);
+        conv.weight.value.fill(0.0);
+        conv.bias.value = vec![1.0, -2.0, 0.5];
+        let x = Activation::zeros(1, &[2, 4, 4]);
+        let y = conv.forward(&x, false);
+        assert!(y.sample(0)[..16].iter().all(|&v| v == 1.0));
+        assert!(y.sample(0)[16..32].iter().all(|&v| v == -2.0));
+        assert!(y.sample(0)[32..].iter().all(|&v| v == 0.5));
+    }
+
+    /// Finite-difference check of the convolution gradients (8-bit quant
+    /// is near-identity, so analytic and numeric gradients must agree).
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut conv = QuantConv2d::new(
+            1,
+            2,
+            ConvGeometry::new(3),
+            QuantSpec::signed(8),
+            &mut rng_from_seed(3),
+        );
+        let x = Activation::new(
+            (0..25).map(|v| (v as f32 * 0.37).sin()).collect(),
+            1,
+            vec![1, 5, 5],
+        );
+        // Loss = sum of outputs; dL/dy = 1.
+        let y = conv.forward(&x, true);
+        let ones = Activation::new(vec![1.0; y.data.len()], y.n, y.dims.clone());
+        let dx = conv.backward(&ones);
+
+        let eps = 1e-2;
+        // Check a few weight gradients.
+        for &wi in &[0, 5, 11] {
+            let orig = conv.weight.value[wi];
+            conv.weight.value[wi] = orig + eps;
+            let lp: f32 = conv.forward(&x, false).data.iter().sum();
+            conv.weight.value[wi] = orig - eps;
+            let lm: f32 = conv.forward(&x, false).data.iter().sum();
+            conv.weight.value[wi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = conv.weight.grad[wi];
+            assert!(
+                (numeric - analytic).abs() < 0.3,
+                "dW[{wi}] numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // Check an input gradient.
+        let mut x2 = x.clone();
+        let xi = 12;
+        x2.data[xi] += eps;
+        let lp: f32 = conv.forward(&x2, false).data.iter().sum();
+        x2.data[xi] -= 2.0 * eps;
+        let lm: f32 = conv.forward(&x2, false).data.iter().sum();
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!(
+            (numeric - dx.data[xi]).abs() < 0.3,
+            "dX numeric {numeric} vs analytic {}",
+            dx.data[xi]
+        );
+    }
+
+    #[test]
+    fn quantized_forward_uses_grid_weights() {
+        let mut conv = small_conv(2);
+        let x = Activation::new(vec![1.0; 2 * 4 * 4], 1, vec![2, 4, 4]);
+        conv.forward(&x, true);
+        let cache_weights = conv.cache.as_ref().unwrap();
+        let kk = 2 * 3 * 3;
+        for (i, &w) in cache_weights.qweight.iter().enumerate() {
+            let code = w / cache_weights.scales[i / kk];
+            assert!((code - code.round()).abs() < 1e-4);
+            assert!((-2.0 - 1e-4..=1.0 + 1e-4).contains(&code));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "conv backward requires cached forward")]
+    fn backward_without_forward_panics() {
+        let mut conv = small_conv(8);
+        let g = Activation::zeros(1, &[3, 4, 4]);
+        conv.backward(&g);
+    }
+}

@@ -1,0 +1,224 @@
+use super::{Activation, Param};
+use crate::quant::{self, QuantSpec};
+use adapex_tensor::gemm::{gemm, gemm_a_bt, gemm_at_b};
+use adapex_tensor::rng::kaiming_tensor;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Fully-connected layer with fake-quantized weights.
+///
+/// Weight layout is `[out_features, in_features]`; on the FPGA this maps
+/// directly onto one MVTU (paper Sec. II).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantLinear {
+    /// Input features.
+    pub in_features: usize,
+    /// Output features.
+    pub out_features: usize,
+    /// Full-precision weights, `[out_features, in_features]`.
+    pub weight: Param,
+    /// Bias, `[out_features]`.
+    pub bias: Param,
+    /// Weight quantizer.
+    pub weight_spec: QuantSpec,
+    #[serde(skip)]
+    cache: Option<LinearCache>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct LinearCache {
+    input: Vec<f32>,
+    n: usize,
+    qweight: Vec<f32>,
+    scales: Vec<f32>,
+}
+
+impl QuantLinear {
+    /// New layer with Kaiming-initialised weights.
+    pub fn new(
+        in_features: usize,
+        out_features: usize,
+        weight_spec: QuantSpec,
+        rng: &mut StdRng,
+    ) -> Self {
+        let weight = kaiming_tensor(&[out_features, in_features], in_features, rng).into_vec();
+        QuantLinear {
+            in_features,
+            out_features,
+            weight: Param::new(weight),
+            bias: Param::new(vec![0.0; out_features]),
+            weight_spec,
+            cache: None,
+        }
+    }
+
+    /// Forward pass: `y = x W^T + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the input feature count differs from `in_features`.
+    pub fn forward(&mut self, x: &Activation, train: bool) -> Activation {
+        assert_eq!(
+            x.sample_len(),
+            self.in_features,
+            "linear input features (got {:?})",
+            x.dims
+        );
+        let (qweight, scales) =
+            quant::quantize_weights_per_row(&self.weight.value, self.in_features, self.weight_spec);
+        let mut out = Activation::zeros(x.n, &[self.out_features]);
+        gemm_a_bt(
+            x.n,
+            self.in_features,
+            self.out_features,
+            &x.data,
+            &qweight,
+            &mut out.data,
+        );
+        for row in out.data.chunks_mut(self.out_features) {
+            for (v, &b) in row.iter_mut().zip(&self.bias.value) {
+                *v += b;
+            }
+        }
+        if train {
+            self.cache = Some(LinearCache {
+                input: x.data.clone(),
+                n: x.n,
+                qweight,
+                scales,
+            });
+        } else {
+            self.cache = None;
+        }
+        out
+    }
+
+    /// Backward pass; returns the input gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no training-mode forward preceded this call.
+    pub fn backward(&mut self, grad_out: &Activation) -> Activation {
+        let cache = self
+            .cache
+            .take()
+            .expect("linear backward requires cached forward");
+        let n = cache.n;
+        assert_eq!(grad_out.n, n, "grad batch size");
+        assert_eq!(grad_out.sample_len(), self.out_features, "grad features");
+
+        // dX = dY * W  (W stored [out, in])
+        let mut grad_in = Activation::zeros(n, &[self.in_features]);
+        gemm(
+            n,
+            self.out_features,
+            self.in_features,
+            &grad_out.data,
+            &cache.qweight,
+            &mut grad_in.data,
+        );
+        // dW = dY^T * X
+        let mut dw = vec![0.0f32; self.out_features * self.in_features];
+        gemm_at_b(
+            self.out_features,
+            n,
+            self.in_features,
+            &grad_out.data,
+            &cache.input,
+            &mut dw,
+        );
+        let spec = self.weight_spec;
+        for (i, (slot, (&g, &w0))) in self
+            .weight
+            .grad
+            .iter_mut()
+            .zip(dw.iter().zip(&self.weight.value))
+            .enumerate()
+        {
+            *slot += g * quant::ste_mask(w0, cache.scales[i / self.in_features], spec);
+        }
+        // db = column sums of dY
+        for row in grad_out.data.chunks(self.out_features) {
+            for (slot, &g) in self.bias.grad.iter_mut().zip(row) {
+                *slot += g;
+            }
+        }
+        grad_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapex_tensor::rng::rng_from_seed;
+
+    #[test]
+    fn forward_computes_affine_map() {
+        let mut lin = QuantLinear::new(2, 2, QuantSpec::signed(8), &mut rng_from_seed(1));
+        lin.weight.value = vec![1.0, 0.0, 0.0, -1.0];
+        lin.bias.value = vec![0.5, 0.0];
+        let x = Activation::new(vec![2.0, 3.0], 1, vec![2]);
+        let y = lin.forward(&x, false);
+        // 8-bit quantization of {1, 0, -1} with scale 1/127 is near exact.
+        assert!((y.data[0] - 2.5).abs() < 0.05, "{:?}", y.data);
+        assert!((y.data[1] + 3.0).abs() < 0.05, "{:?}", y.data);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut lin = QuantLinear::new(3, 2, QuantSpec::signed(8), &mut rng_from_seed(2));
+        let x = Activation::new(vec![0.3, -0.8, 0.5, 1.2, 0.1, -0.4], 2, vec![3]);
+        let y = lin.forward(&x, true);
+        let ones = Activation::new(vec![1.0; y.data.len()], y.n, y.dims.clone());
+        let dx = lin.backward(&ones);
+
+        // Finite differences step across the 8-bit quantization grid, so
+        // use an eps spanning many quantization steps and a loose bound.
+        let eps = 0.08;
+        for wi in 0..6 {
+            let orig = lin.weight.value[wi];
+            lin.weight.value[wi] = orig + eps;
+            let lp: f32 = lin.forward(&x, false).data.iter().sum();
+            lin.weight.value[wi] = orig - eps;
+            let lm: f32 = lin.forward(&x, false).data.iter().sum();
+            lin.weight.value[wi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - lin.weight.grad[wi]).abs() < 0.5,
+                "dW[{wi}] numeric {numeric} vs {}",
+                lin.weight.grad[wi]
+            );
+        }
+        for xi in 0..6 {
+            let mut x2 = x.clone();
+            x2.data[xi] += eps;
+            let lp: f32 = lin.forward(&x2, false).data.iter().sum();
+            x2.data[xi] -= 2.0 * eps;
+            let lm: f32 = lin.forward(&x2, false).data.iter().sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - dx.data[xi]).abs() < 0.3,
+                "dX[{xi}] numeric {numeric} vs {}",
+                dx.data[xi]
+            );
+        }
+    }
+
+    #[test]
+    fn bias_gradient_counts_batch() {
+        let mut lin = QuantLinear::new(1, 1, QuantSpec::signed(8), &mut rng_from_seed(3));
+        let x = Activation::new(vec![1.0, 1.0, 1.0], 3, vec![1]);
+        lin.forward(&x, true);
+        let g = Activation::new(vec![1.0, 1.0, 1.0], 3, vec![1]);
+        lin.backward(&g);
+        assert!((lin.bias.grad[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "linear input features")]
+    fn forward_rejects_wrong_width() {
+        let mut lin = QuantLinear::new(4, 2, QuantSpec::signed(2), &mut rng_from_seed(4));
+        let x = Activation::zeros(1, &[3]);
+        lin.forward(&x, false);
+    }
+}

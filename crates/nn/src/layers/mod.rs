@@ -1,0 +1,348 @@
+//! Network layers with manual forward/backward passes.
+//!
+//! Each layer owns its parameters ([`Param`]: value, gradient, momentum)
+//! and whatever forward-pass caches its backward pass needs. Layers are
+//! composed through the [`Layer`] enum — enum dispatch keeps networks
+//! serializable and avoids trait-object plumbing for a closed set of six
+//! layer kinds.
+
+mod act;
+mod conv;
+mod linear;
+mod norm;
+mod pool;
+
+pub use act::QuantReLU;
+pub use conv::QuantConv2d;
+pub use linear::QuantLinear;
+pub use norm::BatchNorm;
+pub use pool::MaxPool2d;
+
+use serde::{Deserialize, Serialize};
+
+/// A mini-batch activation: `n` samples, each with per-sample shape
+/// `dims` (e.g. `[C, H, W]` after a conv, `[F]` after a flatten).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Activation {
+    /// Flattened data, `n * dims.product()` elements, sample-major.
+    pub data: Vec<f32>,
+    /// Batch size.
+    pub n: usize,
+    /// Per-sample shape.
+    pub dims: Vec<usize>,
+}
+
+impl Activation {
+    /// Creates an activation, validating the buffer length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n * dims.product()`.
+    pub fn new(data: Vec<f32>, n: usize, dims: Vec<usize>) -> Self {
+        let per: usize = dims.iter().product();
+        assert_eq!(data.len(), n * per, "activation buffer length");
+        Activation { data, n, dims }
+    }
+
+    /// Zero-filled activation.
+    pub fn zeros(n: usize, dims: &[usize]) -> Self {
+        let per: usize = dims.iter().product();
+        Activation {
+            data: vec![0.0; n * per],
+            n,
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// Elements per sample.
+    pub fn sample_len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Sample `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.n`.
+    pub fn sample(&self, i: usize) -> &[f32] {
+        let per = self.sample_len();
+        &self.data[i * per..(i + 1) * per]
+    }
+}
+
+/// A trainable parameter: full-precision value, gradient accumulator and
+/// momentum buffer of equal length.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Full-precision ("shadow") values; quantized views are derived per
+    /// forward pass.
+    pub value: Vec<f32>,
+    /// Accumulated gradient for the current step.
+    pub grad: Vec<f32>,
+    /// SGD momentum buffer.
+    pub velocity: Vec<f32>,
+}
+
+impl Param {
+    /// Parameter initialised with `value` and zeroed grad/momentum.
+    pub fn new(value: Vec<f32>) -> Self {
+        let len = value.len();
+        Param {
+            value,
+            grad: vec![0.0; len],
+            velocity: vec![0.0; len],
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// `true` when the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Clears the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// One SGD-with-momentum step:
+    /// `v = m*v + g + wd*w; w -= lr*v`.
+    pub fn sgd_step(&mut self, lr: f32, momentum: f32, weight_decay: f32) {
+        for ((w, g), v) in self
+            .value
+            .iter_mut()
+            .zip(&self.grad)
+            .zip(&mut self.velocity)
+        {
+            *v = momentum * *v + *g + weight_decay * *w;
+            *w -= lr * *v;
+        }
+    }
+}
+
+/// Structural description of a layer, consumed by the FPGA compiler
+/// (`finn-dataflow`) when mapping the network to hardware modules.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerInfo {
+    /// Quantized convolution.
+    Conv {
+        /// Input channels.
+        c_in: usize,
+        /// Output channels (filters).
+        c_out: usize,
+        /// Square kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        padding: usize,
+        /// Input feature-map height/width.
+        in_hw: (usize, usize),
+        /// Output feature-map height/width.
+        out_hw: (usize, usize),
+        /// Weight bit width.
+        weight_bits: u32,
+    },
+    /// Quantized fully-connected layer.
+    Linear {
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+        /// Weight bit width.
+        weight_bits: u32,
+    },
+    /// Max pooling.
+    MaxPool {
+        /// Window size (stride equals window).
+        kernel: usize,
+        /// Channels.
+        channels: usize,
+        /// Input feature-map height/width.
+        in_hw: (usize, usize),
+        /// Output feature-map height/width.
+        out_hw: (usize, usize),
+    },
+    /// Batch normalization (folds into MVTU thresholds on the FPGA).
+    BatchNorm {
+        /// Normalized channels/features.
+        channels: usize,
+    },
+    /// Quantized activation (folds into MVTU thresholds on the FPGA).
+    QuantAct {
+        /// Activation bit width.
+        bits: u32,
+    },
+    /// Flatten CHW to a feature vector (free on the FPGA stream).
+    Flatten,
+}
+
+/// A network layer (closed enum; see module docs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Layer {
+    /// Quantized convolution.
+    Conv(QuantConv2d),
+    /// Quantized fully-connected layer.
+    Linear(QuantLinear),
+    /// Max pooling.
+    Pool(MaxPool2d),
+    /// Batch normalization.
+    Norm(BatchNorm),
+    /// Quantized ReLU activation.
+    Act(QuantReLU),
+    /// Flatten CHW to features.
+    Flatten,
+}
+
+impl Layer {
+    /// Runs the layer forward. With `train` set, caches what the backward
+    /// pass needs.
+    pub fn forward(&mut self, x: &Activation, train: bool) -> Activation {
+        match self {
+            Layer::Conv(l) => l.forward(x, train),
+            Layer::Linear(l) => l.forward(x, train),
+            Layer::Pool(l) => l.forward(x, train),
+            Layer::Norm(l) => l.forward(x, train),
+            Layer::Act(l) => l.forward(x, train),
+            Layer::Flatten => Activation::new(x.data.clone(), x.n, vec![x.sample_len()]),
+        }
+    }
+
+    /// Backpropagates `grad_out`, accumulating parameter gradients and
+    /// returning the gradient w.r.t. the layer input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode [`Layer::forward`].
+    pub fn backward(&mut self, grad_out: &Activation) -> Activation {
+        match self {
+            Layer::Conv(l) => l.backward(grad_out),
+            Layer::Linear(l) => l.backward(grad_out),
+            Layer::Pool(l) => l.backward(grad_out),
+            Layer::Norm(l) => l.backward(grad_out),
+            Layer::Act(l) => l.backward(grad_out),
+            Layer::Flatten => {
+                // The backward of a reshape restores the cached input shape;
+                // the caller tracks it, so pass gradients through unchanged
+                // as a flat feature tensor. Upstream layers only read data.
+                grad_out.clone()
+            }
+        }
+    }
+
+    /// Visits every trainable parameter.
+    pub fn for_each_param(&mut self, f: &mut impl FnMut(&mut Param)) {
+        match self {
+            Layer::Conv(l) => {
+                f(&mut l.weight);
+                f(&mut l.bias);
+            }
+            Layer::Linear(l) => {
+                f(&mut l.weight);
+                f(&mut l.bias);
+            }
+            Layer::Norm(l) => {
+                f(&mut l.gamma);
+                f(&mut l.beta);
+            }
+            Layer::Pool(_) | Layer::Act(_) | Layer::Flatten => {}
+        }
+    }
+
+    /// Per-sample output shape for a per-sample input shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_dims` is incompatible with the layer.
+    pub fn out_dims(&self, in_dims: &[usize]) -> Vec<usize> {
+        match self {
+            Layer::Conv(l) => l.out_dims(in_dims),
+            Layer::Linear(l) => vec![l.out_features],
+            Layer::Pool(l) => l.out_dims(in_dims),
+            Layer::Norm(_) | Layer::Act(_) => in_dims.to_vec(),
+            Layer::Flatten => vec![in_dims.iter().product()],
+        }
+    }
+
+    /// Structural description for the FPGA compiler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_dims` is incompatible with the layer.
+    pub fn info(&self, in_dims: &[usize]) -> LayerInfo {
+        match self {
+            Layer::Conv(l) => l.info(in_dims),
+            Layer::Linear(l) => LayerInfo::Linear {
+                in_features: l.in_features,
+                out_features: l.out_features,
+                weight_bits: l.weight_spec.bits,
+            },
+            Layer::Pool(l) => l.info(in_dims),
+            Layer::Norm(l) => LayerInfo::BatchNorm {
+                channels: l.channels,
+            },
+            Layer::Act(l) => LayerInfo::QuantAct {
+                bits: l.spec.bits,
+            },
+            Layer::Flatten => LayerInfo::Flatten,
+        }
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&mut self) -> usize {
+        let mut count = 0;
+        self.for_each_param(&mut |p| count += p.len());
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_validates_length() {
+        let a = Activation::new(vec![0.0; 12], 2, vec![2, 3]);
+        assert_eq!(a.sample_len(), 6);
+        assert_eq!(a.sample(1).len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "activation buffer length")]
+    fn activation_rejects_bad_length() {
+        Activation::new(vec![0.0; 5], 2, vec![3]);
+    }
+
+    #[test]
+    fn param_sgd_step_with_momentum() {
+        let mut p = Param::new(vec![1.0]);
+        p.grad[0] = 2.0;
+        p.sgd_step(0.1, 0.9, 0.0);
+        assert!((p.value[0] - 0.8).abs() < 1e-6);
+        // Second step with zero grad still moves by momentum.
+        p.zero_grad();
+        p.sgd_step(0.1, 0.9, 0.0);
+        assert!((p.value[0] - (0.8 - 0.1 * 1.8)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_pulls_towards_zero() {
+        let mut p = Param::new(vec![1.0]);
+        p.sgd_step(0.1, 0.0, 0.5);
+        assert!(p.value[0] < 1.0);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut l = Layer::Flatten;
+        let x = Activation::new((0..12).map(|v| v as f32).collect(), 2, vec![2, 3]);
+        let y = l.forward(&x, true);
+        assert_eq!(y.dims, vec![6]);
+        assert_eq!(y.data, x.data);
+        assert_eq!(l.out_dims(&[2, 3]), vec![6]);
+    }
+}

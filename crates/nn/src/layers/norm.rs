@@ -1,0 +1,262 @@
+use super::{Activation, Param};
+use serde::{Deserialize, Serialize};
+
+/// Batch normalization over channels.
+///
+/// Handles both 4-D `[C, H, W]` activations (per-channel statistics over
+/// batch and spatial positions) and flat `[F]` activations (per-feature).
+/// On the FPGA, FINN folds BatchNorm into the MVTU's threshold memory, so
+/// this layer exists only in the training graph; the compiler reports it
+/// as threshold configuration, not as a module.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchNorm {
+    /// Number of channels (4-D input) or features (flat input).
+    pub channels: usize,
+    /// Learned scale.
+    pub gamma: Param,
+    /// Learned shift.
+    pub beta: Param,
+    /// Running mean used at eval time.
+    pub running_mean: Vec<f32>,
+    /// Running variance used at eval time.
+    pub running_var: Vec<f32>,
+    /// Exponential-average momentum for the running statistics.
+    pub momentum: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    #[serde(skip)]
+    cache: Option<NormCache>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct NormCache {
+    xhat: Vec<f32>,
+    inv_std: Vec<f32>,
+    n: usize,
+    dims: Vec<usize>,
+}
+
+impl BatchNorm {
+    /// New layer with identity initialisation (`gamma = 1`, `beta = 0`).
+    pub fn new(channels: usize) -> Self {
+        BatchNorm {
+            channels,
+            gamma: Param::new(vec![1.0; channels]),
+            beta: Param::new(vec![0.0; channels]),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    fn spatial(&self, dims: &[usize]) -> usize {
+        match dims.len() {
+            3 => dims[1] * dims[2],
+            1 => 1,
+            _ => panic!("batchnorm supports CHW or flat inputs, got {dims:?}"),
+        }
+    }
+
+    /// Forward pass: batch statistics in training, running statistics at
+    /// eval.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the channel count disagrees with `self.channels`.
+    pub fn forward(&mut self, x: &Activation, train: bool) -> Activation {
+        let spatial = self.spatial(&x.dims);
+        assert_eq!(x.dims[0], self.channels, "batchnorm channels");
+        let count = (x.n * spatial) as f32;
+        let mut out = Activation::zeros(x.n, &x.dims);
+        let sample_len = x.sample_len();
+
+        let (mean, var) = if train {
+            let mut mean = vec![0.0f32; self.channels];
+            let mut var = vec![0.0f32; self.channels];
+            for i in 0..x.n {
+                let s = &x.data[i * sample_len..(i + 1) * sample_len];
+                for c in 0..self.channels {
+                    mean[c] += s[c * spatial..(c + 1) * spatial].iter().sum::<f32>();
+                }
+            }
+            for m in &mut mean {
+                *m /= count;
+            }
+            for i in 0..x.n {
+                let s = &x.data[i * sample_len..(i + 1) * sample_len];
+                for c in 0..self.channels {
+                    var[c] += s[c * spatial..(c + 1) * spatial]
+                        .iter()
+                        .map(|&v| (v - mean[c]) * (v - mean[c]))
+                        .sum::<f32>();
+                }
+            }
+            for v in &mut var {
+                *v /= count;
+            }
+            for c in 0..self.channels {
+                self.running_mean[c] =
+                    (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean[c];
+                self.running_var[c] =
+                    (1.0 - self.momentum) * self.running_var[c] + self.momentum * var[c];
+            }
+            (mean, var)
+        } else {
+            (self.running_mean.clone(), self.running_var.clone())
+        };
+
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut xhat = vec![0.0f32; x.data.len()];
+        for i in 0..x.n {
+            let s = &x.data[i * sample_len..(i + 1) * sample_len];
+            let o = &mut out.data[i * sample_len..(i + 1) * sample_len];
+            let xh = &mut xhat[i * sample_len..(i + 1) * sample_len];
+            for c in 0..self.channels {
+                let g = self.gamma.value[c];
+                let b = self.beta.value[c];
+                for j in c * spatial..(c + 1) * spatial {
+                    let h = (s[j] - mean[c]) * inv_std[c];
+                    xh[j] = h;
+                    o[j] = g * h + b;
+                }
+            }
+        }
+
+        if train {
+            self.cache = Some(NormCache {
+                xhat,
+                inv_std,
+                n: x.n,
+                dims: x.dims.clone(),
+            });
+        } else {
+            self.cache = None;
+        }
+        out
+    }
+
+    /// Backward pass; returns the input gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no training-mode forward preceded this call.
+    pub fn backward(&mut self, grad_out: &Activation) -> Activation {
+        let cache = self
+            .cache
+            .take()
+            .expect("batchnorm backward requires cached forward");
+        let spatial = self.spatial(&cache.dims);
+        let count = (cache.n * spatial) as f32;
+        let sample_len: usize = cache.dims.iter().product();
+        let mut grad_in = Activation::zeros(cache.n, &cache.dims);
+
+        // Per-channel reductions: sum(dY) and sum(dY * xhat).
+        let mut sum_dy = vec![0.0f32; self.channels];
+        let mut sum_dy_xhat = vec![0.0f32; self.channels];
+        for i in 0..cache.n {
+            let dy = &grad_out.data[i * sample_len..(i + 1) * sample_len];
+            let xh = &cache.xhat[i * sample_len..(i + 1) * sample_len];
+            for c in 0..self.channels {
+                for j in c * spatial..(c + 1) * spatial {
+                    sum_dy[c] += dy[j];
+                    sum_dy_xhat[c] += dy[j] * xh[j];
+                }
+            }
+        }
+        for c in 0..self.channels {
+            self.gamma.grad[c] += sum_dy_xhat[c];
+            self.beta.grad[c] += sum_dy[c];
+        }
+        // dX = gamma * inv_std / N * (N*dY − sum(dY) − xhat*sum(dY*xhat))
+        for i in 0..cache.n {
+            let dy = &grad_out.data[i * sample_len..(i + 1) * sample_len];
+            let xh = &cache.xhat[i * sample_len..(i + 1) * sample_len];
+            let dx = &mut grad_in.data[i * sample_len..(i + 1) * sample_len];
+            for c in 0..self.channels {
+                let coeff = self.gamma.value[c] * cache.inv_std[c] / count;
+                for j in c * spatial..(c + 1) * spatial {
+                    dx[j] = coeff * (count * dy[j] - sum_dy[c] - xh[j] * sum_dy_xhat[c]);
+                }
+            }
+        }
+        grad_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_forward_normalizes() {
+        let mut bn = BatchNorm::new(1);
+        let x = Activation::new(vec![1.0, 2.0, 3.0, 4.0], 1, vec![1, 2, 2]);
+        let y = bn.forward(&x, true);
+        let mean: f32 = y.data.iter().sum::<f32>() / 4.0;
+        let var: f32 = y.data.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm::new(1);
+        bn.running_mean = vec![10.0];
+        bn.running_var = vec![4.0];
+        let x = Activation::new(vec![12.0], 1, vec![1]);
+        let y = bn.forward(&x, false);
+        assert!((y.data[0] - 1.0).abs() < 1e-3, "{:?}", y.data);
+    }
+
+    #[test]
+    fn running_stats_track_batches() {
+        let mut bn = BatchNorm::new(1);
+        let x = Activation::new(vec![4.0, 4.0, 4.0, 4.0], 4, vec![1]);
+        for _ in 0..50 {
+            bn.forward(&x, true);
+        }
+        assert!((bn.running_mean[0] - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut bn = BatchNorm::new(2);
+        let x = Activation::new(
+            vec![0.5, -1.0, 2.0, 0.3, -0.7, 1.5, 0.1, -0.2],
+            2,
+            vec![2, 1, 2],
+        );
+        // Loss = weighted sum so per-element gradients differ.
+        let w: Vec<f32> = (0..8).map(|v| (v as f32 + 1.0) * 0.1).collect();
+        let y = bn.forward(&x, true);
+        let g = Activation::new(w.clone(), 2, y.dims.clone());
+        let dx = bn.backward(&g);
+        let loss = |bn: &mut BatchNorm, x: &Activation| -> f32 {
+            bn.forward(x, true).data.iter().zip(&w).map(|(a, b)| a * b).sum()
+        };
+        let eps = 1e-3;
+        for xi in 0..8 {
+            let mut x2 = x.clone();
+            x2.data[xi] += eps;
+            let lp = loss(&mut bn, &x2);
+            x2.data[xi] -= 2.0 * eps;
+            let lm = loss(&mut bn, &x2);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - dx.data[xi]).abs() < 0.05,
+                "dX[{xi}] numeric {numeric} vs {}",
+                dx.data[xi]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batchnorm channels")]
+    fn rejects_channel_mismatch() {
+        let mut bn = BatchNorm::new(3);
+        let x = Activation::zeros(1, &[2, 2, 2]);
+        bn.forward(&x, true);
+    }
+}

@@ -1,0 +1,180 @@
+use super::{Activation, LayerInfo};
+use adapex_tensor::conv::ConvGeometry;
+use serde::{Deserialize, Serialize};
+
+/// Max pooling with stride equal to the window (the only flavour CNV and
+/// the paper's exit branches use; the exit's `k = ⌊DIM/2⌋` pool is an
+/// instance of this).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MaxPool2d {
+    /// Window size and stride.
+    pub kernel: usize,
+    #[serde(skip)]
+    cache: Option<PoolCache>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct PoolCache {
+    argmax: Vec<usize>,
+    in_dims: Vec<usize>,
+    n: usize,
+}
+
+impl MaxPool2d {
+    /// New pooling layer with the given window size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel == 0`.
+    pub fn new(kernel: usize) -> Self {
+        assert!(kernel > 0, "pool kernel must be positive");
+        MaxPool2d {
+            kernel,
+            cache: None,
+        }
+    }
+
+    /// Per-sample output shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `in_dims` is CHW with extents >= kernel.
+    pub fn out_dims(&self, in_dims: &[usize]) -> Vec<usize> {
+        assert_eq!(in_dims.len(), 3, "pool input must be CHW");
+        let g = ConvGeometry::new(self.kernel).with_stride(self.kernel);
+        let oh = g.output_dim(in_dims[1]).expect("pool window must fit");
+        let ow = g.output_dim(in_dims[2]).expect("pool window must fit");
+        vec![in_dims[0], oh, ow]
+    }
+
+    /// Structural description.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `in_dims` is a valid CHW shape.
+    pub fn info(&self, in_dims: &[usize]) -> LayerInfo {
+        let out = self.out_dims(in_dims);
+        LayerInfo::MaxPool {
+            kernel: self.kernel,
+            channels: in_dims[0],
+            in_hw: (in_dims[1], in_dims[2]),
+            out_hw: (out[1], out[2]),
+        }
+    }
+
+    /// Forward pass, recording argmax positions when `train` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an input shape mismatch.
+    pub fn forward(&mut self, x: &Activation, train: bool) -> Activation {
+        let out_dims = self.out_dims(&x.dims);
+        let (c, h, w) = (x.dims[0], x.dims[1], x.dims[2]);
+        let (oh, ow) = (out_dims[1], out_dims[2]);
+        let k = self.kernel;
+        let mut out = Activation::zeros(x.n, &out_dims);
+        let mut argmax = vec![0usize; out.data.len()];
+        let sample_in = x.sample_len();
+        for i in 0..x.n {
+            let img = x.sample(i);
+            let base_out = i * c * oh * ow;
+            for ch in 0..c {
+                let plane = &img[ch * h * w..(ch + 1) * h * w];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let y = oy * k + ky;
+                                let xx = ox * k + kx;
+                                let v = plane[y * w + xx];
+                                if v > best {
+                                    best = v;
+                                    best_idx = i * sample_in + ch * h * w + y * w + xx;
+                                }
+                            }
+                        }
+                        let o = base_out + (ch * oh + oy) * ow + ox;
+                        out.data[o] = best;
+                        argmax[o] = best_idx;
+                    }
+                }
+            }
+        }
+        if train {
+            self.cache = Some(PoolCache {
+                argmax,
+                in_dims: x.dims.clone(),
+                n: x.n,
+            });
+        } else {
+            self.cache = None;
+        }
+        out
+    }
+
+    /// Backward pass: routes each output gradient to its argmax input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no training-mode forward preceded this call.
+    pub fn backward(&mut self, grad_out: &Activation) -> Activation {
+        let cache = self
+            .cache
+            .take()
+            .expect("pool backward requires cached forward");
+        let mut grad_in = Activation::zeros(cache.n, &cache.in_dims);
+        for (o, &src) in cache.argmax.iter().enumerate() {
+            grad_in.data[src] += grad_out.data[o];
+        }
+        grad_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_takes_maxima() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Activation::new(
+            vec![1.0, 2.0, 3.0, 4.0, -1.0, -2.0, -3.0, -4.0],
+            1,
+            vec![2, 2, 2],
+        );
+        let y = pool.forward(&x, false);
+        assert_eq!(y.dims, vec![2, 1, 1]);
+        assert_eq!(y.data, vec![4.0, -1.0]);
+    }
+
+    #[test]
+    fn odd_dims_truncate_like_floor_division() {
+        let pool = MaxPool2d::new(2);
+        assert_eq!(pool.out_dims(&[3, 5, 5]), vec![3, 2, 2]);
+        // The exit branch's aggressive pool: k = floor(8/2) = 4 on an 8x8 map.
+        let pool = MaxPool2d::new(4);
+        assert_eq!(pool.out_dims(&[64, 8, 8]), vec![64, 2, 2]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Activation::new(vec![1.0, 5.0, 2.0, 3.0], 1, vec![1, 2, 2]);
+        pool.forward(&x, true);
+        let g = Activation::new(vec![7.0], 1, vec![1, 1, 1]);
+        let dx = pool.backward(&g);
+        assert_eq!(dx.data, vec![0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn gradient_mass_is_preserved() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Activation::new((0..32).map(|v| (v as f32).sin()).collect(), 2, vec![1, 4, 4]);
+        let y = pool.forward(&x, true);
+        let g = Activation::new(vec![1.0; y.data.len()], y.n, y.dims.clone());
+        let dx = pool.backward(&g);
+        assert!((dx.data.iter().sum::<f32>() - y.data.len() as f32).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,170 @@
+//! Softmax, cross-entropy and the joint early-exit loss.
+//!
+//! The paper trains all exits simultaneously with the BranchyNet joint
+//! loss `J = Σ_n w_n · L(softmax(exit_n), y)` (Sec. IV-A1) and uses the
+//! softmax maximum as each exit's **confidence** measure (Sec. II).
+
+use crate::layers::Activation;
+
+/// Numerically-stable softmax of one logit vector.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+/// Softmax applied row-wise to a batch of logits.
+///
+/// # Panics
+///
+/// Panics if the activation is not flat (`dims.len() != 1`).
+pub fn softmax_batch(logits: &Activation) -> Activation {
+    assert_eq!(logits.dims.len(), 1, "softmax expects flat logits");
+    let classes = logits.dims[0];
+    let mut out = Activation::zeros(logits.n, &logits.dims);
+    for i in 0..logits.n {
+        let p = softmax(logits.sample(i));
+        out.data[i * classes..(i + 1) * classes].copy_from_slice(&p);
+    }
+    out
+}
+
+/// Confidence of a softmax distribution: its maximum probability.
+///
+/// The paper accepts an exit whenever this value clears the confidence
+/// threshold.
+pub fn confidence(probs: &[f32]) -> f32 {
+    probs.iter().fold(0.0f32, |m, &v| m.max(v))
+}
+
+/// Mean cross-entropy of a batch of logits against integer labels, plus
+/// the gradient w.r.t. the logits scaled by `weight` (the exit's `w_n`).
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.n` or any label is out of range.
+pub fn cross_entropy_with_grad(
+    logits: &Activation,
+    labels: &[usize],
+    weight: f32,
+) -> (f32, Activation) {
+    assert_eq!(labels.len(), logits.n, "one label per sample");
+    let classes = logits.dims[0];
+    let mut grad = Activation::zeros(logits.n, &logits.dims);
+    let mut loss = 0.0f32;
+    let inv_n = 1.0 / logits.n.max(1) as f32;
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < classes, "label {label} out of range {classes}");
+        let p = softmax(logits.sample(i));
+        loss -= (p[label].max(1e-12)).ln();
+        let g = &mut grad.data[i * classes..(i + 1) * classes];
+        for (c, (slot, &pc)) in g.iter_mut().zip(&p).enumerate() {
+            let target = if c == label { 1.0 } else { 0.0 };
+            *slot = weight * (pc - target) * inv_n;
+        }
+    }
+    (loss * inv_n, grad)
+}
+
+/// Top-1 accuracy of a batch of logits.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.n`.
+pub fn accuracy(logits: &Activation, labels: &[usize]) -> f64 {
+    assert_eq!(labels.len(), logits.n, "one label per sample");
+    if logits.n == 0 {
+        return 0.0;
+    }
+    let classes = logits.dims[0];
+    let mut correct = 0usize;
+    for (i, &label) in labels.iter().enumerate() {
+        let row = logits.sample(i);
+        let mut best = 0;
+        for c in 1..classes {
+            if row[c] > row[best] {
+                best = c;
+            }
+        }
+        if best == label {
+            correct += 1;
+        }
+    }
+    correct as f64 / logits.n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 3.0, 2.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[1] > p[2] && p[2] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax(&[1.0, 2.0]);
+        let b = softmax(&[1001.0, 1002.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn confidence_is_max_prob() {
+        assert_eq!(confidence(&[0.1, 0.7, 0.2]), 0.7);
+    }
+
+    #[test]
+    fn cross_entropy_at_uniform_is_log_classes() {
+        let logits = Activation::zeros(2, &[4]);
+        let (loss, _) = cross_entropy_with_grad(&logits, &[0, 3], 1.0);
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_points_towards_target() {
+        let logits = Activation::zeros(1, &[3]);
+        let (_, grad) = cross_entropy_with_grad(&logits, &[1], 1.0);
+        // Gradient is (p - onehot): target entry negative, others positive.
+        assert!(grad.data[1] < 0.0);
+        assert!(grad.data[0] > 0.0 && grad.data[2] > 0.0);
+        assert!((grad.data.iter().sum::<f32>()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exit_weight_scales_gradient() {
+        let logits = Activation::new(vec![0.5, -0.5], 1, vec![2]);
+        let (_, g1) = cross_entropy_with_grad(&logits, &[0], 1.0);
+        let (_, g03) = cross_entropy_with_grad(&logits, &[0], 0.3);
+        for (a, b) in g1.data.iter().zip(&g03.data) {
+            assert!((b - 0.3 * a).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Activation::new(vec![0.2, -1.0, 0.7], 1, vec![3]);
+        let (_, grad) = cross_entropy_with_grad(&logits, &[2], 1.0);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.data[i] += eps;
+            let (loss_p, _) = cross_entropy_with_grad(&lp, &[2], 1.0);
+            lp.data[i] -= 2.0 * eps;
+            let (loss_m, _) = cross_entropy_with_grad(&lp, &[2], 1.0);
+            let numeric = (loss_p - loss_m) / (2.0 * eps);
+            assert!((numeric - grad.data[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let logits = Activation::new(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], 3, vec![2]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,164 @@
+//! Classification metrics beyond top-1 accuracy: confusion matrices and
+//! per-class/per-difficulty breakdowns, used when analysing *which*
+//! inputs the early exits capture.
+
+use crate::layers::Activation;
+use serde::{Deserialize, Serialize};
+
+/// A square confusion matrix: `counts[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Empty matrix for `classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0`.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "at least one class");
+        ConfusionMatrix {
+            counts: vec![vec![0; classes]; classes],
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Records one prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a label is out of range.
+    pub fn record(&mut self, actual: usize, predicted: usize) {
+        assert!(actual < self.classes(), "actual label out of range");
+        assert!(predicted < self.classes(), "predicted label out of range");
+        self.counts[actual][predicted] += 1;
+    }
+
+    /// Accumulates a batch of logits against labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a length mismatch or out-of-range label.
+    pub fn record_batch(&mut self, logits: &Activation, labels: &[usize]) {
+        assert_eq!(labels.len(), logits.n, "one label per sample");
+        for (i, &label) in labels.iter().enumerate() {
+            let row = logits.sample(i);
+            let mut best = 0;
+            for c in 1..row.len() {
+                if row[c] > row[best] {
+                    best = c;
+                }
+            }
+            self.record(label, best);
+        }
+    }
+
+    /// Raw count for `(actual, predicted)`.
+    pub fn count(&self, actual: usize, predicted: usize) -> usize {
+        self.counts[actual][predicted]
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Overall accuracy (diagonal mass).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: usize = (0..self.classes()).map(|c| self.counts[c][c]).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Recall of one class (`None` when the class never occurred).
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let row_total: usize = self.counts[class].iter().sum();
+        if row_total == 0 {
+            None
+        } else {
+            Some(self.counts[class][class] as f64 / row_total as f64)
+        }
+    }
+
+    /// Precision of one class (`None` when the class was never
+    /// predicted).
+    pub fn precision(&self, class: usize) -> Option<f64> {
+        let col_total: usize = (0..self.classes()).map(|a| self.counts[a][class]).sum();
+        if col_total == 0 {
+            None
+        } else {
+            Some(self.counts[class][class] as f64 / col_total as f64)
+        }
+    }
+
+    /// The most confused off-diagonal pair `(actual, predicted, count)`.
+    pub fn worst_confusion(&self) -> Option<(usize, usize, usize)> {
+        let mut best: Option<(usize, usize, usize)> = None;
+        for a in 0..self.classes() {
+            for p in 0..self.classes() {
+                if a == p || self.counts[a][p] == 0 {
+                    continue;
+                }
+                if best.is_none_or(|(_, _, c)| self.counts[a][p] > c) {
+                    best = Some((a, p, self.counts[a][p]));
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_scores() {
+        let mut m = ConfusionMatrix::new(3);
+        m.record(0, 0);
+        m.record(0, 0);
+        m.record(0, 1);
+        m.record(1, 1);
+        m.record(2, 0);
+        assert_eq!(m.total(), 5);
+        assert!((m.accuracy() - 0.6).abs() < 1e-9);
+        assert!((m.recall(0).expect("seen") - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(m.recall(1), Some(1.0));
+        assert_eq!(m.precision(1), Some(0.5));
+        assert_eq!(m.recall(2), Some(0.0));
+        assert_eq!(m.worst_confusion(), Some((0, 1, 1)));
+    }
+
+    #[test]
+    fn empty_classes_are_none() {
+        let m = ConfusionMatrix::new(2);
+        assert_eq!(m.recall(0), None);
+        assert_eq!(m.precision(0), None);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.worst_confusion(), None);
+    }
+
+    #[test]
+    fn batch_recording_matches_argmax() {
+        let mut m = ConfusionMatrix::new(2);
+        let logits = Activation::new(vec![2.0, 1.0, 0.0, 3.0], 2, vec![2]);
+        m.record_batch(&logits, &[0, 0]);
+        assert_eq!(m.count(0, 0), 1);
+        assert_eq!(m.count(0, 1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "actual label out of range")]
+    fn rejects_bad_label() {
+        ConfusionMatrix::new(2).record(5, 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! End-to-end gradient checks: finite differences through composed
+//! layer stacks and the joint early-exit loss. Run at 8-bit quantization
+//! so the quantizer is near-identity and central differences are
+//! meaningful.
+
+use adapex_nn::layers::{Activation, BatchNorm, Layer, MaxPool2d, QuantConv2d, QuantLinear, QuantReLU};
+use adapex_nn::loss::cross_entropy_with_grad;
+use adapex_nn::network::{EarlyExitNetwork, ExitBranch};
+use adapex_nn::quant::QuantSpec;
+use adapex_tensor::conv::ConvGeometry;
+use adapex_tensor::rng::rng_from_seed;
+
+/// A conv→BN→act→pool→flatten→fc stack with one early exit.
+fn tiny_net() -> EarlyExitNetwork {
+    let mut rng = rng_from_seed(5);
+    let spec = QuantSpec::signed(8);
+    let act = || QuantReLU::new(QuantSpec::unsigned(8), 2.0);
+    let backbone = vec![
+        Layer::Conv(QuantConv2d::new(1, 2, ConvGeometry::new(3), spec, &mut rng)),
+        Layer::Norm(BatchNorm::new(2)),
+        Layer::Act(act()),
+        Layer::Pool(MaxPool2d::new(2)),
+        Layer::Flatten,
+        Layer::Linear(QuantLinear::new(2 * 3 * 3, 4, spec, &mut rng)),
+    ];
+    let exit = ExitBranch {
+        attach_after: 2,
+        layers: vec![
+            Layer::Pool(MaxPool2d::new(3)),
+            Layer::Flatten,
+            Layer::Linear(QuantLinear::new(2 * 2 * 2, 4, spec, &mut rng)),
+        ],
+    };
+    EarlyExitNetwork::new(backbone, vec![exit], vec![1, 8, 8], 4)
+}
+
+fn joint_loss(net: &mut EarlyExitNetwork, x: &Activation, labels: &[usize]) -> f32 {
+    let outs = net.forward(x, true);
+    let weights = [1.0f32, 0.3];
+    outs.iter()
+        .zip(weights)
+        .map(|(o, w)| w * cross_entropy_with_grad(o, labels, 1.0).0)
+        .sum()
+}
+
+#[test]
+fn joint_loss_gradients_match_finite_differences() {
+    let mut net = tiny_net();
+    let x = Activation::new(
+        (0..64).map(|v| ((v * 13 % 17) as f32 - 8.0) / 6.0).collect(),
+        1,
+        vec![1, 8, 8],
+    );
+    let labels = [2usize];
+
+    // Analytic gradients via the joint backward pass.
+    let outs = net.forward(&x, true);
+    let weights = [1.0f32, 0.3];
+    let grads: Vec<Activation> = outs
+        .iter()
+        .zip(weights)
+        .map(|(o, w)| cross_entropy_with_grad(o, &labels, w).1)
+        .collect();
+    net.zero_grad();
+    net.backward(&grads);
+
+    // Snapshot a handful of parameters across the network and compare.
+    // (Index 0 of each param; conv weight index 7 as a non-trivial tap.)
+    let eps = 5e-3;
+    let mut checked = 0;
+    let mut failures = Vec::new();
+    let param_count = {
+        let mut n = 0;
+        net.for_each_param(|_| n += 1);
+        n
+    };
+    for target in 0..param_count {
+        // Probe one scalar per parameter tensor (a mid-tensor tap when
+        // the tensor is large enough, else the last element).
+        let (analytic, orig) = {
+            let mut found = None;
+            let mut i = 0;
+            net.for_each_param(|p| {
+                if i == target && !p.is_empty() {
+                    let idx = 7.min(p.len() - 1);
+                    found = Some((p.grad[idx], p.value[idx]));
+                }
+                i += 1;
+            });
+            match found {
+                Some(v) => v,
+                None => continue,
+            }
+        };
+        let set = |net: &mut EarlyExitNetwork, v: f32| {
+            let mut i = 0;
+            net.for_each_param(|p| {
+                if i == target && !p.is_empty() {
+                    let idx = 7.min(p.len() - 1);
+                    p.value[idx] = v;
+                }
+                i += 1;
+            });
+        };
+        set(&mut net, orig + eps);
+        let lp = joint_loss(&mut net, &x, &labels);
+        set(&mut net, orig - eps);
+        let lm = joint_loss(&mut net, &x, &labels);
+        set(&mut net, orig);
+        let numeric = (lp - lm) / (2.0 * eps);
+        checked += 1;
+        if (numeric - analytic).abs() > 0.05 + 0.1 * numeric.abs() {
+            failures.push(format!(
+                "param {target}: numeric {numeric:.5} vs analytic {analytic:.5}"
+            ));
+        }
+    }
+    assert!(checked >= 6, "too few parameters probed: {checked}");
+    // Quantized nets are piecewise-constant at fine scales; allow a
+    // small number of probes to land on a rounding cliff.
+    assert!(
+        failures.len() <= checked / 4,
+        "{} of {checked} probes failed:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn zero_grad_resets_accumulators() {
+    let mut net = tiny_net();
+    let x = Activation::new(vec![0.5; 64], 1, vec![1, 8, 8]);
+    let outs = net.forward(&x, true);
+    let grads: Vec<Activation> = outs
+        .iter()
+        .map(|o| Activation::new(vec![1.0; o.data.len()], o.n, o.dims.clone()))
+        .collect();
+    net.backward(&grads);
+    let mut any_nonzero = false;
+    net.for_each_param(|p| any_nonzero |= p.grad.iter().any(|&g| g != 0.0));
+    assert!(any_nonzero, "backward must produce gradients");
+    net.zero_grad();
+    net.for_each_param(|p| assert!(p.grad.iter().all(|&g| g == 0.0)));
+}
+
+#[test]
+fn gradient_accumulates_across_backward_calls() {
+    let mut net = tiny_net();
+    let x = Activation::new(vec![0.3; 64], 1, vec![1, 8, 8]);
+    let run = |net: &mut EarlyExitNetwork| {
+        let outs = net.forward(&x, true);
+        let grads: Vec<Activation> = outs
+            .iter()
+            .map(|o| Activation::new(vec![1.0; o.data.len()], o.n, o.dims.clone()))
+            .collect();
+        net.backward(&grads);
+    };
+    net.zero_grad();
+    run(&mut net);
+    let mut once = Vec::new();
+    net.for_each_param(|p| once.push(p.grad.clone()));
+    run(&mut net);
+    let mut twice = Vec::new();
+    net.for_each_param(|p| twice.push(p.grad.clone()));
+    for (a, b) in once.iter().zip(&twice) {
+        for (x1, x2) in a.iter().zip(b) {
+            assert!((x2 - 2.0 * x1).abs() < 1e-4, "{x2} != 2*{x1}");
+        }
+    }
+}

@@ -1,0 +1,169 @@
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Folding constraints one convolution must respect when pruned: the
+/// MVTU executing it has `pe` processing elements, and the MVTU of the
+/// *next* layer reads its output over `simd_next` SIMD lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LayerConstraint {
+    /// Processing elements of this layer's MVTU (must divide the kept
+    /// filter count).
+    pub pe: usize,
+    /// SIMD lanes of the next layer's MVTU (must divide the kept filter
+    /// count, which is the next layer's input channel count).
+    pub simd_next: usize,
+}
+
+impl LayerConstraint {
+    /// New constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is zero.
+    pub fn new(pe: usize, simd_next: usize) -> Self {
+        assert!(pe > 0 && simd_next > 0, "PE and SIMD must be positive");
+        LayerConstraint { pe, simd_next }
+    }
+
+    /// The folding granularity the kept channel count must be a multiple
+    /// of: `lcm(pe, simd_next)`.
+    pub fn granularity(&self) -> usize {
+        lcm(self.pe, self.simd_next)
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: usize, b: usize) -> usize {
+    a / gcd(a, b) * b
+}
+
+/// How many filters survive when pruning `ch_out` filters at `rate`
+/// under `constraint` — the paper's iterative procedure: start from
+/// `r = ⌊rate·ch_out⌋` and decrease `r` until both divisibility
+/// constraints hold (and at least one full folding group survives).
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= rate <= 1.0` and `ch_out > 0`.
+pub fn dataflow_aware_keep_count(ch_out: usize, rate: f64, constraint: LayerConstraint) -> usize {
+    assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+    assert!(ch_out > 0, "layer must have filters");
+    let mut r = (rate * ch_out as f64).floor() as usize;
+    r = r.min(ch_out.saturating_sub(1));
+    loop {
+        let keep = ch_out - r;
+        if keep.is_multiple_of(constraint.pe) && keep.is_multiple_of(constraint.simd_next) {
+            return keep;
+        }
+        if r == 0 {
+            // The unpruned layer itself may violate the constraint (a
+            // misconfigured folding); keep everything rather than grow.
+            return ch_out;
+        }
+        r -= 1;
+    }
+}
+
+/// Per-site folding constraints for a whole early-exit network.
+///
+/// Sites are addressed by [`ConvSite`](crate::ConvSite)-compatible keys:
+/// backbone convs by their backbone layer index, exit convs by exit
+/// ordinal. Missing entries fall back to `default`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConstraintMap {
+    /// Fallback constraint.
+    pub default: LayerConstraint,
+    /// Overrides for backbone conv layers, keyed by backbone layer index.
+    pub backbone: HashMap<usize, LayerConstraint>,
+    /// Overrides for exit conv layers, keyed by exit ordinal.
+    pub exits: HashMap<usize, LayerConstraint>,
+}
+
+impl ConstraintMap {
+    /// Same constraint everywhere.
+    pub fn uniform(pe: usize, simd_next: usize) -> Self {
+        ConstraintMap {
+            default: LayerConstraint::new(pe, simd_next),
+            backbone: HashMap::new(),
+            exits: HashMap::new(),
+        }
+    }
+
+    /// Constraint for the backbone conv at `layer_index`.
+    pub fn for_backbone(&self, layer_index: usize) -> LayerConstraint {
+        self.backbone.get(&layer_index).copied().unwrap_or(self.default)
+    }
+
+    /// Constraint for exit `exit_index`'s conv.
+    pub fn for_exit(&self, exit_index: usize) -> LayerConstraint {
+        self.exits.get(&exit_index).copied().unwrap_or(self.default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keep_count_respects_both_divisors() {
+        let c = LayerConstraint::new(4, 8);
+        // 64 filters at 50% -> r=32 -> keep 32, divisible by 4 and 8.
+        assert_eq!(dataflow_aware_keep_count(64, 0.5, c), 32);
+        // 64 at 45% -> r=28 -> keep 36, not /8 -> back off to keep 40.
+        assert_eq!(dataflow_aware_keep_count(64, 0.45, c), 40);
+    }
+
+    #[test]
+    fn zero_rate_keeps_everything() {
+        let c = LayerConstraint::new(2, 2);
+        assert_eq!(dataflow_aware_keep_count(64, 0.0, c), 64);
+    }
+
+    #[test]
+    fn full_rate_keeps_one_folding_group() {
+        let c = LayerConstraint::new(4, 2);
+        // r starts at ch_out-1 = 63, keep grows until divisible by 4: keep 4.
+        assert_eq!(dataflow_aware_keep_count(64, 1.0, c), 4);
+    }
+
+    #[test]
+    fn misfit_layer_survives_unpruned() {
+        // 7 channels can never satisfy PE=4 except keep=4; rate tiny -> r=0
+        // initially, 7 % 4 != 0, so the procedure returns everything.
+        let c = LayerConstraint::new(4, 4);
+        assert_eq!(dataflow_aware_keep_count(7, 0.05, c), 7);
+    }
+
+    #[test]
+    fn keep_is_monotone_nonincreasing_in_rate() {
+        let c = LayerConstraint::new(4, 2);
+        let mut last = usize::MAX;
+        for step in 0..=20 {
+            let keep = dataflow_aware_keep_count(64, step as f64 / 20.0, c);
+            assert!(keep <= last, "keep must not grow with rate");
+            last = keep;
+        }
+    }
+
+    #[test]
+    fn granularity_is_lcm() {
+        assert_eq!(LayerConstraint::new(4, 6).granularity(), 12);
+        assert_eq!(LayerConstraint::new(8, 8).granularity(), 8);
+    }
+
+    #[test]
+    fn map_falls_back_to_default() {
+        let mut map = ConstraintMap::uniform(2, 2);
+        map.backbone.insert(3, LayerConstraint::new(8, 4));
+        assert_eq!(map.for_backbone(3), LayerConstraint::new(8, 4));
+        assert_eq!(map.for_backbone(0), LayerConstraint::new(2, 2));
+        assert_eq!(map.for_exit(1), LayerConstraint::new(2, 2));
+    }
+}

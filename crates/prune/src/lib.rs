@@ -1,0 +1,44 @@
+//! Dataflow-aware filter pruning for early-exit CNNs (paper Sec. IV-A2).
+//!
+//! AdaPEx prunes convolution **filters** (whole output channels), ranked
+//! by the ℓ1 norm of their full-precision weights (Li et al., ICLR 2017), so the
+//! pruned model stays dense and maps cleanly onto FINN's MVTU hardware.
+//! What makes the pruning *dataflow-aware* is that the surviving channel
+//! counts must keep every MVTU's folding legal:
+//!
+//! * `(ch_out_i − r_i) mod PE_i = 0` — the layer's processing elements
+//!   must divide its (post-pruning) filter count, and
+//! * `(ch_out_i − r_i) mod SIMD_{i+1} = 0` — the *next* layer's SIMD
+//!   lanes must divide its (post-pruning) input channel count.
+//!
+//! When a requested pruning amount violates a constraint, the amount is
+//! decreased until it fits ([`dataflow_aware_keep_count`]), exactly as in
+//! the paper.
+//!
+//! Early-exit handling follows the paper's `pruned` flag: either only the
+//! backbone convs are pruned (exits keep full capacity and recover
+//! accuracy at high pruning rates) or the exits' conv layers are pruned
+//! at the same rate.
+//!
+//! # Example
+//!
+//! ```
+//! use adapex_nn::cnv::{CnvConfig, ExitsConfig};
+//! use adapex_prune::{ConstraintMap, PruneConfig, Pruner};
+//!
+//! let net = CnvConfig::tiny().build_early_exit(10, &ExitsConfig::paper_default(), 1);
+//! let pruner = Pruner::new(PruneConfig { rate: 0.5, prune_exits: false });
+//! let (pruned, report) = pruner.prune(&net, &ConstraintMap::uniform(2, 2));
+//! assert!(report.overall_rate() > 0.0);
+//! assert_eq!(pruned.num_exits(), net.num_exits());
+//! ```
+
+mod constraint;
+mod pruner;
+mod ranking;
+pub mod sensitivity;
+mod surgery;
+
+pub use constraint::{dataflow_aware_keep_count, ConstraintMap, LayerConstraint};
+pub use pruner::{ConvSite, LayerPruneRecord, PruneConfig, PruneReport, Pruner};
+pub use ranking::rank_filters_l1;

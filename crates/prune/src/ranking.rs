@@ -1,0 +1,73 @@
+use adapex_nn::layers::QuantConv2d;
+
+/// Ranks a convolution's filters by the ℓ1 norm of their full-precision
+/// weights and returns the indices of the `keep` strongest filters, in
+/// ascending index order (so downstream surgery preserves channel order).
+///
+/// Ties break towards the lower index, matching a stable sort on norms.
+///
+/// # Panics
+///
+/// Panics if `keep` exceeds the filter count.
+pub fn rank_filters_l1(conv: &QuantConv2d, keep: usize) -> Vec<usize> {
+    assert!(keep <= conv.c_out, "cannot keep more filters than exist");
+    let row_len = conv.weight.value.len() / conv.c_out.max(1);
+    let mut scored: Vec<(usize, f32)> = (0..conv.c_out)
+        .map(|f| {
+            let row = &conv.weight.value[f * row_len..(f + 1) * row_len];
+            (f, row.iter().map(|w| w.abs()).sum())
+        })
+        .collect();
+    // Highest norm first; stable so equal norms keep index order.
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut kept: Vec<usize> = scored[..keep].iter().map(|&(i, _)| i).collect();
+    kept.sort_unstable();
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapex_nn::quant::QuantSpec;
+    use adapex_tensor::conv::ConvGeometry;
+    use adapex_tensor::rng::rng_from_seed;
+
+    fn conv_with_norms(norms: &[f32]) -> QuantConv2d {
+        let mut conv = QuantConv2d::new(
+            1,
+            norms.len(),
+            ConvGeometry::new(1),
+            QuantSpec::signed(2),
+            &mut rng_from_seed(1),
+        );
+        // 1x1 kernel on 1 channel: one weight per filter.
+        conv.weight.value = norms.to_vec();
+        conv
+    }
+
+    #[test]
+    fn keeps_highest_l1_filters() {
+        let conv = conv_with_norms(&[0.1, -0.9, 0.5, 0.2]);
+        assert_eq!(rank_filters_l1(&conv, 2), vec![1, 2]);
+        assert_eq!(rank_filters_l1(&conv, 3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sign_does_not_matter() {
+        let conv = conv_with_norms(&[-1.0, 0.5]);
+        assert_eq!(rank_filters_l1(&conv, 1), vec![0]);
+    }
+
+    #[test]
+    fn keep_all_returns_identity() {
+        let conv = conv_with_norms(&[0.3, 0.1, 0.2]);
+        assert_eq!(rank_filters_l1(&conv, 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot keep more filters")]
+    fn rejects_over_keep() {
+        let conv = conv_with_norms(&[0.3]);
+        rank_filters_l1(&conv, 2);
+    }
+}

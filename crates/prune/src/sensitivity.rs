@@ -1,0 +1,257 @@
+//! Per-layer pruning sensitivity analysis.
+//!
+//! Filter-pruning papers (including the ℓ1 method AdaPEx adopts) rank
+//! layers by how much accuracy collapses when *only that layer* is
+//! pruned. This module runs that sweep on an early-exit network: prune a
+//! single conv site at one or more rates, leave everything else intact,
+//! and hand the mutated network to a caller-supplied evaluator (the
+//! caller decides whether "accuracy" means final-exit, mean-exit or
+//! thresholded early-exit accuracy, and whether to retrain first).
+
+use crate::constraint::ConstraintMap;
+use crate::pruner::ConvSite;
+use crate::ranking::rank_filters_l1;
+use crate::surgery::{prune_batchnorm, prune_conv_inputs, prune_conv_outputs, prune_linear_inputs};
+use crate::{dataflow_aware_keep_count, PruneConfig, Pruner};
+use adapex_nn::layers::Layer;
+use adapex_nn::network::EarlyExitNetwork;
+use serde::{Deserialize, Serialize};
+
+/// One site's sensitivity curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteSensitivity {
+    /// The conv that was pruned in isolation.
+    pub site: ConvSite,
+    /// Filters before pruning.
+    pub original_filters: usize,
+    /// `(rate, kept filters, evaluator score)` per swept rate.
+    pub curve: Vec<(f64, usize, f64)>,
+}
+
+impl SiteSensitivity {
+    /// Score drop between the first and last swept rate (positive when
+    /// pruning hurts).
+    pub fn score_drop(&self) -> f64 {
+        match (self.curve.first(), self.curve.last()) {
+            (Some(first), Some(last)) => first.2 - last.2,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Sweeps every backbone conv site (and exit convs when the network has
+/// exits), pruning each in isolation at `rates` and scoring the result
+/// with `evaluate`.
+///
+/// The evaluator receives a freshly pruned clone, so it may mutate it
+/// (run forward passes, even retrain).
+///
+/// # Panics
+///
+/// Panics if a rate is outside `[0, 1]`.
+pub fn sensitivity_sweep(
+    net: &EarlyExitNetwork,
+    constraints: &ConstraintMap,
+    rates: &[f64],
+    mut evaluate: impl FnMut(&mut EarlyExitNetwork) -> f64,
+) -> Vec<SiteSensitivity> {
+    let mut results = Vec::new();
+    let backbone_sites: Vec<usize> = net
+        .backbone
+        .iter()
+        .enumerate()
+        .filter_map(|(i, l)| matches!(l, Layer::Conv(_)).then_some(i))
+        .collect();
+    for &layer_idx in &backbone_sites {
+        let Layer::Conv(conv) = &net.backbone[layer_idx] else {
+            unreachable!("filtered to convs");
+        };
+        let original_filters = conv.c_out;
+        let mut curve = Vec::with_capacity(rates.len());
+        for &rate in rates {
+            assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+            let mut mutated = prune_single_backbone_site(net, layer_idx, rate, constraints);
+            let kept = match &mutated.backbone[layer_idx] {
+                Layer::Conv(c) => c.c_out,
+                _ => unreachable!(),
+            };
+            let score = evaluate(&mut mutated);
+            curve.push((rate, kept, score));
+        }
+        results.push(SiteSensitivity {
+            site: ConvSite::Backbone(layer_idx),
+            original_filters,
+            curve,
+        });
+    }
+    results
+}
+
+/// Prunes exactly one backbone conv (by layer index) at `rate`,
+/// propagating only that site's keep set.
+///
+/// # Panics
+///
+/// Panics if `layer_idx` is not a conv layer.
+pub fn prune_single_backbone_site(
+    net: &EarlyExitNetwork,
+    layer_idx: usize,
+    rate: f64,
+    constraints: &ConstraintMap,
+) -> EarlyExitNetwork {
+    let Layer::Conv(conv) = &net.backbone[layer_idx] else {
+        panic!("backbone layer {layer_idx} is not a conv");
+    };
+    let keep_count =
+        dataflow_aware_keep_count(conv.c_out, rate, constraints.for_backbone(layer_idx));
+    let keep = rank_filters_l1(conv, keep_count);
+    if keep.len() == conv.c_out {
+        return net.clone();
+    }
+
+    // Reuse the full pruner's propagation machinery by applying surgery
+    // along the same forward sweep, but only for this one site.
+    let mut out = net.clone();
+    let mut dims = out.input_dims.clone();
+    let mut pending: Option<Vec<usize>> = None;
+    let mut flat_spatial = 1usize;
+    for j in 0..out.backbone.len() {
+        if pending.is_some() {
+            if let Layer::Flatten = out.backbone[j] {
+                flat_spatial = dims[1] * dims[2];
+            }
+        }
+        if let Some(k) = pending.clone() {
+            match &mut out.backbone[j] {
+                Layer::Conv(c) => {
+                    prune_conv_inputs(c, &k);
+                    pending = None;
+                }
+                Layer::Linear(l) => {
+                    prune_linear_inputs(l, &k, flat_spatial);
+                    pending = None;
+                }
+                Layer::Norm(b) => prune_batchnorm(b, &k),
+                Layer::Pool(_) | Layer::Act(_) | Layer::Flatten => {}
+            }
+        }
+        if j == layer_idx {
+            if let Layer::Conv(c) = &mut out.backbone[j] {
+                prune_conv_outputs(c, &keep);
+                pending = Some(keep.clone());
+            }
+        }
+        dims = out.backbone[j].out_dims(&dims);
+        for e in 0..out.exits.len() {
+            if out.exits[e].attach_after != j {
+                continue;
+            }
+            if let Some(k) = &pending {
+                match out.exits[e].layers.first_mut() {
+                    Some(Layer::Conv(c)) => prune_conv_inputs(c, k),
+                    _ => panic!("exit {e} must start with a conv layer"),
+                }
+            }
+        }
+    }
+    assert!(pending.is_none(), "keep propagation must be consumed");
+    out
+}
+
+/// Convenience: full-network pruning at each rate for comparison against
+/// the per-site curves (`(rate, achieved rate, score)`).
+pub fn whole_network_curve(
+    net: &EarlyExitNetwork,
+    constraints: &ConstraintMap,
+    rates: &[f64],
+    prune_exits: bool,
+    mut evaluate: impl FnMut(&mut EarlyExitNetwork) -> f64,
+) -> Vec<(f64, f64, f64)> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let (mut pruned, report) =
+                Pruner::new(PruneConfig { rate, prune_exits }).prune(net, constraints);
+            let score = evaluate(&mut pruned);
+            (rate, report.overall_rate(), score)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapex_nn::cnv::{CnvConfig, ExitsConfig};
+    use adapex_nn::layers::Activation;
+
+    fn net() -> EarlyExitNetwork {
+        CnvConfig::tiny().build_early_exit(10, &ExitsConfig::paper_default(), 1)
+    }
+
+    #[test]
+    fn single_site_pruning_touches_only_that_site() {
+        let base = net();
+        let constraints = ConstraintMap::uniform(1, 1);
+        let pruned = prune_single_backbone_site(&base, 3, 0.5, &constraints); // conv2
+        let convs = |n: &EarlyExitNetwork| -> Vec<usize> {
+            n.backbone
+                .iter()
+                .filter_map(|l| match l {
+                    Layer::Conv(c) => Some(c.c_out),
+                    _ => None,
+                })
+                .collect()
+        };
+        let before = convs(&base);
+        let after = convs(&pruned);
+        assert!(after[1] < before[1], "target conv must shrink");
+        for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+            if i != 1 {
+                assert_eq!(b, a, "conv {i} must be untouched");
+            }
+        }
+        // Still runs.
+        let mut p = pruned;
+        let outs = p.forward(&Activation::zeros(1, &[3, 32, 32]), false);
+        assert_eq!(outs.len(), 3);
+    }
+
+    #[test]
+    fn sweep_covers_every_backbone_conv() {
+        let base = net();
+        let constraints = ConstraintMap::uniform(1, 1);
+        let results = sensitivity_sweep(&base, &constraints, &[0.0, 0.5], |n| {
+            // Cheap "score": negative parameter count, so pruning raises it.
+            -(n.param_count() as f64)
+        });
+        assert_eq!(results.len(), 6); // CNV has six backbone convs
+        for r in &results {
+            assert_eq!(r.curve.len(), 2);
+            assert!(matches!(r.site, ConvSite::Backbone(_)));
+            // Rate 0 keeps everything; rate 0.5 keeps fewer.
+            assert_eq!(r.curve[0].1, r.original_filters);
+            assert!(r.curve[1].1 < r.original_filters);
+            // The score moved (fewer params -> higher negative-count).
+            assert!(r.score_drop() < 0.0);
+        }
+    }
+
+    #[test]
+    fn whole_network_curve_reports_achieved_rates() {
+        let base = net();
+        let constraints = ConstraintMap::uniform(2, 2);
+        let curve = whole_network_curve(&base, &constraints, &[0.0, 0.5], false, |n| {
+            n.param_count() as f64
+        });
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0].1, 0.0);
+        assert!(curve[1].1 > 0.2);
+        assert!(curve[1].2 < curve[0].2);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a conv")]
+    fn rejects_non_conv_site() {
+        prune_single_backbone_site(&net(), 1, 0.5, &ConstraintMap::uniform(1, 1));
+    }
+}

@@ -1,0 +1,182 @@
+//! Structural surgery: removing channels from layers.
+//!
+//! Every function rebuilds the affected [`Param`]s from the surviving
+//! values; gradient and momentum buffers reset to zero, which is correct
+//! because the paper always retrains after pruning.
+
+use adapex_nn::layers::{BatchNorm, Param, QuantConv2d, QuantLinear};
+
+/// Keeps only the filters in `keep` (ascending indices) of `conv`.
+///
+/// # Panics
+///
+/// Panics if an index is out of range or `keep` is empty.
+pub fn prune_conv_outputs(conv: &mut QuantConv2d, keep: &[usize]) {
+    assert!(!keep.is_empty(), "at least one filter must survive");
+    let row_len = conv.weight.value.len() / conv.c_out;
+    let mut weight = Vec::with_capacity(keep.len() * row_len);
+    let mut bias = Vec::with_capacity(keep.len());
+    for &f in keep {
+        assert!(f < conv.c_out, "filter index {f} out of range {}", conv.c_out);
+        weight.extend_from_slice(&conv.weight.value[f * row_len..(f + 1) * row_len]);
+        bias.push(conv.bias.value[f]);
+    }
+    conv.weight = Param::new(weight);
+    conv.bias = Param::new(bias);
+    conv.c_out = keep.len();
+}
+
+/// Keeps only the input channels in `keep` of `conv`.
+///
+/// Weight rows are laid out `[c_in * k * k]` channel-major, so pruning an
+/// input channel removes a contiguous `k*k` block from every row.
+///
+/// # Panics
+///
+/// Panics if an index is out of range or `keep` is empty.
+pub fn prune_conv_inputs(conv: &mut QuantConv2d, keep: &[usize]) {
+    assert!(!keep.is_empty(), "at least one input channel must survive");
+    let k2 = conv.geom.kernel * conv.geom.kernel;
+    let old_row = conv.c_in * k2;
+    let mut weight = Vec::with_capacity(conv.c_out * keep.len() * k2);
+    for f in 0..conv.c_out {
+        let row = &conv.weight.value[f * old_row..(f + 1) * old_row];
+        for &c in keep {
+            assert!(c < conv.c_in, "channel index {c} out of range {}", conv.c_in);
+            weight.extend_from_slice(&row[c * k2..(c + 1) * k2]);
+        }
+    }
+    conv.weight = Param::new(weight);
+    conv.c_in = keep.len();
+}
+
+/// Keeps only the channels in `keep` of a batch-norm layer (including its
+/// running statistics).
+///
+/// # Panics
+///
+/// Panics if an index is out of range.
+pub fn prune_batchnorm(bn: &mut BatchNorm, keep: &[usize]) {
+    let pick = |v: &[f32]| -> Vec<f32> {
+        keep.iter()
+            .map(|&c| {
+                assert!(c < bn.channels, "channel index {c} out of range {}", bn.channels);
+                v[c]
+            })
+            .collect()
+    };
+    bn.gamma = Param::new(pick(&bn.gamma.value));
+    bn.beta = Param::new(pick(&bn.beta.value));
+    bn.running_mean = pick(&bn.running_mean);
+    bn.running_var = pick(&bn.running_var);
+    bn.channels = keep.len();
+}
+
+/// Keeps only the input features of `lin` that correspond to surviving
+/// channels: the producing feature map had `spatial` positions per
+/// channel and was flattened channel-major, so channel `c` owns features
+/// `c*spatial .. (c+1)*spatial`.
+///
+/// # Panics
+///
+/// Panics if the geometry is inconsistent or an index is out of range.
+pub fn prune_linear_inputs(lin: &mut QuantLinear, keep: &[usize], spatial: usize) {
+    assert!(spatial > 0, "spatial size must be positive");
+    assert_eq!(
+        lin.in_features % spatial,
+        0,
+        "linear width {} is not a whole number of channels of {spatial} positions",
+        lin.in_features
+    );
+    let old_channels = lin.in_features / spatial;
+    let mut weight = Vec::with_capacity(lin.out_features * keep.len() * spatial);
+    for o in 0..lin.out_features {
+        let row = &lin.weight.value[o * lin.in_features..(o + 1) * lin.in_features];
+        for &c in keep {
+            assert!(c < old_channels, "channel index {c} out of range {old_channels}");
+            weight.extend_from_slice(&row[c * spatial..(c + 1) * spatial]);
+        }
+    }
+    lin.weight = Param::new(weight);
+    lin.in_features = keep.len() * spatial;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapex_nn::quant::QuantSpec;
+    use adapex_tensor::conv::ConvGeometry;
+    use adapex_tensor::rng::rng_from_seed;
+
+    fn conv(c_in: usize, c_out: usize, k: usize) -> QuantConv2d {
+        QuantConv2d::new(
+            c_in,
+            c_out,
+            ConvGeometry::new(k),
+            QuantSpec::signed(2),
+            &mut rng_from_seed(7),
+        )
+    }
+
+    #[test]
+    fn conv_output_pruning_keeps_selected_rows() {
+        let mut c = conv(2, 4, 3);
+        let row_len = 2 * 9;
+        let row1 = c.weight.value[row_len..2 * row_len].to_vec();
+        let bias1 = {
+            c.bias.value = vec![0.0, 1.5, 2.5, 3.5];
+            1.5
+        };
+        prune_conv_outputs(&mut c, &[1, 3]);
+        assert_eq!(c.c_out, 2);
+        assert_eq!(&c.weight.value[..row_len], &row1[..]);
+        assert_eq!(c.bias.value[0], bias1);
+        assert_eq!(c.weight.grad.len(), c.weight.value.len());
+    }
+
+    #[test]
+    fn conv_input_pruning_keeps_selected_blocks() {
+        let mut c = conv(3, 2, 1);
+        c.weight.value = vec![10.0, 11.0, 12.0, 20.0, 21.0, 22.0];
+        prune_conv_inputs(&mut c, &[0, 2]);
+        assert_eq!(c.c_in, 2);
+        assert_eq!(c.weight.value, vec![10.0, 12.0, 20.0, 22.0]);
+    }
+
+    #[test]
+    fn batchnorm_pruning_keeps_stats() {
+        let mut bn = BatchNorm::new(3);
+        bn.gamma.value = vec![1.0, 2.0, 3.0];
+        bn.running_mean = vec![0.1, 0.2, 0.3];
+        bn.running_var = vec![1.1, 1.2, 1.3];
+        prune_batchnorm(&mut bn, &[2]);
+        assert_eq!(bn.channels, 1);
+        assert_eq!(bn.gamma.value, vec![3.0]);
+        assert_eq!(bn.running_mean, vec![0.3]);
+        assert_eq!(bn.running_var, vec![1.3]);
+    }
+
+    #[test]
+    fn linear_input_pruning_respects_spatial_blocks() {
+        let mut lin = QuantLinear::new(6, 1, QuantSpec::signed(2), &mut rng_from_seed(1));
+        // 3 channels x 2 positions.
+        lin.weight.value = vec![10.0, 11.0, 20.0, 21.0, 30.0, 31.0];
+        prune_linear_inputs(&mut lin, &[0, 2], 2);
+        assert_eq!(lin.in_features, 4);
+        assert_eq!(lin.weight.value, vec![10.0, 11.0, 30.0, 31.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of channels")]
+    fn linear_pruning_rejects_bad_spatial() {
+        let mut lin = QuantLinear::new(5, 1, QuantSpec::signed(2), &mut rng_from_seed(1));
+        prune_linear_inputs(&mut lin, &[0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one filter")]
+    fn conv_output_pruning_rejects_empty_keep() {
+        let mut c = conv(1, 2, 1);
+        prune_conv_outputs(&mut c, &[]);
+    }
+}

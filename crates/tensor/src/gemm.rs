@@ -1,0 +1,230 @@
+//! Single-precision matrix multiply.
+//!
+//! Convolutions (after [`crate::conv::im2col`] lowering) and fully-connected
+//! layers both reduce to `C = A * B`, which makes this kernel the hot path
+//! of the whole training engine. The implementation is an `i-k-j` loop with
+//! k-blocking: the inner loop is a SAXPY over a row of `B`, which the
+//! compiler auto-vectorizes, and rows of `C` stay in registers/L1. Rows of
+//! `A` are distributed over scoped worker threads.
+
+use crate::parallel::parallel_for_chunks;
+
+/// Panel size along the reduction dimension; keeps a `KC x n` slab of `B`
+/// resident in L2 while a thread sweeps its rows of `A`.
+const KC: usize = 256;
+
+/// `C = A * B` for row-major `A: [m, k]`, `B: [k, n]`, `C: [m, n]`.
+///
+/// `c` is fully overwritten.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with its dimensions.
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A length");
+    assert_eq!(b.len(), k * n, "B length");
+    assert_eq!(c.len(), m * n, "C length");
+    c.fill(0.0);
+    gemm_acc(m, k, n, a, b, c);
+}
+
+/// `C += A * B`; same layout contract as [`gemm`].
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with its dimensions.
+pub fn gemm_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A length");
+    assert_eq!(b.len(), k * n, "B length");
+    assert_eq!(c.len(), m * n, "C length");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    // Give each worker ≳64k multiply-adds so threading pays for itself.
+    let min_rows = (65_536 / (k * n).max(1)).max(1);
+    parallel_for_chunks(m, n, c, min_rows, |rows, c_chunk| {
+        for k0 in (0..k).step_by(KC) {
+            let k1 = (k0 + KC).min(k);
+            for (local, i) in rows.clone().enumerate() {
+                let a_row = &a[i * k..(i + 1) * k];
+                let c_row = &mut c_chunk[local * n..(local + 1) * n];
+                for kk in k0..k1 {
+                    let aik = a_row[kk];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[kk * n..(kk + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += aik * bv;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// `C = A^T * B` for row-major `A: [k, m]`, `B: [k, n]`, `C: [m, n]`.
+///
+/// Used by the backward passes (`dW = X^T * dY`) without materializing the
+/// transpose.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with its dimensions.
+pub fn gemm_at_b(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "A length");
+    assert_eq!(b.len(), k * n, "B length");
+    assert_eq!(c.len(), m * n, "C length");
+    c.fill(0.0);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let min_rows = (65_536 / (k * n).max(1)).max(1);
+    parallel_for_chunks(m, n, c, min_rows, |rows, c_chunk| {
+        for kk in 0..k {
+            let a_row = &a[kk * m..(kk + 1) * m];
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (local, i) in rows.clone().enumerate() {
+                let aik = a_row[i];
+                if aik == 0.0 {
+                    continue;
+                }
+                let c_row = &mut c_chunk[local * n..(local + 1) * n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+    });
+}
+
+/// `C = A * B^T` for row-major `A: [m, k]`, `B: [n, k]`, `C: [m, n]`.
+///
+/// Used by backward passes (`dX = dY * W` when `W` is stored `[n, k]`).
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with its dimensions.
+pub fn gemm_a_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A length");
+    assert_eq!(b.len(), n * k, "B length");
+    assert_eq!(c.len(), m * n, "C length");
+    if m == 0 || n == 0 || k == 0 {
+        c.fill(0.0);
+        return;
+    }
+    let min_rows = (65_536 / (k * n).max(1)).max(1);
+    parallel_for_chunks(m, n, c, min_rows, |rows, c_chunk| {
+        for (local, i) in rows.enumerate() {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c_chunk[local * n..(local + 1) * n];
+            for (j, cv) in c_row.iter_mut().enumerate() {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (&av, &bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
+                }
+                *cv = acc;
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for kk in 0..k {
+                    c[i * n + j] += a[i * k + kk] * b[kk * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn fill(len: usize, seed: u32) -> Vec<f32> {
+        // Small LCG keeps the test free of RNG dependencies.
+        let mut s = seed as u64 | 1;
+        (0..len)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 33) as i32 % 1000) as f32 / 500.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gemm_matches_naive() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (17, 33, 9), (64, 128, 32)] {
+            let a = fill(m * k, 1);
+            let b = fill(k * n, 2);
+            let mut c = vec![0.0; m * n];
+            gemm(m, k, n, &a, &b, &mut c);
+            let want = naive(m, k, n, &a, &b);
+            for (x, y) in c.iter().zip(&want) {
+                assert!((x - y).abs() < 1e-3, "{x} vs {y} at ({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_acc_accumulates() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![2.0, 3.0, 4.0, 5.0];
+        let mut c = vec![1.0; 4];
+        gemm_acc(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, vec![3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn gemm_at_b_matches_naive_on_transpose() {
+        let (m, k, n) = (6, 11, 4);
+        let a_t = fill(k * m, 3); // stored [k, m]
+        let b = fill(k * n, 4);
+        // Materialize A = A_t^T for the reference.
+        let mut a = vec![0.0; m * k];
+        for kk in 0..k {
+            for i in 0..m {
+                a[i * k + kk] = a_t[kk * m + i];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        gemm_at_b(m, k, n, &a_t, &b, &mut c);
+        let want = naive(m, k, n, &a, &b);
+        for (x, y) in c.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn gemm_a_bt_matches_naive_on_transpose() {
+        let (m, k, n) = (5, 9, 7);
+        let a = fill(m * k, 5);
+        let b_t = fill(n * k, 6); // stored [n, k]
+        let mut b = vec![0.0; k * n];
+        for j in 0..n {
+            for kk in 0..k {
+                b[kk * n + j] = b_t[j * k + kk];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        gemm_a_bt(m, k, n, &a, &b_t, &mut c);
+        let want = naive(m, k, n, &a, &b);
+        for (x, y) in c.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn degenerate_dims_are_fine() {
+        let mut c = vec![];
+        gemm(0, 3, 0, &[], &[], &mut c);
+        let mut c = vec![5.0; 4];
+        gemm(2, 0, 2, &[], &[], &mut c);
+        assert_eq!(c, vec![0.0; 4]);
+    }
+}

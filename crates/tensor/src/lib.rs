@@ -1,0 +1,38 @@
+//! Dense `f32` tensors and the numeric kernels backing the AdaPEx CNN engine.
+//!
+//! The AdaPEx reproduction trains and evaluates quantized CNNs on the CPU,
+//! so this crate provides exactly the primitives that workload needs and
+//! nothing more:
+//!
+//! * [`Tensor`] — an owned, contiguous, row-major (NCHW for 4-D data)
+//!   `f32` tensor with shape-checked constructors and elementwise helpers.
+//! * [`gemm`] — a cache-blocked, multithreaded single-precision matrix
+//!   multiply used by convolution (via im2col) and fully-connected layers.
+//! * [`conv`] — `im2col`/`col2im` lowering so convolutions run on the GEMM.
+//! * [`rng`] — deterministic weight initialisation (uniform, normal via
+//!   Box–Muller, Kaiming fan-in scaling).
+//! * [`parallel`] — a scoped-thread `parallel_for` used by the batch loops.
+//!
+//! # Example
+//!
+//! ```
+//! use adapex_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), adapex_tensor::ShapeError> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::ones(&[2, 2]);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.as_slice(), &[3.0, 3.0, 7.0, 7.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod conv;
+pub mod gemm;
+pub mod parallel;
+pub mod rng;
+mod shape;
+mod tensor;
+
+pub use shape::{Shape, ShapeError};
+pub use tensor::Tensor;

@@ -1,0 +1,170 @@
+//! Scoped-thread data parallelism for batch and GEMM loops.
+//!
+//! The CNN engine parallelizes over independent index ranges (rows of a
+//! matrix, images of a batch). [`parallel_for`] splits `0..n` into one
+//! contiguous chunk per worker and runs the closure on scoped threads, so no
+//! runtime or dependency is needed and borrows of stack data just work.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads used by [`parallel_for`].
+///
+/// Defaults to [`std::thread::available_parallelism`], clamped to 16 (the
+/// kernels here stop scaling past that). Override with the
+/// `ADAPEX_THREADS` environment variable.
+pub fn num_threads() -> usize {
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHED.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::env::var("ADAPEX_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .min(16);
+    CACHED.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Runs `f` over contiguous sub-ranges of `0..n` on scoped worker threads.
+///
+/// The range is split into at most [`num_threads`] chunks, each at least
+/// `min_chunk` long; when `n <= min_chunk` (or only one worker is
+/// available) the closure runs inline on the calling thread, so the
+/// overhead for small problems is a single comparison.
+///
+/// ```
+/// use adapex_tensor::parallel::parallel_for;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let sum = AtomicUsize::new(0);
+/// parallel_for(100, 8, |range| {
+///     sum.fetch_add(range.len(), Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.load(Ordering::Relaxed), 100);
+/// ```
+pub fn parallel_for<F>(n: usize, min_chunk: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let workers = num_threads().min(n.div_ceil(min_chunk.max(1))).max(1);
+    if workers == 1 {
+        f(0..n);
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let f = &f;
+        for w in 0..workers {
+            let start = w * chunk;
+            let end = ((w + 1) * chunk).min(n);
+            if start >= end {
+                break;
+            }
+            scope.spawn(move || f(start..end));
+        }
+    });
+}
+
+/// Like [`parallel_for`] but hands each worker a disjoint mutable chunk of
+/// `out` aligned to `stride` elements per index.
+///
+/// `out.len()` must equal `n * stride`; worker `w` receives indices
+/// `[start, end)` and the matching sub-slice `&mut out[start*stride ..
+/// end*stride]`.
+///
+/// # Panics
+///
+/// Panics if `out.len() != n * stride`.
+pub fn parallel_for_chunks<T, F>(n: usize, stride: usize, out: &mut [T], min_chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(Range<usize>, &mut [T]) + Sync,
+{
+    assert_eq!(out.len(), n * stride, "output length must be n * stride");
+    if n == 0 {
+        return;
+    }
+    let workers = num_threads().min(n.div_ceil(min_chunk.max(1))).max(1);
+    if workers == 1 {
+        f(0..n, out);
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = out;
+        let mut start = 0;
+        for _ in 0..workers {
+            if start >= n {
+                break;
+            }
+            let end = (start + chunk).min(n);
+            let (head, tail) = rest.split_at_mut((end - start) * stride);
+            rest = tail;
+            let range = start..end;
+            scope.spawn(move || f(range, head));
+            start = end;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn covers_whole_range_once() {
+        let hits = (0..1000).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+        parallel_for(1000, 1, |range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn empty_range_is_noop() {
+        parallel_for(0, 1, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn small_range_runs_inline() {
+        let tid = std::thread::current().id();
+        parallel_for(3, 100, |range| {
+            assert_eq!(std::thread::current().id(), tid);
+            assert_eq!(range, 0..3);
+        });
+    }
+
+    #[test]
+    fn chunked_writes_are_disjoint_and_complete() {
+        let mut out = vec![0u32; 50 * 4];
+        parallel_for_chunks(50, 4, &mut out, 1, |range, chunk| {
+            for (local, i) in range.enumerate() {
+                for j in 0..4 {
+                    chunk[local * 4 + j] = (i * 4 + j) as u32;
+                }
+            }
+        });
+        let expect: Vec<u32> = (0..200).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn num_threads_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

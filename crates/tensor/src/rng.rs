@@ -1,0 +1,92 @@
+//! Deterministic random initialisation for weights and data.
+//!
+//! Every stochastic component of the reproduction threads an explicit
+//! `u64` seed through [`rand::rngs::StdRng`], so experiments regenerate
+//! bit-identically (see DESIGN.md §6). Gaussian samples come from a
+//! Box–Muller transform to avoid an extra distribution dependency.
+
+use crate::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Creates a seeded [`StdRng`].
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// One standard-normal sample via the Box–Muller transform.
+pub fn sample_standard_normal(rng: &mut impl Rng) -> f32 {
+    loop {
+        let u1: f32 = rng.random::<f32>();
+        if u1 <= f32::EPSILON {
+            continue; // avoid ln(0)
+        }
+        let u2: f32 = rng.random::<f32>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        return r * (2.0 * std::f32::consts::PI * u2).cos();
+    }
+}
+
+/// Tensor of i.i.d. `N(mean, std^2)` samples.
+pub fn normal_tensor(dims: &[usize], mean: f32, std: f32, rng: &mut impl Rng) -> Tensor {
+    let mut t = Tensor::zeros(dims);
+    for v in t.as_mut_slice() {
+        *v = mean + std * sample_standard_normal(rng);
+    }
+    t
+}
+
+/// Tensor of i.i.d. `U(low, high)` samples.
+pub fn uniform_tensor(dims: &[usize], low: f32, high: f32, rng: &mut impl Rng) -> Tensor {
+    let mut t = Tensor::zeros(dims);
+    for v in t.as_mut_slice() {
+        *v = rng.random_range(low..high);
+    }
+    t
+}
+
+/// Kaiming/He fan-in initialisation: `N(0, sqrt(2/fan_in)^2)`.
+///
+/// The standard choice for ReLU-family networks; AdaPEx's quantized
+/// activations are ReLU-shaped so it applies here too.
+pub fn kaiming_tensor(dims: &[usize], fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    normal_tensor(dims, 0.0, std, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let a = normal_tensor(&[64], 0.0, 1.0, &mut rng_from_seed(7));
+        let b = normal_tensor(&[64], 0.0, 1.0, &mut rng_from_seed(7));
+        assert_eq!(a, b);
+        let c = normal_tensor(&[64], 0.0, 1.0, &mut rng_from_seed(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let t = normal_tensor(&[20_000], 1.5, 2.0, &mut rng_from_seed(42));
+        let mean = t.mean();
+        let var = t.map(|v| (v - mean) * (v - mean)).mean();
+        assert!((mean - 1.5).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let t = uniform_tensor(&[1000], -0.25, 0.25, &mut rng_from_seed(3));
+        assert!(t.as_slice().iter().all(|&v| (-0.25..0.25).contains(&v)));
+    }
+
+    #[test]
+    fn kaiming_scales_with_fan_in() {
+        let wide = kaiming_tensor(&[10_000], 8, &mut rng_from_seed(1));
+        let narrow = kaiming_tensor(&[10_000], 512, &mut rng_from_seed(1));
+        let var = |t: &Tensor| t.map(|v| v * v).mean();
+        assert!(var(&wide) > var(&narrow) * 10.0);
+    }
+}

@@ -1,0 +1,157 @@
+use std::error::Error;
+use std::fmt;
+
+/// Shape of a [`Tensor`](crate::Tensor): the extent of each dimension.
+///
+/// Shapes are small (CNN tensors are at most 4-D here) so a `Vec<usize>` is
+/// plenty. A `Shape` is a thin newtype so dimension arithmetic lives in one
+/// place and errors carry both operand shapes.
+///
+/// ```
+/// use adapex_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4, 4]);
+/// assert_eq!(s.len(), 96);
+/// assert_eq!(s.ndim(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for a 0-D shape).
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// `true` when the shape holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dimension extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Extent of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.ndim()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Row-major strides for this shape.
+    ///
+    /// ```
+    /// use adapex_tensor::Shape;
+    /// assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+    /// ```
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Error raised when tensor operands disagree on shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// What the operation expected (free-form, e.g. `"[2x3]"` or `"4-D"`).
+    pub expected: String,
+    /// What it actually received.
+    pub actual: String,
+    /// The operation that failed, e.g. `"matmul"`.
+    pub op: &'static str,
+}
+
+impl ShapeError {
+    /// Creates a shape error for operation `op`.
+    pub fn new(op: &'static str, expected: impl Into<String>, actual: impl Into<String>) -> Self {
+        ShapeError {
+            expected: expected.into(),
+            actual: actual.into(),
+            op,
+        }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape mismatch in {}: expected {}, got {}",
+            self.op, self.expected, self.actual
+        )
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new(&[4]).strides(), vec![1]);
+        assert_eq!(Shape::new(&[2, 3]).strides(), vec![3, 1]);
+        assert_eq!(Shape::new(&[2, 3, 4, 5]).strides(), vec![60, 20, 5, 1]);
+    }
+
+    #[test]
+    fn len_is_product() {
+        assert_eq!(Shape::new(&[2, 3, 4]).len(), 24);
+        assert_eq!(Shape::new(&[]).len(), 1);
+        assert_eq!(Shape::new(&[0, 3]).len(), 0);
+        assert!(Shape::new(&[0, 3]).is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2x3]");
+        let err = ShapeError::new("matmul", "[2x3]", "[4x5]");
+        assert_eq!(
+            err.to_string(),
+            "shape mismatch in matmul: expected [2x3], got [4x5]"
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests of the numeric kernels.
+
+use adapex_tensor::conv::{col2im, im2col, ConvGeometry};
+use adapex_tensor::gemm::{gemm, gemm_a_bt, gemm_at_b};
+use adapex_tensor::Tensor;
+use proptest::prelude::*;
+
+fn naive_gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a[i * k + kk] * b[kk * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+fn buf(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-2.0f32..2.0, len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gemm_matches_naive_on_random_shapes(
+        m in 1usize..24, k in 1usize..48, n in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        use adapex_tensor::rng::{normal_tensor, rng_from_seed};
+        let mut rng = rng_from_seed(seed);
+        let a = normal_tensor(&[m * k], 0.0, 1.0, &mut rng).into_vec();
+        let b = normal_tensor(&[k * n], 0.0, 1.0, &mut rng).into_vec();
+        let mut c = vec![0.0f32; m * n];
+        gemm(m, k, n, &a, &b, &mut c);
+        let want = naive_gemm(m, k, n, &a, &b);
+        for (x, y) in c.iter().zip(&want) {
+            prop_assert!((x - y).abs() < 1e-3 * (k as f32).sqrt(), "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn gemm_transposed_variants_agree(
+        m in 1usize..12, k in 1usize..24, n in 1usize..12,
+        a in buf(12 * 24), b in buf(24 * 12),
+    ) {
+        let a = &a[..m * k];
+        let b = &b[..k * n];
+        // Reference.
+        let want = naive_gemm(m, k, n, a, b);
+        // A^T path: store A as [k, m].
+        let mut a_t = vec![0.0f32; k * m];
+        for i in 0..m {
+            for kk in 0..k {
+                a_t[kk * m + i] = a[i * k + kk];
+            }
+        }
+        let mut c1 = vec![0.0f32; m * n];
+        gemm_at_b(m, k, n, &a_t, b, &mut c1);
+        // B^T path: store B as [n, k].
+        let mut b_t = vec![0.0f32; n * k];
+        for kk in 0..k {
+            for j in 0..n {
+                b_t[j * k + kk] = b[kk * n + j];
+            }
+        }
+        let mut c2 = vec![0.0f32; m * n];
+        gemm_a_bt(m, k, n, a, &b_t, &mut c2);
+        for ((x, y), w) in c1.iter().zip(&c2).zip(&want) {
+            prop_assert!((x - w).abs() < 1e-3);
+            prop_assert!((y - w).abs() < 1e-3);
+        }
+    }
+
+    /// <im2col(x), y> == <x, col2im(y)> for any geometry that fits.
+    #[test]
+    fn im2col_col2im_are_adjoint(
+        c in 1usize..4,
+        h in 3usize..10,
+        w in 3usize..10,
+        kernel in 1usize..4,
+        padding in 0usize..2,
+        stride in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let geom = ConvGeometry { kernel, stride, padding };
+        prop_assume!(geom.output_dim(h).is_some() && geom.output_dim(w).is_some());
+        use adapex_tensor::rng::{normal_tensor, rng_from_seed};
+        let mut rng = rng_from_seed(seed);
+        let x = normal_tensor(&[c * h * w], 0.0, 1.0, &mut rng).into_vec();
+        let cols = im2col(&x, c, h, w, geom);
+        let y = normal_tensor(&[cols.len()], 0.0, 1.0, &mut rng).into_vec();
+        let back = col2im(&y, c, h, w, geom);
+        let lhs: f32 = cols.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.iter().zip(&back).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (cols.len() as f32).sqrt() + 1e-3,
+            "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn transpose_is_an_involution(m in 1usize..16, n in 1usize..16, seed in 0u64..100) {
+        use adapex_tensor::rng::{normal_tensor, rng_from_seed};
+        let t = normal_tensor(&[m, n], 0.0, 1.0, &mut rng_from_seed(seed));
+        let tt = t.transpose().expect("2-D").transpose().expect("2-D");
+        prop_assert_eq!(t, tt);
+    }
+
+    #[test]
+    fn axpy_matches_scale_add(alpha in -3.0f32..3.0, v in buf(32)) {
+        let a = Tensor::from_vec(v.clone(), &[32]).expect("length matches");
+        let b = Tensor::ones(&[32]);
+        let mut c = a.clone();
+        c.axpy(alpha, &b).expect("same shape");
+        let want = a.add(&b.scale(alpha)).expect("same shape");
+        for (x, y) in c.as_slice().iter().zip(want.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn l1_norm_triangle_inequality(a in buf(16), b in buf(16)) {
+        let ta = Tensor::from_vec(a, &[16]).expect("length");
+        let tb = Tensor::from_vec(b, &[16]).expect("length");
+        let sum = ta.add(&tb).expect("same shape");
+        prop_assert!(sum.l1_norm() <= ta.l1_norm() + tb.l1_norm() + 1e-4);
+    }
+}

@@ -1,0 +1,90 @@
+//! Quickstart: the whole AdaPEx pipeline on one small model.
+//!
+//! Builds a width-scaled CNVW2A2 with the paper's two early exits,
+//! trains it jointly on a synthetic CIFAR-10-like dataset, prunes it
+//! dataflow-aware at 50 %, retrains, compiles both variants to
+//! FINN-style ZCU104 accelerators, and compares accuracy, throughput,
+//! latency, resources and power at a few confidence thresholds.
+//!
+//! ```text
+//! cargo run --release -p adapex-bench --example quickstart
+//! ```
+
+use adapex::generator::derive_constraints;
+use adapex_dataset::{DatasetKind, SyntheticConfig};
+use adapex_nn::cnv::{CnvConfig, ExitsConfig};
+use adapex_nn::eval::evaluate_exits;
+use adapex_nn::train::{TrainConfig, Trainer};
+use adapex_prune::{PruneConfig, Pruner};
+use finn_dataflow::{compile, FoldingConfig, FpgaDevice, ModelIr};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Data: a synthetic stand-in for CIFAR-10 (10 classes, 3x32x32).
+    let data = SyntheticConfig::new(DatasetKind::Cifar10Like)
+        .with_sizes(600, 200)
+        .with_seed(7)
+        .generate();
+
+    // 2. Model: CNV at width 8 with exits after blocks 1 and 2.
+    let cnv = CnvConfig::scaled(8);
+    let exits = ExitsConfig::paper_default();
+    let mut net = cnv.build_early_exit(10, &exits, 42);
+    println!("training early-exit CNV (joint loss, {} exits)...", net.num_exits());
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 6,
+        ..TrainConfig::repro_default()
+    });
+    let history = trainer.fit(&mut net, &data, 1);
+    println!("  final epoch loss {:.3}", history.epoch_losses.last().unwrap());
+
+    // 3. Folding: configure the FPGA parallelism once, on the unpruned
+    //    model (this is the "FINN config" of the paper).
+    let ir = ModelIr::from_summary(&net.summarize());
+    let folding = FoldingConfig::balanced(&ir, 215_000, 2.0);
+    let device = FpgaDevice::zcu104();
+
+    // 4. Dataflow-aware pruning at 50 % (backbone only), then retrain.
+    let constraints = derive_constraints(&net, &folding);
+    let pruner = Pruner::new(PruneConfig {
+        rate: 0.5,
+        prune_exits: false,
+    });
+    let (mut pruned, report) = pruner.prune(&net, &constraints);
+    println!(
+        "pruned at 50% requested -> {:.1}% achieved (dataflow constraints)",
+        report.overall_rate() * 100.0
+    );
+    Trainer::new(TrainConfig {
+        epochs: 2,
+        ..TrainConfig::repro_default()
+    })
+    .fit(&mut pruned, &data, 2);
+
+    // 5. Compile both to ZCU104 accelerators with the SAME folding.
+    for (name, model) in [("unpruned", &mut net), ("pruned-50%", &mut pruned)] {
+        let ir = ModelIr::from_summary(&model.summarize());
+        let acc = compile(&ir, &folding, &device, 100.0)?;
+        println!("\n[{name}] {}", acc.report().summary());
+        let eval = evaluate_exits(model, &data.test);
+        for ct in [0.05f32, 0.5, 0.95] {
+            let r = eval.at_threshold(ct);
+            let perf = acc.performance(&r.exit_fractions);
+            println!(
+                "  CT {:>3.0}%: acc {:.1}%  {:>5.0} IPS  {:.2} ms  {:.2} W  {:.3} mJ/inf  exits {:?}",
+                ct * 100.0,
+                r.accuracy * 100.0,
+                perf.ips,
+                perf.avg_latency_ms,
+                perf.power_w,
+                perf.energy_per_inference_mj,
+                r.exit_fractions
+                    .iter()
+                    .map(|f| format!("{:.0}%", f * 100.0))
+                    .collect::<Vec<_>>(),
+            );
+        }
+    }
+    println!("\nLower thresholds push more inputs through the early exits: faster and");
+    println!("cheaper, at some accuracy cost — the trade-off AdaPEx manages at runtime.");
+    Ok(())
+}

@@ -1,0 +1,162 @@
+//! Property-based tests of the library search and the runtime manager's
+//! adaptation policies over randomly generated libraries.
+
+use adapex::library::{Library, LibraryEntry, OperatingPoint};
+use adapex::runtime::{RuntimeManager, SelectionPolicy};
+use finn_dataflow::ResourceUsage;
+use proptest::prelude::*;
+
+/// Strategy: one operating point with bounded fields.
+fn point_strategy() -> impl Strategy<Value = OperatingPoint> {
+    (0.0f64..=1.0, 0.2f64..=0.95, 100.0f64..3000.0, 0.5f64..5.0, 0.7f64..1.5).prop_map(
+        |(ct, acc, ips, lat, pw)| OperatingPoint {
+            confidence_threshold: ct,
+            accuracy: acc,
+            exit_fractions: vec![1.0],
+            ips,
+            avg_latency_ms: lat,
+            power_w: pw,
+            energy_per_inference_mj: pw / ips * 1000.0,
+        },
+    )
+}
+
+/// Strategy: a library of 1..6 entries with 1..8 points each.
+fn library_strategy() -> impl Strategy<Value = Library> {
+    prop::collection::vec(
+        (0.2f64..0.95, prop::collection::vec(point_strategy(), 1..8)),
+        1..6,
+    )
+    .prop_map(|entries| Library {
+        entries: entries
+            .into_iter()
+            .enumerate()
+            .map(|(id, (mean_acc, points))| LibraryEntry {
+                id,
+                pruning_rate: id as f64 * 0.1,
+                achieved_rate: id as f64 * 0.1,
+                prune_exits: false,
+                mean_exit_accuracy: mean_acc,
+                final_exit_accuracy: mean_acc,
+                resources: ResourceUsage::zero(),
+                exit_resources: ResourceUsage::zero(),
+                utilization: (0.1, 0.1, 0.1, 0.0),
+                static_ips: 1000.0,
+                latency_to_exit_ms: vec![1.0],
+                points,
+            })
+            .collect(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Strict selection results actually satisfy both requirements.
+    #[test]
+    fn strict_selection_is_sound(
+        lib in library_strategy(),
+        required_ips in 50.0f64..3500.0,
+        min_acc in 0.1f64..0.99,
+    ) {
+        if let Some((e, p)) = lib.select_strict(required_ips, min_acc, None) {
+            let point = &lib.entries[e].points[p];
+            prop_assert!(point.ips >= required_ips);
+            prop_assert!(point.accuracy >= min_acc);
+            // No better-ranked entry also qualifies.
+            for (ei, entry) in lib.entries.iter().enumerate() {
+                if entry.mean_exit_accuracy > lib.entries[e].mean_exit_accuracy {
+                    let qualifies = entry
+                        .points
+                        .iter()
+                        .any(|q| q.ips >= required_ips && q.accuracy >= min_acc);
+                    prop_assert!(!qualifies, "entry {} outranks {} but was skipped", ei, e);
+                }
+            }
+        }
+    }
+
+    /// The fallback chain always yields something from a non-empty
+    /// library, and the fallback is only used when strict fails.
+    #[test]
+    fn select_always_returns_and_prefers_strict(
+        lib in library_strategy(),
+        required_ips in 50.0f64..3500.0,
+        min_acc in 0.1f64..0.99,
+    ) {
+        let picked = lib.select(required_ips, min_acc);
+        prop_assert!(picked.is_some());
+        if let Some(strict) = lib.select_strict(required_ips, min_acc, None) {
+            prop_assert_eq!(picked.expect("checked"), strict);
+        }
+    }
+
+    /// The reconfiguration-aware manager never reconfigures when the
+    /// current entry has a qualifying point within the accuracy
+    /// hysteresis of the global best (a free CT move suffices).
+    #[test]
+    fn reconfig_aware_avoids_unneeded_reconfigs(
+        lib in library_strategy(),
+        loads in prop::collection::vec(50.0f64..3500.0, 1..12),
+    ) {
+        use adapex::runtime::RECONFIG_HYSTERESIS;
+        let min_acc = 0.3;
+        let mut manager = RuntimeManager::new(lib.clone(), min_acc, SelectionPolicy::ReconfigAware);
+        let mut current: Option<usize> = None;
+        for load in loads {
+            let acc = |pick: (usize, usize)| lib.entries[pick.0].points[pick.1].accuracy;
+            let local = current.and_then(|cur| lib.select_strict(load, min_acc, Some(cur)));
+            let global = lib.select_strict(load, min_acc, None);
+            let free_move_suffices = match (local, global) {
+                (Some(l), Some(g)) => acc(l) + RECONFIG_HYSTERESIS >= acc(g),
+                (Some(_), None) => true,
+                _ => false,
+            };
+            let d = manager.decide(load);
+            if free_move_suffices {
+                prop_assert!(
+                    !d.reconfig,
+                    "reconfigured from {:?} at load {} despite a sufficient CT move",
+                    current, load
+                );
+            }
+            current = Some(d.entry);
+        }
+    }
+
+    /// Decisions are pure in the observed load: same load twice in a row
+    /// changes nothing the second time.
+    #[test]
+    fn repeated_load_is_stable(
+        lib in library_strategy(),
+        load in 50.0f64..3500.0,
+    ) {
+        let mut manager = RuntimeManager::new(lib, 0.3, SelectionPolicy::ReconfigAware);
+        let first = manager.decide(load);
+        let second = manager.decide(load);
+        prop_assert_eq!(first.entry, second.entry);
+        prop_assert_eq!(first.point, second.point);
+        prop_assert!(!second.reconfig);
+    }
+
+    /// Throughput-greedy picks at least as fast a point as the paper's
+    /// policy would (it sacrifices accuracy for speed).
+    #[test]
+    fn throughput_greedy_is_fastest(
+        lib in library_strategy(),
+        load in 50.0f64..3500.0,
+    ) {
+        let min_acc = 0.3;
+        let mut greedy = RuntimeManager::new(lib.clone(), min_acc, SelectionPolicy::ThroughputGreedy);
+        let mut paper = RuntimeManager::new(lib.clone(), min_acc, SelectionPolicy::ReconfigAware);
+        let dg = greedy.decide(load);
+        let dp = paper.decide(load);
+        let ips = |d: &adapex::runtime::Decision| lib.entries[d.entry].points[d.point].ips;
+        // Greedy is the max-IPS qualified point; if the paper's pick is
+        // accuracy-qualified, greedy must be at least as fast.
+        let paper_point = &lib.entries[dp.entry].points[dp.point];
+        if paper_point.accuracy >= min_acc {
+            prop_assert!(ips(&dg) + 1e-9 >= ips(&dp));
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests of the central AdaPEx invariant: any pruning
+//! rate, applied under constraints derived from a folding configuration,
+//! yields a network that (a) still computes the right shapes and (b)
+//! always compiles against that same folding — the paper's guarantee
+//! that "pruned CNN models get synthesized to the accelerators
+//! configured by the user" (Sec. IV-A2).
+
+use adapex::generator::derive_constraints;
+use adapex_nn::cnv::{CnvConfig, ExitsConfig};
+use adapex_nn::layers::{Activation, Layer};
+use adapex_prune::{dataflow_aware_keep_count, LayerConstraint, PruneConfig, Pruner};
+use finn_dataflow::{compile, FoldingConfig, FpgaDevice, ModelIr};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every (rate, mode, folding-budget) combination prunes into a
+    /// network that compiles with the unpruned model's folding.
+    #[test]
+    fn pruned_networks_always_compile(
+        rate in 0.0f64..=1.0,
+        prune_exits in any::<bool>(),
+        target in 50_000u64..400_000,
+    ) {
+        let net = CnvConfig::scaled(8).build_early_exit(10, &ExitsConfig::paper_default(), 1);
+        let ir = ModelIr::from_summary(&net.summarize());
+        let folding = FoldingConfig::balanced(&ir, target, 2.0);
+        let constraints = derive_constraints(&net, &folding);
+        let (mut pruned, report) =
+            Pruner::new(PruneConfig { rate, prune_exits }).prune(&net, &constraints);
+
+        // (a) shapes survive.
+        let x = Activation::zeros(1, &[3, 32, 32]);
+        let outs = pruned.forward(&x, false);
+        prop_assert_eq!(outs.len(), 3);
+        for o in &outs {
+            prop_assert_eq!(o.dims.clone(), vec![10]);
+        }
+        // (b) the shared folding still divides every layer.
+        let pruned_ir = ModelIr::from_summary(&pruned.summarize());
+        let acc = compile(&pruned_ir, &folding, &FpgaDevice::zcu104(), 100.0);
+        prop_assert!(acc.is_ok(), "rate {} mode {}: {:?}", rate, prune_exits, acc.err());
+        // (c) achieved never exceeds requested.
+        prop_assert!(report.overall_rate() <= rate + 1e-9);
+    }
+
+    /// The keep-count procedure always satisfies both divisors, never
+    /// returns zero, and is monotone non-increasing in the rate.
+    #[test]
+    fn keep_count_properties(
+        ch_out in 1usize..512,
+        rate in 0.0f64..=1.0,
+        pe in 1usize..16,
+        simd in 1usize..16,
+    ) {
+        let c = LayerConstraint::new(pe, simd);
+        let keep = dataflow_aware_keep_count(ch_out, rate, c);
+        prop_assert!(keep >= 1 && keep <= ch_out);
+        // Either the constraints hold, or the layer was left whole
+        // because not even r=0 satisfies them.
+        let legal = keep.is_multiple_of(pe) && keep.is_multiple_of(simd);
+        prop_assert!(legal || keep == ch_out, "keep {} of {} under pe {} simd {}", keep, ch_out, pe, simd);
+        // Monotonicity against a smaller rate.
+        let keep_lighter = dataflow_aware_keep_count(ch_out, rate / 2.0, c);
+        prop_assert!(keep_lighter >= keep);
+    }
+
+    /// Pruning then summarizing agrees with summarizing then checking
+    /// channel counts: the structural view never desynchronizes.
+    #[test]
+    fn summary_tracks_surgery(rate in 0.0f64..0.9) {
+        let net = CnvConfig::tiny().build_early_exit(10, &ExitsConfig::paper_default(), 3);
+        let constraints = adapex_prune::ConstraintMap::uniform(2, 2);
+        let (pruned, _) = Pruner::new(PruneConfig { rate, prune_exits: true })
+            .prune(&net, &constraints);
+        let summary = pruned.summarize();
+        // Conv layer infos must match the actual layer fields.
+        let mut idx = 0;
+        for layer in &pruned.backbone {
+            if let Layer::Conv(c) = layer {
+                loop {
+                    if let adapex_nn::network::LayerInfo::Conv { c_in, c_out, .. } =
+                        &summary.backbone[idx]
+                    {
+                        prop_assert_eq!(*c_in, c.c_in);
+                        prop_assert_eq!(*c_out, c.c_out);
+                        idx += 1;
+                        break;
+                    }
+                    idx += 1;
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn full_sweep_compiles_at_paper_rates() {
+    // The exact 18-step sweep of the paper, both modes.
+    let net = CnvConfig::scaled(8).build_early_exit(10, &ExitsConfig::paper_default(), 1);
+    let ir = ModelIr::from_summary(&net.summarize());
+    let folding = FoldingConfig::balanced(&ir, 215_000, 2.0);
+    let constraints = derive_constraints(&net, &folding);
+    let device = FpgaDevice::zcu104();
+    for step in 0..18 {
+        let rate = step as f64 * 0.05;
+        for prune_exits in [false, true] {
+            let (pruned, _) =
+                Pruner::new(PruneConfig { rate, prune_exits }).prune(&net, &constraints);
+            let pruned_ir = ModelIr::from_summary(&pruned.summarize());
+            let acc = compile(&pruned_ir, &folding, &device, 100.0)
+                .unwrap_or_else(|e| panic!("rate {rate} mode {prune_exits}: {e}"));
+            assert!(acc.report().throughput_ips > 0.0);
+        }
+    }
+}
+
+#[test]
+fn heavier_pruning_never_slows_the_accelerator() {
+    let net = CnvConfig::scaled(8).build_early_exit(10, &ExitsConfig::paper_default(), 1);
+    let ir = ModelIr::from_summary(&net.summarize());
+    let folding = FoldingConfig::balanced(&ir, 215_000, 2.0);
+    let constraints = derive_constraints(&net, &folding);
+    let device = FpgaDevice::zcu104();
+    let mut last_ips = 0.0f64;
+    let mut last_mem_equiv = u64::MAX;
+    for rate in [0.0, 0.25, 0.5, 0.85] {
+        let (pruned, _) = Pruner::new(PruneConfig {
+            rate,
+            prune_exits: false,
+        })
+        .prune(&net, &constraints);
+        let pruned_ir = ModelIr::from_summary(&pruned.summarize());
+        let acc = compile(&pruned_ir, &folding, &device, 100.0).expect("compiles");
+        let r = acc.report();
+        assert!(
+            r.throughput_ips >= last_ips,
+            "IPS must not drop with pruning: {} -> {}",
+            last_ips,
+            r.throughput_ips
+        );
+        // Pruning may convert a BRAM memory into LUTRAM (BRAM down, LUT
+        // up), so the invariant is on the combined memory-equivalent
+        // footprint: one BRAM36 = 36864 bits = 4608 LUTRAM-LUTs.
+        let mem_equiv = r.resources.lut + 4608 * r.resources.bram36;
+        assert!(
+            mem_equiv <= last_mem_equiv,
+            "memory footprint must not grow with pruning: {} -> {}",
+            last_mem_equiv,
+            mem_equiv
+        );
+        last_ips = r.throughput_ips;
+        last_mem_equiv = mem_equiv;
+    }
+}

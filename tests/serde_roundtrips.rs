@@ -1,0 +1,79 @@
+//! Serialization round-trips for every persistable artifact: trained
+//! networks, IR, folding configs and libraries survive JSON untouched
+//! (the design-time/runtime split of the paper depends on this).
+
+use adapex_nn::cnv::{CnvConfig, ExitsConfig};
+use adapex_nn::layers::Activation;
+use adapex_nn::network::EarlyExitNetwork;
+use finn_dataflow::{FoldingConfig, ModelIr};
+
+#[test]
+fn trained_network_roundtrips_and_still_infers() {
+    use adapex_dataset::{DatasetKind, SyntheticConfig};
+    use adapex_nn::train::{TrainConfig, Trainer};
+    let data = SyntheticConfig::new(DatasetKind::Cifar10Like)
+        .with_sizes(40, 10)
+        .generate();
+    let mut net = CnvConfig::tiny().build_early_exit(10, &ExitsConfig::paper_default(), 1);
+    Trainer::new(TrainConfig {
+        epochs: 1,
+        ..TrainConfig::fast()
+    })
+    .fit(&mut net, &data, 1);
+
+    let json = serde_json::to_string(&net).expect("serialize network");
+    let mut back: EarlyExitNetwork = serde_json::from_str(&json).expect("parse network");
+
+    // Identical inference on both copies (eval mode; caches are skipped
+    // in serde and rebuilt on demand).
+    let x = Activation::new(
+        (0..3 * 32 * 32).map(|v| (v as f32 * 0.013).sin()).collect(),
+        1,
+        vec![3, 32, 32],
+    );
+    let a = net.forward(&x, false);
+    let b = back.forward(&x, false);
+    assert_eq!(a.len(), b.len());
+    for (ya, yb) in a.iter().zip(&b) {
+        assert_eq!(ya.data, yb.data);
+    }
+}
+
+#[test]
+fn ir_and_folding_roundtrip() {
+    let net = CnvConfig::tiny().build_early_exit(43, &ExitsConfig::paper_default(), 2);
+    let ir = ModelIr::from_summary(&net.summarize());
+    let ir_back: ModelIr =
+        serde_json::from_str(&serde_json::to_string(&ir).expect("serialize ir")).expect("parse ir");
+    assert_eq!(ir, ir_back);
+
+    let folding = FoldingConfig::balanced(&ir, 100_000, 2.0);
+    let json = folding.to_json().expect("folding json");
+    let folding_back = FoldingConfig::from_json(&json).expect("parse folding");
+    assert_eq!(folding, folding_back);
+}
+
+#[test]
+fn pruned_network_roundtrips() {
+    use adapex_prune::{ConstraintMap, PruneConfig, Pruner};
+    let net = CnvConfig::tiny().build_early_exit(10, &ExitsConfig::paper_default(), 1);
+    let (pruned, _) = Pruner::new(PruneConfig {
+        rate: 0.5,
+        prune_exits: true,
+    })
+    .prune(&net, &ConstraintMap::uniform(2, 2));
+    let back: EarlyExitNetwork =
+        serde_json::from_str(&serde_json::to_string(&pruned).expect("serialize")).expect("parse");
+    assert_eq!(pruned, back);
+}
+
+#[test]
+fn dataset_roundtrips() {
+    use adapex_dataset::{DatasetKind, SyntheticConfig};
+    let data = SyntheticConfig::new(DatasetKind::GtsrbLike)
+        .with_sizes(43, 43)
+        .generate();
+    let back: adapex_dataset::SyntheticDataset =
+        serde_json::from_str(&serde_json::to_string(&data).expect("serialize")).expect("parse");
+    assert_eq!(data, back);
+}
