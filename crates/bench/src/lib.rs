@@ -11,6 +11,9 @@
 //! * `ADAPEX_DATASETS=cifar10,gtsrb` — restrict the dataset sweep.
 //! * `ADAPEX_REPS=N` — edge-simulation repetitions (default 100, the
 //!   paper's count).
+//! * `ADAPEX_JOBS=N` — worker threads for the variant sweep (default
+//!   0 = available parallelism; artifacts are byte-identical for any
+//!   value).
 
 use adapex::generator::{Artifacts, GeneratorConfig, LibraryGenerator};
 use adapex_dataset::DatasetKind;
@@ -49,8 +52,18 @@ impl Profile {
             Profile::Fast => GeneratorConfig::fast(kind),
         };
         cfg.verbose = true;
+        cfg.jobs = jobs();
         cfg
     }
+}
+
+/// Sweep worker threads (`ADAPEX_JOBS`, default 0 = auto). The job
+/// count only affects wall-clock time, never the generated artifacts.
+pub fn jobs() -> usize {
+    std::env::var("ADAPEX_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
 }
 
 /// The datasets selected via `ADAPEX_DATASETS` (default: both).

@@ -53,6 +53,7 @@ adapex-cli — AdaPEx (DATE 2023) reproduction toolkit
 
 USAGE:
   adapex-cli generate --dataset cifar10|gtsrb [--profile fast|repro] --out FILE
+                      [--jobs N]   (0 = auto; results are identical for any N)
   adapex-cli inspect  --artifacts FILE [--prune-exits]
   adapex-cli report   --artifacts FILE [--out FILE.md]
   adapex-cli simulate --artifacts FILE [--system adapex|pr-only|ct-only|finn|all]
@@ -78,6 +79,7 @@ fn cmd_generate(args: &Args) -> Result<(), Box<dyn Error>> {
         other => return Err(format!("unknown profile `{other}` (fast|repro)").into()),
     };
     cfg.verbose = true;
+    cfg.jobs = args.get_or("jobs", 0usize)?;
     let artifacts = LibraryGenerator::new(cfg).generate();
     artifacts.save_json(out)?;
     println!(

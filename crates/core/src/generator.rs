@@ -26,6 +26,7 @@ use adapex_nn::layers::Layer;
 use adapex_nn::network::EarlyExitNetwork;
 use adapex_nn::train::{TrainConfig, Trainer};
 use adapex_prune::{ConstraintMap, LayerConstraint, PruneConfig, Pruner};
+use adapex_tensor::parallel::par_map;
 use finn_dataflow::{compile, Accelerator, FoldingConfig, FpgaDevice, IrOp, ModelIr};
 use serde::{Deserialize, Serialize};
 use std::io;
@@ -63,6 +64,13 @@ pub struct GeneratorConfig {
     pub seed: u64,
     /// Print progress while generating.
     pub verbose: bool,
+    /// Worker threads for the variant sweep: 0 = auto (available
+    /// parallelism), 1 = sequential. Excluded from serialization so the
+    /// artifacts a run produces are byte-identical whatever the job
+    /// count was (the sweep itself is order- and thread-invariant; see
+    /// [`LibraryGenerator::generate`]).
+    #[serde(skip)]
+    pub jobs: usize,
 }
 
 impl GeneratorConfig {
@@ -99,6 +107,7 @@ impl GeneratorConfig {
             clock_mhz: 100.0,
             seed: 42,
             verbose: false,
+            jobs: 0,
         }
     }
 
@@ -127,18 +136,55 @@ impl GeneratorConfig {
             clock_mhz: 100.0,
             seed: 42,
             verbose: false,
+            jobs: 0,
         }
     }
 
-    /// The confidence thresholds swept per entry (0..=1 at `ct_step`).
+    /// The confidence thresholds swept per entry: multiples of
+    /// `ct_step` from 0.0 up to and including 1.0. When `ct_step` does
+    /// not divide 1.0, the last regular step is followed by exactly 1.0
+    /// so the sweep always covers both documented bounds.
+    ///
+    /// Values are computed as `i * ct_step` (not by accumulation), so
+    /// the sequence is strictly increasing with no float-drift
+    /// duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < ct_step <= 1`.
     pub fn thresholds(&self) -> Vec<f64> {
-        let mut out = Vec::new();
-        let mut t = 0.0f64;
-        while t <= 1.0 + 1e-9 {
-            out.push(t.min(1.0));
-            t += self.ct_step;
+        assert!(
+            self.ct_step > 0.0 && self.ct_step <= 1.0,
+            "ct_step must be in (0, 1], got {}",
+            self.ct_step
+        );
+        // Number of whole steps that fit in [0, 1]; the epsilon absorbs
+        // cases like 1.0/0.05 landing at 19.999999999999996.
+        let n = (1.0 / self.ct_step + 1e-9).floor() as usize;
+        let mut out: Vec<f64> = (0..=n).map(|i| (i as f64 * self.ct_step).min(1.0)).collect();
+        let last = out.last_mut().expect("n >= 0 yields at least one value");
+        if (*last - 1.0).abs() <= 1e-9 {
+            // A dividing step whose n-th multiple misses 1.0 only by
+            // representation error (e.g. ct_step = 1/3) snaps onto the
+            // documented upper bound.
+            *last = 1.0;
+        } else {
+            out.push(1.0);
         }
         out
+    }
+
+    /// Resolves [`GeneratorConfig::jobs`] to a concrete worker count:
+    /// the value itself when positive, otherwise the machine's
+    /// available parallelism.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        }
     }
 }
 
@@ -234,6 +280,13 @@ impl LibraryGenerator {
 
     /// Runs the full design-time pipeline (see module docs).
     ///
+    /// The two base networks train sequentially; the PR-Only and
+    /// AdaPEx variant sweeps then fan out over
+    /// [`GeneratorConfig::jobs`] workers. Every variant derives its
+    /// retrain seed from `(seed, id)` and shares only immutable state
+    /// with its siblings, so the returned artifacts are byte-identical
+    /// for every job count (`jobs = 1` *is* the sequential sweep).
+    ///
     /// # Panics
     ///
     /// Panics if a generated variant fails to compile to the device —
@@ -261,10 +314,19 @@ impl LibraryGenerator {
             eval.exit_accuracy(0)
         };
 
+        // Each variant is a pure function of its id (its retrain seed
+        // derives from `(cfg.seed, id)` and every kernel is
+        // thread-count-invariant), so the sweep fans out over `jobs`
+        // workers while `par_map` keeps the entries in id order — the
+        // artifacts are byte-identical to the sequential `jobs = 1` run.
+        let jobs = cfg.effective_jobs();
+        self.log(&format!("sweeping variants on {jobs} worker(s)"));
+
         let mut pr_only = Library::new();
-        for (i, &rate) in cfg.pruning_rates.iter().enumerate() {
+        pr_only.entries = par_map(cfg.pruning_rates.len(), jobs, |i| {
+            let rate = cfg.pruning_rates[i];
             self.log(&format!("PR-Only: pruning rate {:.0}%", rate * 100.0));
-            let entry = self.build_entry(
+            self.build_entry(
                 i,
                 &plain,
                 rate,
@@ -273,9 +335,8 @@ impl LibraryGenerator {
                 &plain_folding,
                 &data,
                 &[1.0], // single exit: one "threshold"
-            );
-            pr_only.entries.push(entry);
-        }
+            )
+        });
 
         // --- Early-exit CNV: AdaPEx library (and CT-Only via rate 0). --
         self.log("training early-exit CNV (joint loss)");
@@ -293,28 +354,32 @@ impl LibraryGenerator {
         );
         let ee_constraints = derive_constraints(&ee, &ee_folding);
 
+        // Flatten the (mode, rate) grid in the same order the
+        // sequential loops walked it, so ids — and with them the
+        // per-variant retrain seeds — are unchanged.
+        let variants: Vec<(bool, f64)> = cfg
+            .exit_prune_modes
+            .iter()
+            .flat_map(|&prune_exits| cfg.pruning_rates.iter().map(move |&rate| (prune_exits, rate)))
+            .collect();
         let mut adapex = Library::new();
-        let mut id = 0usize;
-        for &prune_exits in &cfg.exit_prune_modes {
-            for &rate in &cfg.pruning_rates {
-                self.log(&format!(
-                    "AdaPEx: rate {:.0}% (prune_exits={prune_exits})",
-                    rate * 100.0
-                ));
-                let entry = self.build_entry(
-                    id,
-                    &ee,
-                    rate,
-                    prune_exits,
-                    &ee_constraints,
-                    &ee_folding,
-                    &data,
-                    &thresholds,
-                );
-                adapex.entries.push(entry);
-                id += 1;
-            }
-        }
+        adapex.entries = par_map(variants.len(), jobs, |id| {
+            let (prune_exits, rate) = variants[id];
+            self.log(&format!(
+                "AdaPEx: rate {:.0}% (prune_exits={prune_exits})",
+                rate * 100.0
+            ));
+            self.build_entry(
+                id,
+                &ee,
+                rate,
+                prune_exits,
+                &ee_constraints,
+                &ee_folding,
+                &data,
+                &thresholds,
+            )
+        });
 
         Artifacts {
             kind: cfg.kind,
@@ -536,6 +601,69 @@ mod tests {
         assert!(e1.achieved_rate > 0.0);
         assert!(e1.static_ips >= e0.static_ips);
         assert!(e1.resources.lut < e0.resources.lut);
+    }
+
+    #[test]
+    fn thresholds_cover_both_bounds_in_order() {
+        let mut cfg = GeneratorConfig::fast(DatasetKind::Cifar10Like);
+        for ct_step in [0.05, 0.1, 0.2, 0.25, 0.5, 1.0, 0.3, 0.07, 1.0 / 3.0] {
+            cfg.ct_step = ct_step;
+            let ts = cfg.thresholds();
+            assert_eq!(*ts.first().expect("non-empty"), 0.0, "step {ct_step}");
+            assert_eq!(*ts.last().expect("non-empty"), 1.0, "step {ct_step}");
+            // Strictly increasing — which also rules out duplicates
+            // from float accumulation drift.
+            for w in ts.windows(2) {
+                assert!(w[0] < w[1], "step {ct_step}: {:?} not increasing", ts);
+            }
+            // Every interior value is a clean multiple of the step.
+            for &t in &ts[..ts.len() - 1] {
+                let steps = t / ct_step;
+                assert!(
+                    (steps - steps.round()).abs() < 1e-6,
+                    "step {ct_step}: {t} is off-grid"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thresholds_count_matches_dividing_steps() {
+        let mut cfg = GeneratorConfig::fast(DatasetKind::Cifar10Like);
+        // Dividing steps: 1/step + 1 values, no appended endpoint.
+        cfg.ct_step = 0.05;
+        assert_eq!(cfg.thresholds().len(), 21);
+        cfg.ct_step = 0.25;
+        assert_eq!(cfg.thresholds(), vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+        // Non-dividing step: last regular value 0.9, then exactly 1.0.
+        cfg.ct_step = 0.3;
+        let ts = cfg.thresholds();
+        assert_eq!(ts.len(), 5);
+        assert!((ts[3] - 0.9).abs() < 1e-12);
+        assert_eq!(ts[4], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ct_step must be in (0, 1]")]
+    fn thresholds_reject_zero_step() {
+        let mut cfg = GeneratorConfig::fast(DatasetKind::Cifar10Like);
+        cfg.ct_step = 0.0;
+        cfg.thresholds();
+    }
+
+    #[test]
+    fn jobs_knob_resolves_and_stays_out_of_serialization() {
+        let mut cfg = GeneratorConfig::fast(DatasetKind::Cifar10Like);
+        assert_eq!(cfg.jobs, 0, "profiles default to auto");
+        assert!(cfg.effective_jobs() >= 1);
+        cfg.jobs = 3;
+        assert_eq!(cfg.effective_jobs(), 3);
+        // `jobs` must not leak into the serialized form: artifacts
+        // produced at different job counts stay byte-identical.
+        let json = serde_json::to_string(&cfg).expect("serialize");
+        assert!(!json.contains("\"jobs\""));
+        let back: GeneratorConfig = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back.jobs, 0, "deserialized configs fall back to auto");
     }
 
     #[test]

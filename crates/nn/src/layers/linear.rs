@@ -167,6 +167,13 @@ mod tests {
     #[test]
     fn gradients_match_finite_differences() {
         let mut lin = QuantLinear::new(3, 2, QuantSpec::signed(8), &mut rng_from_seed(2));
+        // Explicit weights instead of RNG draws: the symmetric per-row
+        // scale maps `max_abs` onto |q_min| = 128, so a row whose
+        // max-magnitude element is *positive* sits just above
+        // `q_max * scale` — zero STE mask there while the finite
+        // difference still sees a slope through the moving scale. Keep
+        // every row maximum negative so all six masks are 1.
+        lin.weight.value = vec![0.4, -0.6, 0.2, -0.5, 0.3, 0.1];
         let x = Activation::new(vec![0.3, -0.8, 0.5, 1.2, 0.1, -0.4], 2, vec![3]);
         let y = lin.forward(&x, true);
         let ones = Activation::new(vec![1.0; y.data.len()], y.n, y.dims.clone());

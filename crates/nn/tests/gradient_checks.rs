@@ -66,7 +66,12 @@ fn joint_loss_gradients_match_finite_differences() {
 
     // Snapshot a handful of parameters across the network and compare.
     // (Index 0 of each param; conv weight index 7 as a non-trivial tap.)
-    let eps = 5e-3;
+    // The probe must span several activation-quantizer steps (the
+    // unsigned 8-bit QuantReLU grid is 2/255 ≈ 0.008) or the numeric
+    // slope is dominated by rounding cliffs rather than the true
+    // gradient; 2e-2 covers ~5 steps while second-order loss curvature
+    // stays negligible.
+    let eps = 2e-2;
     let mut checked = 0;
     let mut failures = Vec::new();
     let param_count = {

@@ -119,6 +119,70 @@ where
     });
 }
 
+/// Maps `f` over `0..n` on up to `workers` scoped threads, returning
+/// the results **in input order** regardless of completion order.
+///
+/// Scheduling is dynamic — each worker pulls the next unclaimed index
+/// from a shared counter — so uneven per-index cost (e.g. training runs
+/// whose length varies with the pruning rate) still balances across
+/// workers. Order-independence of the *result* is the caller's
+/// responsibility: `f` must be a pure function of its index for
+/// `par_map(n, w, f)` to be invariant in `w`; this function only
+/// guarantees that every index runs exactly once and the output vector
+/// is index-ordered.
+///
+/// `workers == 1` (or `n <= 1`) runs `f` sequentially on the calling
+/// thread in index order — byte-for-byte the behaviour of
+/// `(0..n).map(f).collect()`.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+///
+/// ```
+/// use adapex_tensor::parallel::par_map;
+///
+/// let squares = par_map(5, 4, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// ```
+pub fn par_map<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.max(1).min(n.max(1));
+    if workers == 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(local) => local,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    tagged.sort_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, v)| v).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,5 +230,56 @@ mod tests {
     #[test]
     fn num_threads_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        // Make early indices slow so completion order inverts.
+        let out = par_map(32, 8, |i| {
+            if i < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i * 3
+        });
+        assert_eq!(out, (0..32).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_runs_every_index_exactly_once() {
+        let hits = (0..200).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+        let out = par_map(200, 7, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert_eq!(out, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_single_worker_runs_inline_in_order() {
+        let tid = std::thread::current().id();
+        let seen = std::sync::Mutex::new(Vec::new());
+        par_map(10, 1, |i| {
+            assert_eq!(std::thread::current().id(), tid);
+            seen.lock().unwrap().push(i);
+        });
+        assert_eq!(*seen.lock().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_empty_input_yields_empty_output() {
+        let out: Vec<u8> = par_map(0, 4, |_| panic!("must not be called"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn par_map_propagates_worker_panics() {
+        par_map(16, 4, |i| {
+            if i == 9 {
+                panic!("worker boom");
+            }
+            i
+        });
     }
 }

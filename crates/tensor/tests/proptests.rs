@@ -128,4 +128,37 @@ proptest! {
         let sum = ta.add(&tb).expect("same shape");
         prop_assert!(sum.l1_norm() <= ta.l1_norm() + tb.l1_norm() + 1e-4);
     }
+
+    /// `par_map` equals the sequential map for any length × worker
+    /// count, and the output is in input order.
+    #[test]
+    fn par_map_matches_sequential_map(
+        n in 0usize..80,
+        workers in 1usize..12,
+        salt in 0u64..1000,
+    ) {
+        use adapex_tensor::parallel::par_map;
+        let f = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9).wrapping_add(salt);
+        let sequential: Vec<u64> = (0..n).map(f).collect();
+        let parallel = par_map(n, workers, f);
+        prop_assert_eq!(parallel, sequential);
+    }
+
+    /// Two runs at different worker counts agree with each other even
+    /// when per-index work is deliberately uneven.
+    #[test]
+    fn par_map_is_worker_count_invariant(
+        n in 1usize..40,
+        w1 in 1usize..10,
+        w2 in 1usize..10,
+    ) {
+        use adapex_tensor::parallel::par_map;
+        let f = |i: usize| {
+            if i.is_multiple_of(7) {
+                std::thread::yield_now(); // perturb completion order
+            }
+            i * i + 1
+        };
+        prop_assert_eq!(par_map(n, w1, f), par_map(n, w2, f));
+    }
 }

@@ -1,0 +1,71 @@
+//! Determinism harness for the parallel design-space sweep: the
+//! serialized [`Artifacts`] a generation run produces must be
+//! byte-identical whatever `GeneratorConfig::jobs` is set to, and
+//! repeated parallel runs must agree with each other.
+//!
+//! This is the regression net under the guarantee documented in
+//! `LibraryGenerator::generate`: every variant's retrain seed derives
+//! from `(seed, id)`, workers share only immutable state, and `par_map`
+//! returns entries in id order.
+
+use adapex::generator::{Artifacts, GeneratorConfig, LibraryGenerator};
+use adapex_dataset::DatasetKind;
+
+/// Fast-profile config trimmed to two variants per sweep so three full
+/// generation runs stay test-suite friendly.
+fn scenario(jobs: usize) -> GeneratorConfig {
+    let mut cfg = GeneratorConfig::fast(DatasetKind::Cifar10Like);
+    cfg.pruning_rates = vec![0.0, 0.4];
+    cfg.jobs = jobs;
+    cfg
+}
+
+fn generate_json(jobs: usize) -> (Artifacts, String) {
+    let artifacts = LibraryGenerator::new(scenario(jobs)).generate();
+    let json = serde_json::to_string_pretty(&artifacts).expect("artifacts serialize");
+    (artifacts, json)
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_sequential() {
+    let (seq_art, seq_json) = generate_json(1);
+    let (par_art, par_json) = generate_json(4);
+
+    // Entry-level equality first, for a readable failure location...
+    assert_eq!(seq_art.adapex.entries.len(), par_art.adapex.entries.len());
+    for (s, p) in seq_art.adapex.entries.iter().zip(&par_art.adapex.entries) {
+        assert_eq!(s, p, "adapex entry {} diverged between jobs=1 and jobs=4", s.id);
+    }
+    for (s, p) in seq_art.pr_only.entries.iter().zip(&par_art.pr_only.entries) {
+        assert_eq!(s, p, "pr_only entry {} diverged between jobs=1 and jobs=4", s.id);
+    }
+    assert_eq!(seq_art.reference_accuracy, par_art.reference_accuracy);
+
+    // ...then the actual guarantee: byte-identical serialized form.
+    // (`jobs` itself is #[serde(skip)], so it cannot explain a diff.)
+    assert_eq!(
+        seq_json, par_json,
+        "serialized artifacts must not depend on the job count"
+    );
+}
+
+#[test]
+fn repeated_parallel_runs_are_bit_identical() {
+    let (_, first) = generate_json(4);
+    let (_, second) = generate_json(4);
+    assert_eq!(
+        first, second,
+        "two jobs=4 runs of the same config must serialize identically"
+    );
+}
+
+#[test]
+fn entry_ids_are_sequential_in_both_libraries() {
+    let (artifacts, _) = generate_json(3);
+    for (i, e) in artifacts.adapex.entries.iter().enumerate() {
+        assert_eq!(e.id, i, "adapex entries must come back in id order");
+    }
+    for (i, e) in artifacts.pr_only.entries.iter().enumerate() {
+        assert_eq!(e.id, i, "pr_only entries must come back in id order");
+    }
+}

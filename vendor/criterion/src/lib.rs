@@ -1,0 +1,170 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmark harness with the API subset this
+//! workspace's benches use: [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`Bencher::iter_batched`], [`BatchSize`],
+//! [`criterion_group!`] and [`criterion_main!`]. No statistics beyond
+//! mean/min/max, no plots, no baseline comparison — each benchmark runs
+//! a short warm-up followed by `sample_size` timed samples and prints
+//! one summary line.
+
+use std::time::{Duration, Instant};
+
+/// How setup output is batched in [`Bencher::iter_batched`]. The
+/// distinction only affects upstream's memory strategy; here every
+/// variant behaves identically (one setup per routine call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Benchmark driver handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` back-to-back for the sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh input from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Top-level benchmark registry/configuration.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark and prints a mean/min/max summary line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        // Calibrate the per-sample iteration count so one sample takes
+        // roughly 10 ms (bounded to keep total runtime sane).
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(10).as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
+
+        // Warm-up.
+        let mut warm = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut warm);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let min = samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples_ns.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{id:<40} time: [{} {} {}]  ({} samples x {iters} iters)",
+            format_ns(min),
+            format_ns(mean),
+            format_ns(max),
+            self.sample_size,
+        );
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group: a config plus target functions, bundled
+/// into one runner function named `$name`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_feeds_fresh_input() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        });
+    }
+}

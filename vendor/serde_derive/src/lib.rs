@@ -1,0 +1,449 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! the type shapes this workspace actually uses — structs with named
+//! fields, newtype/tuple structs, and enums with unit, tuple and struct
+//! variants — plus the `#[serde(skip)]` and `#[serde(default)]` field
+//! attributes. Anything outside that subset fails the build with a
+//! clear message rather than silently misbehaving.
+//!
+//! Built directly on `proc_macro` token trees (no `syn`/`quote`, which
+//! are unavailable offline): the input item is parsed by a small
+//! hand-rolled scanner and the generated impl is rendered as a string,
+//! then re-parsed into a `TokenStream`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// --- Parsed item model. ------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+enum Shape {
+    /// `struct S { .. }`
+    Struct(Vec<Field>),
+    /// `struct S(T, ..);` with the number of fields.
+    TupleStruct(usize),
+    /// `enum E { .. }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// --- Input parsing. ----------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    // Outer attributes and visibility.
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i, "expected `struct` or `enum`");
+    let name = expect_ident(&tokens, &mut i, "expected type name");
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored): generic type `{name}` is not supported");
+    }
+
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            other => panic!("serde derive (vendored): unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive (vendored): expected enum body, found {other:?}"),
+        },
+        other => panic!("serde derive (vendored): expected `struct` or `enum`, found `{other}`"),
+    };
+
+    Item { name, shape }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize, msg: &str) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde derive (vendored): {msg}, found {other:?}"),
+    }
+}
+
+/// Skips `#[...]` attribute sequences starting at `i`.
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 2; // `#` plus the bracket group
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ..)` starting at `i`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Scans `#[serde(..)]` attributes starting at `i`, returning
+/// `(skip, default)` and advancing past every attribute.
+fn parse_field_attrs(tokens: &[TokenTree], i: &mut usize) -> (bool, bool) {
+    let (mut skip, mut default) = (false, false);
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(attr)) = tokens.get(*i + 1) {
+            let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+            if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+                let Some(TokenTree::Group(args)) = inner.get(1) else {
+                    panic!("serde derive (vendored): malformed #[serde] attribute");
+                };
+                for tok in args.stream() {
+                    match tok {
+                        TokenTree::Ident(id) if id.to_string() == "skip" => skip = true,
+                        TokenTree::Ident(id) if id.to_string() == "default" => default = true,
+                        TokenTree::Punct(p) if p.as_char() == ',' => {}
+                        other => panic!(
+                            "serde derive (vendored): unsupported #[serde] option {other}"
+                        ),
+                    }
+                }
+            }
+        }
+        *i += 2;
+    }
+    (skip, default)
+}
+
+/// Advances `i` past one type, stopping at a top-level `,` (angle
+/// brackets tracked manually since they are bare punctuation tokens).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let (skip, default) = parse_field_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i, "expected field name");
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde derive (vendored): expected `:` after field, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        i += 1; // the `,` (or one past the end)
+        fields.push(Field { name, skip, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        skip_type(&tokens, &mut i);
+        i += 1;
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i, "expected variant name");
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            other => panic!(
+                "serde derive (vendored): unsupported token after variant `{name}`: {other:?} \
+                 (explicit discriminants are not supported)"
+            ),
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// --- Code generation. --------------------------------------------------
+
+fn render_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "__fields.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(__fields)"
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), {payload})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut pushes = String::new();
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            pushes.push_str(&format!(
+                                "__fields.push((\"{0}\".to_string(), ::serde::Serialize::to_value({0})));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                             let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                             {pushes}\
+                             ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Value::Object(__fields))])\n}},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn render_named_fields_parse(
+    type_path: &str,
+    fields: &[Field],
+    obj_expr: &str,
+    context: &str,
+) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+        } else if f.default {
+            inits.push_str(&format!(
+                "{0}: match ::serde::__field({obj_expr}, \"{0}\") {{\n\
+                 ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                 ::std::option::Option::None => ::std::default::Default::default(),\n}},\n",
+                f.name
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{0}: match ::serde::__field({obj_expr}, \"{0}\") {{\n\
+                 ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                 ::std::option::Option::None => return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"missing field `{0}` in {context}\")),\n}},\n",
+                f.name
+            ));
+        }
+    }
+    format!("{type_path} {{\n{inits}}}")
+}
+
+fn render_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let constructor = render_named_fields_parse(name, fields, "__obj", name);
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::Error::custom(\
+                 format!(\"expected object for {name}, found {{}}\", __v.kind())))?;\n\
+                 ::std::result::Result::Ok({constructor})"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __v.as_array().ok_or_else(|| ::serde::Error::custom(\
+                 format!(\"expected array for {name}, found {{}}\", __v.kind())))?;\n\
+                 if __items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::custom(format!(\
+                 \"expected {n} elements for {name}, found {{}}\", __items.len())));\n}}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Tuple(1) => payload_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__payload)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __items = __payload.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array for {name}::{vname}\"))?;\n\
+                             if __items.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                             \"wrong tuple arity for {name}::{vname}\"));\n}}\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n}},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let constructor = render_named_fields_parse(
+                            &format!("{name}::{vname}"),
+                            fields,
+                            "__obj",
+                            &format!("{name}::{vname}"),
+                        );
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __obj = __payload.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for {name}::{vname}\"))?;\n\
+                             ::std::result::Result::Ok({constructor})\n}},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n}},\n\
+                 _ => {{\n\
+                 let __entries = __v.as_object().ok_or_else(|| ::serde::Error::custom(\
+                 format!(\"expected variant of {name}, found {{}}\", __v.kind())))?;\n\
+                 if __entries.len() != 1 {{\n\
+                 return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected single-key variant object for {name}\"));\n}}\n\
+                 let (__tag, __payload) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                 {payload_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n}}\n}}\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
