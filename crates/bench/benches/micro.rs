@@ -11,8 +11,8 @@ use adapex_nn::cnv::{CnvConfig, ExitsConfig};
 use adapex_nn::layers::{Activation, QuantConv2d};
 use adapex_nn::quant::QuantSpec;
 use adapex_prune::{PruneConfig, Pruner};
-use adapex_tensor::conv::{im2col, ConvGeometry};
-use adapex_tensor::gemm::gemm;
+use adapex_tensor::conv::{im2col, im2col_into, ConvGeometry};
+use adapex_tensor::gemm::{gemm, gemm_bias};
 use adapex_tensor::rng::{normal_tensor, rng_from_seed};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use finn_dataflow::{compile, FoldingConfig, FpgaDevice, ModelIr};
@@ -28,12 +28,37 @@ fn bench_gemm(c: &mut Criterion) {
     });
 }
 
+fn bench_gemm_bias(c: &mut Criterion) {
+    let mut rng = rng_from_seed(1);
+    let a = normal_tensor(&[64 * 128], 0.0, 1.0, &mut rng).into_vec();
+    let b = normal_tensor(&[128 * 256], 0.0, 1.0, &mut rng).into_vec();
+    let bias = normal_tensor(&[64], 0.0, 1.0, &mut rng).into_vec();
+    let mut out = vec![0.0f32; 64 * 256];
+    c.bench_function("gemm_bias_64x128x256", |bench| {
+        bench.iter(|| {
+            gemm_bias(
+                64,
+                128,
+                256,
+                black_box(&a),
+                black_box(&b),
+                black_box(&bias),
+                &mut out,
+            )
+        });
+    });
+}
+
 fn bench_im2col(c: &mut Criterion) {
     let mut rng = rng_from_seed(2);
     let img = normal_tensor(&[16 * 32 * 32], 0.0, 1.0, &mut rng).into_vec();
     let geom = ConvGeometry::new(3);
     c.bench_function("im2col_16x32x32_k3", |bench| {
         bench.iter(|| im2col(black_box(&img), 16, 32, 32, geom));
+    });
+    let mut cols = Vec::new();
+    c.bench_function("im2col_into_16x32x32_k3", |bench| {
+        bench.iter(|| im2col_into(black_box(&img), 16, 32, 32, geom, &mut cols));
     });
 }
 
@@ -152,7 +177,7 @@ fn bench_edge_episode(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_gemm, bench_im2col, bench_conv_forward, bench_pruner,
-              bench_compile, bench_library_select, bench_edge_episode
+    targets = bench_gemm, bench_gemm_bias, bench_im2col, bench_conv_forward,
+              bench_pruner, bench_compile, bench_library_select, bench_edge_episode
 }
 criterion_main!(benches);

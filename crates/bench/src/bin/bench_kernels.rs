@@ -1,0 +1,234 @@
+//! Kernel micro-benchmark bin: emits `BENCH_kernels.json`.
+//!
+//! Times the training/inference hot path at the shapes the library
+//! generator actually runs (CNV layer shapes at the generator width and
+//! at the paper's full width), plus one end-to-end training epoch at the
+//! `ADAPEX_PROFILE=fast` scale. The seed-revision measurements are
+//! compiled in (`baseline_kernels.json`) so the emitted report carries
+//! before/after speedups, letting the perf trajectory be tracked across
+//! PRs without re-checking-out old revisions.
+//!
+//! Run with `cargo run --release -p adapex-bench --bin bench`.
+
+use adapex_dataset::{DatasetKind, SyntheticConfig};
+use adapex_nn::cnv::CnvConfig;
+use adapex_nn::layers::{Activation, QuantConv2d, QuantLinear};
+use adapex_nn::quant::QuantSpec;
+use adapex_nn::train::{TrainConfig, Trainer};
+use adapex_tensor::conv::{im2col, ConvGeometry};
+use adapex_tensor::gemm::{gemm, gemm_bias};
+use adapex_tensor::parallel::num_threads;
+use adapex_tensor::rng::{normal_tensor, rng_from_seed};
+use serde::{Deserialize, Serialize};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Seed-revision numbers, captured on the same machine class the CI
+/// runs on; `null`/missing entries simply yield no speedup column.
+const BASELINE: &str = include_str!("baseline_kernels.json");
+
+#[derive(Debug, Serialize, Deserialize)]
+struct KernelReport {
+    name: String,
+    ns_per_op: f64,
+    #[serde(default)]
+    baseline_ns_per_op: Option<f64>,
+    #[serde(default)]
+    speedup: Option<f64>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Report {
+    threads: usize,
+    profile: String,
+    kernels: Vec<KernelReport>,
+}
+
+/// Times `f`, returning ns per call: a few warmup calls, then the best
+/// of `samples` timed batches (best-of filters scheduler noise; the
+/// kernels themselves are deterministic).
+fn time_ns(mut f: impl FnMut(), samples: usize, iters: usize) -> f64 {
+    for _ in 0..3 {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(ns);
+    }
+    best
+}
+
+fn main() {
+    let mut kernels: Vec<(String, f64)> = Vec::new();
+    let mut push = |name: &str, ns: f64| {
+        eprintln!("{name:36} {:>12.0} ns/op", ns);
+        kernels.push((name.to_string(), ns));
+    };
+
+    let mut rng = rng_from_seed(1);
+
+    // im2col at the generator-scale (width 8) and full CNV conv2 shapes.
+    for (name, c, hw) in [("im2col_conv2_w8", 8usize, 30usize), ("im2col_conv2_full", 64, 30)] {
+        let img = normal_tensor(&[c * hw * hw], 0.0, 1.0, &mut rng).into_vec();
+        let geom = ConvGeometry::new(3);
+        let ns = time_ns(|| drop(black_box(im2col(black_box(&img), c, hw, hw, geom))), 7, 20);
+        push(name, ns);
+    }
+
+    // GEMM at CNV conv shapes: [c_out, c_in*k*k] x [c_in*k*k, pixels].
+    for (name, m, k, n) in [
+        ("gemm_conv2_w8", 8usize, 72usize, 784usize),
+        ("gemm_conv5_w8", 32, 144, 9),
+        ("gemm_conv2_full", 64, 576, 784),
+    ] {
+        let a = normal_tensor(&[m * k], 0.0, 1.0, &mut rng).into_vec();
+        let b = normal_tensor(&[k * n], 0.0, 1.0, &mut rng).into_vec();
+        let mut c_buf = vec![0.0f32; m * n];
+        let ns = time_ns(
+            || gemm(m, k, n, black_box(&a), black_box(&b), black_box(&mut c_buf)),
+            7,
+            20,
+        );
+        push(name, ns);
+    }
+
+    // GEMM + fused bias epilogue at the conv2 shape (the conv forward's
+    // exact inner step: one matmul plus a per-row bias add).
+    {
+        let (m, k, n) = (8usize, 72usize, 784usize);
+        let a = normal_tensor(&[m * k], 0.0, 1.0, &mut rng).into_vec();
+        let b = normal_tensor(&[k * n], 0.0, 1.0, &mut rng).into_vec();
+        let bias = normal_tensor(&[m], 0.0, 1.0, &mut rng).into_vec();
+        let mut c_buf = vec![0.0f32; m * n];
+        let ns = time_ns(
+            || {
+                gemm_bias(
+                    m,
+                    k,
+                    n,
+                    black_box(&a),
+                    black_box(&b),
+                    black_box(&bias),
+                    &mut c_buf,
+                );
+                black_box(&mut c_buf);
+            },
+            7,
+            20,
+        );
+        push("gemm_bias_conv2_w8", ns);
+    }
+
+    // Quantized conv forward (eval), generator width, CNV conv2 geometry.
+    {
+        let mut conv =
+            QuantConv2d::new(8, 8, ConvGeometry::new(3), QuantSpec::signed(2), &mut rng_from_seed(3));
+        let x = Activation::new(
+            normal_tensor(&[16 * 8 * 30 * 30], 0.0, 1.0, &mut rng).into_vec(),
+            16,
+            vec![8, 30, 30],
+        );
+        let ns = time_ns(|| drop(black_box(conv.forward(black_box(&x), false))), 7, 5);
+        push("conv_fwd_eval_b16_w8", ns);
+
+        let ns = time_ns(|| drop(black_box(conv.forward(black_box(&x), true))), 7, 5);
+        push("conv_fwd_train_b16_w8", ns);
+
+        let y_len = 16 * 8 * 28 * 28;
+        let ones = Activation::new(vec![1.0; y_len], 16, vec![8, 28, 28]);
+        let ns = time_ns(
+            || {
+                conv.forward(black_box(&x), true);
+                drop(black_box(conv.backward(black_box(&ones))));
+            },
+            5,
+            3,
+        );
+        push("conv_fwd_bwd_b16_w8", ns);
+    }
+
+    // Full-width conv forward (eval): the paper-scale CNV conv2.
+    {
+        let mut conv = QuantConv2d::new(
+            64,
+            64,
+            ConvGeometry::new(3),
+            QuantSpec::signed(2),
+            &mut rng_from_seed(4),
+        );
+        let x = Activation::new(
+            normal_tensor(&[4 * 64 * 30 * 30], 0.0, 1.0, &mut rng).into_vec(),
+            4,
+            vec![64, 30, 30],
+        );
+        let ns = time_ns(|| drop(black_box(conv.forward(black_box(&x), false))), 5, 2);
+        push("conv_fwd_eval_b4_full", ns);
+    }
+
+    // Quantized linear forward (eval), generator-scale classifier shape.
+    {
+        let mut lin = QuantLinear::new(64, 64, QuantSpec::signed(2), &mut rng_from_seed(5));
+        let x = Activation::new(
+            normal_tensor(&[64 * 64], 0.0, 1.0, &mut rng).into_vec(),
+            64,
+            vec![64],
+        );
+        let ns = time_ns(|| drop(black_box(lin.forward(black_box(&x), false))), 7, 50);
+        push("linear_fwd_eval_b64_w8", ns);
+    }
+
+    // End-to-end: one training epoch at the ADAPEX_PROFILE=fast scale.
+    {
+        let data = SyntheticConfig::new(DatasetKind::Cifar10Like)
+            .with_sizes(240, 120)
+            .with_seed(42)
+            .generate();
+        let cfg = TrainConfig {
+            epochs: 1,
+            ..TrainConfig::fast()
+        };
+        let trainer = Trainer::new(cfg);
+        let mut net = CnvConfig::scaled(4).build(10, 1);
+        // One throwaway epoch to warm caches, then timed epochs.
+        trainer.fit(&mut net, &data, 7);
+        let t0 = Instant::now();
+        const EPOCHS: u32 = 3;
+        for rep in 0..EPOCHS {
+            trainer.fit(&mut net, &data, 7 + rep as u64);
+        }
+        push(
+            "train_epoch_fast_cifar",
+            t0.elapsed().as_nanos() as f64 / EPOCHS as f64,
+        );
+    }
+
+    // Join with the compiled-in seed baseline and emit the report.
+    let baseline: Vec<(String, f64)> = serde_json::from_str::<Report>(BASELINE)
+        .map(|r| r.kernels.into_iter().map(|k| (k.name, k.ns_per_op)).collect())
+        .unwrap_or_default();
+    let report = Report {
+        threads: num_threads(),
+        profile: std::env::var("ADAPEX_PROFILE").unwrap_or_else(|_| "fast".into()),
+        kernels: kernels
+            .into_iter()
+            .map(|(name, ns)| {
+                let base = baseline.iter().find(|(b, _)| *b == name).map(|&(_, v)| v);
+                KernelReport {
+                    speedup: base.map(|b| b / ns),
+                    baseline_ns_per_op: base,
+                    ns_per_op: ns,
+                    name,
+                }
+            })
+            .collect(),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_kernels.json");
+}

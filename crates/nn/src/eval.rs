@@ -8,9 +8,10 @@
 //! threshold without re-running inference.
 
 use crate::layers::Activation;
-use crate::loss::{confidence, softmax};
+use crate::loss::{confidence, softmax_into};
 use crate::network::EarlyExitNetwork;
 use adapex_dataset::LabeledImages;
+use adapex_tensor::workspace::with_workspace;
 use serde::{Deserialize, Serialize};
 
 /// Batch size used when sweeping a dataset through the network.
@@ -121,19 +122,24 @@ pub fn evaluate_exits(net: &mut EarlyExitNetwork, images: &LabeledImages) -> Exi
         let (pixels, labels) = images.gather(&batch);
         let x = Activation::new(pixels, batch.len(), vec![c, h, w]);
         let outputs = net.forward(&x, false);
-        for (e, out) in outputs.iter().enumerate() {
-            for (i, &label) in labels.iter().enumerate() {
-                let probs = softmax(out.sample(i));
-                let mut best = 0;
-                for k in 1..probs.len() {
-                    if probs[k] > probs[best] {
-                        best = k;
+        with_workspace(|ws| {
+            let probs = &mut ws.scratch;
+            for (e, out) in outputs.iter().enumerate() {
+                probs.clear();
+                probs.resize(out.sample_len(), 0.0);
+                for (i, &label) in labels.iter().enumerate() {
+                    softmax_into(out.sample(i), probs);
+                    let mut best = 0;
+                    for k in 1..probs.len() {
+                        if probs[k] > probs[best] {
+                            best = k;
+                        }
                     }
+                    correct[e].push(best == label);
+                    conf[e].push(confidence(probs));
                 }
-                correct[e].push(best == label);
-                conf[e].push(confidence(&probs));
             }
-        }
+        });
     }
     ExitEvaluation {
         correct,

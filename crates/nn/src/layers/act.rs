@@ -6,18 +6,29 @@ use serde::{Deserialize, Serialize};
 /// quantization grid (A2 in CNVW2A2 means 2-bit activations, i.e. four
 /// levels). Backward uses the straight-through estimator: gradient passes
 /// where the pre-activation lies strictly inside the clipping window.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QuantReLU {
     /// Activation quantizer (unsigned).
     pub spec: QuantSpec,
     /// Upper clipping bound (the learned `alpha` in PACT-style schemes;
     /// fixed here).
     pub clip: f32,
+    /// Backward-pass cache; the mask buffer persists across batches and
+    /// is only built in training mode.
     #[serde(skip)]
-    cache: Option<ActCache>,
+    cache: ActCache,
+    #[serde(skip)]
+    cache_valid: bool,
 }
 
-#[derive(Debug, Clone, PartialEq)]
+impl PartialEq for QuantReLU {
+    fn eq(&self, other: &Self) -> bool {
+        // Caches are derived state; equality is structural.
+        self.spec == other.spec && self.clip == other.clip
+    }
+}
+
+#[derive(Debug, Clone, Default)]
 struct ActCache {
     mask: Vec<f32>,
     n: usize,
@@ -36,7 +47,8 @@ impl QuantReLU {
         QuantReLU {
             spec,
             clip,
-            cache: None,
+            cache: ActCache::default(),
+            cache_valid: false,
         }
     }
 
@@ -49,20 +61,26 @@ impl QuantReLU {
     pub fn forward(&mut self, x: &Activation, train: bool) -> Activation {
         let scale = self.clip / self.spec.q_max() as f32;
         let mut out = Activation::zeros(x.n, &x.dims);
-        let mut mask = vec![0.0f32; x.data.len()];
-        for ((o, &v), m) in out.data.iter_mut().zip(&x.data).zip(&mut mask) {
-            let clipped = v.clamp(0.0, self.clip);
-            *o = fake_quantize(clipped, scale, self.spec);
-            *m = if v > 0.0 && v < self.clip { 1.0 } else { 0.0 };
-        }
         if train {
-            self.cache = Some(ActCache {
-                mask,
-                n: x.n,
-                dims: x.dims.clone(),
-            });
+            let mask = &mut self.cache.mask;
+            mask.clear();
+            mask.resize(x.data.len(), 0.0);
+            for ((o, &v), m) in out.data.iter_mut().zip(&x.data).zip(mask.iter_mut()) {
+                let clipped = v.clamp(0.0, self.clip);
+                *o = fake_quantize(clipped, scale, self.spec);
+                *m = if v > 0.0 && v < self.clip { 1.0 } else { 0.0 };
+            }
+            self.cache.n = x.n;
+            self.cache.dims.clear();
+            self.cache.dims.extend_from_slice(&x.dims);
+            self.cache_valid = true;
         } else {
-            self.cache = None;
+            // Eval skips building the STE mask; no backward will run.
+            for (o, &v) in out.data.iter_mut().zip(&x.data) {
+                let clipped = v.clamp(0.0, self.clip);
+                *o = fake_quantize(clipped, scale, self.spec);
+            }
+            self.cache_valid = false;
         }
         out
     }
@@ -73,17 +91,18 @@ impl QuantReLU {
     ///
     /// Panics if no training-mode forward preceded this call.
     pub fn backward(&mut self, grad_out: &Activation) -> Activation {
-        let cache = self
-            .cache
-            .take()
-            .expect("activation backward requires cached forward");
-        let data = grad_out
+        assert!(self.cache_valid, "activation backward requires cached forward");
+        self.cache_valid = false;
+        let mut grad_in = Activation::zeros(self.cache.n, &self.cache.dims);
+        for ((dx, &g), &m) in grad_in
             .data
-            .iter()
-            .zip(&cache.mask)
-            .map(|(&g, &m)| g * m)
-            .collect();
-        Activation::new(data, cache.n, cache.dims)
+            .iter_mut()
+            .zip(&grad_out.data)
+            .zip(&self.cache.mask)
+        {
+            *dx = g * m;
+        }
+        grad_in
     }
 }
 
@@ -122,6 +141,15 @@ mod tests {
         let g = Activation::new(vec![1.0; 4], 1, vec![4]);
         let dx = act.backward(&g);
         assert_eq!(dx.data, vec![0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn train_and_eval_forwards_agree() {
+        let mut act = QuantReLU::a2();
+        let x = Activation::new((-12..12).map(|v| v as f32 / 5.0).collect(), 1, vec![24]);
+        let y_train = act.forward(&x, true);
+        let y_eval = act.forward(&x, false);
+        assert_eq!(y_train, y_eval);
     }
 
     #[test]

@@ -1,19 +1,22 @@
 use super::{Activation, LayerInfo, Param};
 use crate::quant::{self, QuantSpec};
-use adapex_tensor::conv::{col2im, im2col, ConvGeometry};
-use adapex_tensor::gemm::{gemm, gemm_a_bt, gemm_at_b};
+use adapex_tensor::conv::{col2im_into, im2col_into, ConvGeometry};
+use adapex_tensor::gemm::{gemm_a_bt_st, gemm_at_b_st, gemm_bias_st};
 use adapex_tensor::parallel::{num_threads, parallel_for_chunks};
 use adapex_tensor::rng::kaiming_tensor;
+use adapex_tensor::workspace::{recycle_f32, recycle_usize, take_f32_from, with_workspace, Workspace};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
 /// 2-D convolution with fake-quantized weights.
 ///
-/// Weights are stored full precision as `[c_out, c_in * k * k]`; every
+/// Weights are stored full precision as `[c_out, c_in * k * k]`; the
 /// forward pass derives the quantized view that the FPGA's MVTU would hold
-/// in its weight memory. Lowered to GEMM via im2col (the software twin of
-/// FINN's SWU→MVTU pipeline).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// in its weight memory, re-deriving it only when the underlying [`Param`]
+/// version changes (an eval sweep over thresholds quantizes once, not once
+/// per batch). Lowered to GEMM via im2col (the software twin of FINN's
+/// SWU→MVTU pipeline).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QuantConv2d {
     /// Input channels.
     pub c_in: usize,
@@ -27,15 +30,42 @@ pub struct QuantConv2d {
     pub bias: Param,
     /// Weight quantizer (2-bit signed for CNVW2A2).
     pub weight_spec: QuantSpec,
+    /// Backward-pass cache; buffers persist across batches so steady-state
+    /// training reuses them.
     #[serde(skip)]
-    cache: Option<ConvCache>,
+    cache: ConvCache,
+    #[serde(skip)]
+    cache_valid: bool,
+    /// Quantized-weight view, keyed by the weight [`Param`] version.
+    #[serde(skip)]
+    qcache: Option<QCache>,
 }
 
-#[derive(Debug, Clone, PartialEq)]
+impl PartialEq for QuantConv2d {
+    fn eq(&self, other: &Self) -> bool {
+        // Caches are derived state; equality is structural.
+        self.c_in == other.c_in
+            && self.c_out == other.c_out
+            && self.geom == other.geom
+            && self.weight == other.weight
+            && self.bias == other.bias
+            && self.weight_spec == other.weight_spec
+    }
+}
+
+#[derive(Debug, Clone, Default)]
 struct ConvCache {
     input: Vec<f32>,
     n: usize,
     in_hw: (usize, usize),
+    qweight: Vec<f32>,
+    scales: Vec<f32>,
+}
+
+/// Quantized view of the weight tensor at one [`Param`] version.
+#[derive(Debug, Clone, Default)]
+struct QCache {
+    version: u64,
     qweight: Vec<f32>,
     scales: Vec<f32>,
 }
@@ -59,7 +89,9 @@ impl QuantConv2d {
             weight: Param::new(weight),
             bias: Param::new(vec![0.0; c_out]),
             weight_spec,
-            cache: None,
+            cache: ConvCache::default(),
+            cache_valid: false,
+            qcache: None,
         }
     }
 
@@ -69,11 +101,18 @@ impl QuantConv2d {
     ///
     /// Panics unless `in_dims` is `[c_in, h, w]` with a fitting window.
     pub fn out_dims(&self, in_dims: &[usize]) -> Vec<usize> {
+        let (oh, ow) = self.out_hw(in_dims);
+        vec![self.c_out, oh, ow]
+    }
+
+    /// Output spatial extent, shared by [`Self::out_dims`] and the
+    /// allocation-free forward path.
+    fn out_hw(&self, in_dims: &[usize]) -> (usize, usize) {
         assert_eq!(in_dims.len(), 3, "conv input must be CHW");
         assert_eq!(in_dims[0], self.c_in, "conv input channels");
         let oh = self.geom.output_dim(in_dims[1]).expect("window must fit");
         let ow = self.geom.output_dim(in_dims[2]).expect("window must fit");
-        vec![self.c_out, oh, ow]
+        (oh, ow)
     }
 
     /// Structural description.
@@ -95,19 +134,35 @@ impl QuantConv2d {
         }
     }
 
-    /// Forward pass over a batch.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an input shape mismatch.
-    pub fn forward(&mut self, x: &Activation, train: bool) -> Activation {
-        let out_dims = self.out_dims(&x.dims);
+    /// Refreshes the quantized-weight view if the weight param changed
+    /// since it was last derived.
+    fn ensure_qweights(&mut self) {
+        let version = self.weight.version();
+        if self.qcache.as_ref().is_some_and(|qc| qc.version == version) {
+            return;
+        }
+        let kk = self.geom.kernel * self.geom.kernel * self.c_in;
+        let mut qc = self.qcache.take().unwrap_or_default();
+        quant::quantize_weights_per_row_into(
+            &self.weight.value,
+            kk,
+            self.weight_spec,
+            &mut qc.qweight,
+            &mut qc.scales,
+        );
+        qc.version = version;
+        self.qcache = Some(qc);
+    }
+
+    /// The GEMM core shared by both forward entry points.
+    fn run_forward(&mut self, x: &Activation) -> Activation {
+        let (oh, ow) = self.out_hw(&x.dims);
+        let out_dims = [self.c_out, oh, ow];
         let (h, w) = (x.dims[1], x.dims[2]);
-        let (oh, ow) = (out_dims[1], out_dims[2]);
         let pixels = oh * ow;
         let kk = self.geom.kernel * self.geom.kernel * self.c_in;
-        let (qweight, scales) =
-            quant::quantize_weights_per_row(&self.weight.value, kk, self.weight_spec);
+        self.ensure_qweights();
+        let qc = self.qcache.as_ref().expect("qcache just ensured");
 
         let mut out = Activation::zeros(x.n, &out_dims);
         let sample_in = x.sample_len();
@@ -116,34 +171,117 @@ impl QuantConv2d {
         let (c_in, c_out) = (self.c_in, self.c_out);
         let bias = &self.bias.value;
         let input = &x.data;
-        let qw = &qweight;
+        let qw = &qc.qweight;
         parallel_for_chunks(x.n, sample_out, &mut out.data, 1, |range, chunk| {
-            for (local, i) in range.enumerate() {
-                let img = &input[i * sample_in..(i + 1) * sample_in];
-                let cols = im2col(img, c_in, h, w, geom);
-                let y = &mut chunk[local * sample_out..(local + 1) * sample_out];
-                gemm(c_out, kk, pixels, qw, &cols, y);
-                for co in 0..c_out {
-                    let b = bias[co];
-                    for v in &mut y[co * pixels..(co + 1) * pixels] {
-                        *v += b;
-                    }
+            with_workspace(|ws| {
+                for (local, i) in range.enumerate() {
+                    let img = &input[i * sample_in..(i + 1) * sample_in];
+                    im2col_into(img, c_in, h, w, geom, &mut ws.cols);
+                    let y = &mut chunk[local * sample_out..(local + 1) * sample_out];
+                    gemm_bias_st(c_out, kk, pixels, qw, &ws.cols, bias, y);
                 }
-            }
-        });
-
-        if train {
-            self.cache = Some(ConvCache {
-                input: x.data.clone(),
-                n: x.n,
-                in_hw: (h, w),
-                qweight,
-                scales,
             });
+        });
+        out
+    }
+
+    /// Snapshots everything the backward pass needs except the input,
+    /// which the two forward entry points provide differently.
+    fn cache_for_backward(&mut self, n: usize, in_hw: (usize, usize)) {
+        let qc = self.qcache.as_ref().expect("qcache ensured by run_forward");
+        self.cache.n = n;
+        self.cache.in_hw = in_hw;
+        self.cache.qweight.clear();
+        self.cache.qweight.extend_from_slice(&qc.qweight);
+        self.cache.scales.clear();
+        self.cache.scales.extend_from_slice(&qc.scales);
+        self.cache_valid = true;
+    }
+
+    /// Forward pass over a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an input shape mismatch.
+    pub fn forward(&mut self, x: &Activation, train: bool) -> Activation {
+        let out = self.run_forward(x);
+        if train {
+            self.cache.input.clear();
+            self.cache.input.extend_from_slice(&x.data);
+            self.cache_for_backward(x.n, (x.dims[1], x.dims[2]));
         } else {
-            self.cache = None;
+            self.cache_valid = false;
         }
         out
+    }
+
+    /// [`QuantConv2d::forward`] taking the input by value: in training
+    /// mode the input buffer moves straight into the backward cache
+    /// instead of being copied.
+    pub fn forward_owned(&mut self, x: Activation, train: bool) -> Activation {
+        if !train {
+            return self.forward(&x, false);
+        }
+        let out = self.run_forward(&x);
+        let (n, hw) = (x.n, (x.dims[1], x.dims[2]));
+        let (data, _, dims) = x.into_parts();
+        recycle_usize(dims);
+        recycle_f32(std::mem::replace(&mut self.cache.input, data));
+        self.cache_for_backward(n, hw);
+        out
+    }
+
+    /// One image's contribution to the backward pass: accumulates `dW`
+    /// into `ws.dw`, `db` into `ws.db`, and writes `dX` into `dx_out`.
+    #[allow(clippy::too_many_arguments)]
+    fn backward_image(
+        &self,
+        ws: &mut Workspace,
+        img: &[f32],
+        dy: &[f32],
+        (h, w): (usize, usize),
+        pixels: usize,
+        kk: usize,
+        dx_out: &mut [f32],
+    ) {
+        let (c_in, c_out) = (self.c_in, self.c_out);
+        im2col_into(img, c_in, h, w, self.geom, &mut ws.cols);
+        // dW += dY * cols^T
+        ws.dw_img.clear();
+        ws.dw_img.resize(c_out * kk, 0.0);
+        gemm_a_bt_st(c_out, pixels, kk, dy, &ws.cols, &mut ws.dw_img);
+        for (acc, &v) in ws.dw.iter_mut().zip(&ws.dw_img) {
+            *acc += v;
+        }
+        // db += row sums of dY
+        for co in 0..c_out {
+            ws.db[co] += dy[co * pixels..(co + 1) * pixels].iter().sum::<f32>();
+        }
+        // dCols = W^T * dY ; dX = col2im(dCols)
+        ws.dcols.clear();
+        ws.dcols.resize(kk * pixels, 0.0);
+        gemm_at_b_st(kk, c_out, pixels, &self.cache.qweight, dy, &mut ws.dcols);
+        col2im_into(&ws.dcols, c_in, h, w, self.geom, &mut ws.scratch);
+        dx_out.copy_from_slice(&ws.scratch);
+    }
+
+    /// Folds one worker's `(dW, db)` partial into the parameter gradients
+    /// with the STE clipping mask (saturated weights stop receiving
+    /// gradient).
+    fn reduce_partial(&mut self, dw: &[f32], db: &[f32], kk: usize) {
+        let spec = self.weight_spec;
+        for (i, (slot, (&g, &w0))) in self
+            .weight
+            .grad
+            .iter_mut()
+            .zip(dw.iter().zip(&self.weight.value))
+            .enumerate()
+        {
+            *slot += g * quant::ste_mask(w0, self.cache.scales[i / kk], spec);
+        }
+        for (slot, &g) in self.bias.grad.iter_mut().zip(db) {
+            *slot += g;
+        }
     }
 
     /// Backward pass; returns the input gradient.
@@ -152,28 +290,46 @@ impl QuantConv2d {
     ///
     /// Panics if no training-mode forward preceded this call.
     pub fn backward(&mut self, grad_out: &Activation) -> Activation {
-        let cache = self.cache.take().expect("conv backward requires cached forward");
-        let (h, w) = cache.in_hw;
+        assert!(self.cache_valid, "conv backward requires cached forward");
+        self.cache_valid = false;
+        let (h, w) = self.cache.in_hw;
         let oh = self.geom.output_dim(h).expect("cached geometry is valid");
         let ow = self.geom.output_dim(w).expect("cached geometry is valid");
         let pixels = oh * ow;
         let k = self.geom.kernel;
         let kk = self.c_in * k * k;
-        let n = cache.n;
+        let n = self.cache.n;
         assert_eq!(grad_out.n, n, "grad batch size");
         let sample_in = self.c_in * h * w;
         let sample_out = self.c_out * pixels;
 
         let mut grad_in = Activation::zeros(n, &[self.c_in, h, w]);
 
-        // Parallelize over batch images; each worker accumulates its own
-        // dW/db and the main thread reduces them.
         let workers = num_threads().min(n).max(1);
+        if workers == 1 {
+            // Inline path: no worker threads, no partials — the hot path
+            // for the single-threaded training the generator runs.
+            with_workspace(|ws| {
+                ws.dw.clear();
+                ws.dw.resize(self.c_out * kk, 0.0);
+                ws.db.clear();
+                ws.db.resize(self.c_out, 0.0);
+                for i in 0..n {
+                    let img = &self.cache.input[i * sample_in..(i + 1) * sample_in];
+                    let dy = &grad_out.data[i * sample_out..(i + 1) * sample_out];
+                    let dx = &mut grad_in.data[i * sample_in..(i + 1) * sample_in];
+                    self.backward_image(ws, img, dy, (h, w), pixels, kk, dx);
+                }
+                let Workspace { dw, db, .. } = ws;
+                self.reduce_partial(dw, db, kk);
+            });
+            return grad_in;
+        }
+
+        // Parallelize over batch images; each worker accumulates its own
+        // dW/db into pooled buffers and the main thread reduces them.
         let chunk_len = n.div_ceil(workers);
-        let geom = self.geom;
-        let (c_in, c_out) = (self.c_in, self.c_out);
-        let input = &cache.input;
-        let qw = &cache.qweight;
+        let this = &*self;
         let dy_all = &grad_out.data;
         let partials: Vec<(Vec<f32>, Vec<f32>)> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -185,51 +341,29 @@ impl QuantConv2d {
                 rest = tail;
                 let range = start..end;
                 handles.push(scope.spawn(move || {
-                    let mut dw = vec![0.0f32; c_out * kk];
-                    let mut db = vec![0.0f32; c_out];
-                    let mut dw_img = vec![0.0f32; c_out * kk];
-                    let mut dcols = vec![0.0f32; kk * pixels];
-                    for (local, i) in range.enumerate() {
-                        let img = &input[i * sample_in..(i + 1) * sample_in];
-                        let dy = &dy_all[i * sample_out..(i + 1) * sample_out];
-                        let cols = im2col(img, c_in, h, w, geom);
-                        // dW += dY * cols^T
-                        gemm_a_bt(c_out, pixels, kk, dy, &cols, &mut dw_img);
-                        for (acc, &v) in dw.iter_mut().zip(&dw_img) {
-                            *acc += v;
+                    with_workspace(|ws| {
+                        ws.dw.clear();
+                        ws.dw.resize(this.c_out * kk, 0.0);
+                        ws.db.clear();
+                        ws.db.resize(this.c_out, 0.0);
+                        for (local, i) in range.enumerate() {
+                            let img = &this.cache.input[i * sample_in..(i + 1) * sample_in];
+                            let dy = &dy_all[i * sample_out..(i + 1) * sample_out];
+                            let dx = &mut head[local * sample_in..(local + 1) * sample_in];
+                            this.backward_image(ws, img, dy, (h, w), pixels, kk, dx);
                         }
-                        // db += row sums of dY
-                        for co in 0..c_out {
-                            db[co] += dy[co * pixels..(co + 1) * pixels].iter().sum::<f32>();
-                        }
-                        // dCols = W^T * dY ; dX = col2im(dCols)
-                        gemm_at_b(kk, c_out, pixels, qw, dy, &mut dcols);
-                        let dx = col2im(&dcols, c_in, h, w, geom);
-                        head[local * sample_in..(local + 1) * sample_in].copy_from_slice(&dx);
-                    }
-                    (dw, db)
+                        (take_f32_from(&ws.dw), take_f32_from(&ws.db))
+                    })
                 }));
                 start = end;
             }
             handles.into_iter().map(|h| h.join().expect("worker")).collect()
         });
 
-        // Reduce worker partials into parameter gradients with the STE
-        // clipping mask (saturated weights stop receiving gradient).
-        let spec = self.weight_spec;
         for (dw, db) in partials {
-            for (i, (slot, (&g, &w0))) in self
-                .weight
-                .grad
-                .iter_mut()
-                .zip(dw.iter().zip(&self.weight.value))
-                .enumerate()
-            {
-                *slot += g * quant::ste_mask(w0, cache.scales[i / kk], spec);
-            }
-            for (slot, &g) in self.bias.grad.iter_mut().zip(&db) {
-                *slot += g;
-            }
+            self.reduce_partial(&dw, &db, kk);
+            recycle_f32(dw);
+            recycle_f32(db);
         }
         grad_in
     }
@@ -290,6 +424,7 @@ mod tests {
             0.30, -0.20, 0.10, 0.25, -0.15, 0.05, 0.20, -0.55, 0.35, // filter 0
             0.15, -0.30, 0.25, -0.10, 0.40, 0.05, -0.60, 0.20, -0.25, // filter 1
         ];
+        conv.weight.touch();
         let x = Activation::new(
             (0..25).map(|v| (v as f32 * 0.37).sin()).collect(),
             1,
@@ -307,10 +442,13 @@ mod tests {
         for &wi in &[0, 5, 11] {
             let orig = conv.weight.value[wi];
             conv.weight.value[wi] = orig + eps;
+            conv.weight.touch();
             let lp: f32 = conv.forward(&x, false).data.iter().sum();
             conv.weight.value[wi] = orig - eps;
+            conv.weight.touch();
             let lm: f32 = conv.forward(&x, false).data.iter().sum();
             conv.weight.value[wi] = orig;
+            conv.weight.touch();
             let numeric = (lp - lm) / (2.0 * eps);
             let analytic = conv.weight.grad[wi];
             assert!(
@@ -338,13 +476,57 @@ mod tests {
         let mut conv = small_conv(2);
         let x = Activation::new(vec![1.0; 2 * 4 * 4], 1, vec![2, 4, 4]);
         conv.forward(&x, true);
-        let cache_weights = conv.cache.as_ref().unwrap();
+        let cache_weights = &conv.cache;
         let kk = 2 * 3 * 3;
         for (i, &w) in cache_weights.qweight.iter().enumerate() {
             let code = w / cache_weights.scales[i / kk];
             assert!((code - code.round()).abs() < 1e-4);
             assert!((-2.0 - 1e-4..=1.0 + 1e-4).contains(&code));
         }
+    }
+
+    #[test]
+    fn quantized_view_is_reused_until_the_param_changes() {
+        let mut conv = small_conv(2);
+        let x = Activation::new(vec![1.0; 2 * 4 * 4], 1, vec![2, 4, 4]);
+        let y1 = conv.forward(&x, false);
+        let v1 = conv.qcache.as_ref().unwrap().version;
+        let y2 = conv.forward(&x, false);
+        assert_eq!(conv.qcache.as_ref().unwrap().version, v1, "cache reused");
+        assert_eq!(y1, y2);
+        conv.weight.value[0] += 1.0;
+        conv.weight.touch();
+        let y3 = conv.forward(&x, false);
+        assert_ne!(conv.qcache.as_ref().unwrap().version, v1, "cache refreshed");
+        assert_ne!(y1, y3);
+    }
+
+    #[test]
+    fn owned_forward_matches_borrowed() {
+        let mut conv = small_conv(2);
+        let x = Activation::new(
+            (0..2 * 5 * 5).map(|v| (v as f32 * 0.31).cos()).collect(),
+            1,
+            vec![2, 5, 5],
+        );
+        let y_ref = conv.forward(&x, true);
+        let dx_ref = conv.backward(&Activation::new(
+            vec![1.0; y_ref.data.len()],
+            y_ref.n,
+            y_ref.dims.clone(),
+        ));
+        let grads_ref = conv.weight.grad.clone();
+        conv.weight.zero_grad();
+        conv.bias.zero_grad();
+        let y_own = conv.forward_owned(x.clone(), true);
+        let dx_own = conv.backward(&Activation::new(
+            vec![1.0; y_own.data.len()],
+            y_own.n,
+            y_own.dims.clone(),
+        ));
+        assert_eq!(y_ref, y_own);
+        assert_eq!(dx_ref, dx_own);
+        assert_eq!(grads_ref, conv.weight.grad);
     }
 
     #[test]

@@ -2,14 +2,17 @@ use super::{Activation, Param};
 use crate::quant::{self, QuantSpec};
 use adapex_tensor::gemm::{gemm, gemm_a_bt, gemm_at_b};
 use adapex_tensor::rng::kaiming_tensor;
+use adapex_tensor::workspace::with_workspace;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
 /// Fully-connected layer with fake-quantized weights.
 ///
 /// Weight layout is `[out_features, in_features]`; on the FPGA this maps
-/// directly onto one MVTU (paper Sec. II).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// directly onto one MVTU (paper Sec. II). The quantized weight view is
+/// cached against the weight [`Param`] version, so repeated eval batches
+/// (e.g. threshold sweeps) quantize once.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QuantLinear {
     /// Input features.
     pub in_features: usize,
@@ -21,14 +24,39 @@ pub struct QuantLinear {
     pub bias: Param,
     /// Weight quantizer.
     pub weight_spec: QuantSpec,
+    /// Backward-pass cache; buffers persist across batches.
     #[serde(skip)]
-    cache: Option<LinearCache>,
+    cache: LinearCache,
+    #[serde(skip)]
+    cache_valid: bool,
+    /// Quantized-weight view, keyed by the weight [`Param`] version.
+    #[serde(skip)]
+    qcache: Option<QCache>,
 }
 
-#[derive(Debug, Clone, PartialEq)]
+impl PartialEq for QuantLinear {
+    fn eq(&self, other: &Self) -> bool {
+        // Caches are derived state; equality is structural.
+        self.in_features == other.in_features
+            && self.out_features == other.out_features
+            && self.weight == other.weight
+            && self.bias == other.bias
+            && self.weight_spec == other.weight_spec
+    }
+}
+
+#[derive(Debug, Clone, Default)]
 struct LinearCache {
     input: Vec<f32>,
     n: usize,
+    qweight: Vec<f32>,
+    scales: Vec<f32>,
+}
+
+/// Quantized view of the weight tensor at one [`Param`] version.
+#[derive(Debug, Clone, Default)]
+struct QCache {
+    version: u64,
     qweight: Vec<f32>,
     scales: Vec<f32>,
 }
@@ -48,8 +76,29 @@ impl QuantLinear {
             weight: Param::new(weight),
             bias: Param::new(vec![0.0; out_features]),
             weight_spec,
-            cache: None,
+            cache: LinearCache::default(),
+            cache_valid: false,
+            qcache: None,
         }
+    }
+
+    /// Refreshes the quantized-weight view if the weight param changed
+    /// since it was last derived.
+    fn ensure_qweights(&mut self) {
+        let version = self.weight.version();
+        if self.qcache.as_ref().is_some_and(|qc| qc.version == version) {
+            return;
+        }
+        let mut qc = self.qcache.take().unwrap_or_default();
+        quant::quantize_weights_per_row_into(
+            &self.weight.value,
+            self.in_features,
+            self.weight_spec,
+            &mut qc.qweight,
+            &mut qc.scales,
+        );
+        qc.version = version;
+        self.qcache = Some(qc);
     }
 
     /// Forward pass: `y = x W^T + b`.
@@ -64,15 +113,15 @@ impl QuantLinear {
             "linear input features (got {:?})",
             x.dims
         );
-        let (qweight, scales) =
-            quant::quantize_weights_per_row(&self.weight.value, self.in_features, self.weight_spec);
+        self.ensure_qweights();
+        let qc = self.qcache.as_ref().expect("qcache just ensured");
         let mut out = Activation::zeros(x.n, &[self.out_features]);
         gemm_a_bt(
             x.n,
             self.in_features,
             self.out_features,
             &x.data,
-            &qweight,
+            &qc.qweight,
             &mut out.data,
         );
         for row in out.data.chunks_mut(self.out_features) {
@@ -81,14 +130,16 @@ impl QuantLinear {
             }
         }
         if train {
-            self.cache = Some(LinearCache {
-                input: x.data.clone(),
-                n: x.n,
-                qweight,
-                scales,
-            });
+            self.cache.input.clear();
+            self.cache.input.extend_from_slice(&x.data);
+            self.cache.n = x.n;
+            self.cache.qweight.clear();
+            self.cache.qweight.extend_from_slice(&qc.qweight);
+            self.cache.scales.clear();
+            self.cache.scales.extend_from_slice(&qc.scales);
+            self.cache_valid = true;
         } else {
-            self.cache = None;
+            self.cache_valid = false;
         }
         out
     }
@@ -99,11 +150,9 @@ impl QuantLinear {
     ///
     /// Panics if no training-mode forward preceded this call.
     pub fn backward(&mut self, grad_out: &Activation) -> Activation {
-        let cache = self
-            .cache
-            .take()
-            .expect("linear backward requires cached forward");
-        let n = cache.n;
+        assert!(self.cache_valid, "linear backward requires cached forward");
+        self.cache_valid = false;
+        let n = self.cache.n;
         assert_eq!(grad_out.n, n, "grad batch size");
         assert_eq!(grad_out.sample_len(), self.out_features, "grad features");
 
@@ -114,29 +163,32 @@ impl QuantLinear {
             self.out_features,
             self.in_features,
             &grad_out.data,
-            &cache.qweight,
+            &self.cache.qweight,
             &mut grad_in.data,
         );
-        // dW = dY^T * X
-        let mut dw = vec![0.0f32; self.out_features * self.in_features];
-        gemm_at_b(
-            self.out_features,
-            n,
-            self.in_features,
-            &grad_out.data,
-            &cache.input,
-            &mut dw,
-        );
-        let spec = self.weight_spec;
-        for (i, (slot, (&g, &w0))) in self
-            .weight
-            .grad
-            .iter_mut()
-            .zip(dw.iter().zip(&self.weight.value))
-            .enumerate()
-        {
-            *slot += g * quant::ste_mask(w0, cache.scales[i / self.in_features], spec);
-        }
+        // dW = dY^T * X, accumulated through pooled scratch.
+        with_workspace(|ws| {
+            ws.dw.clear();
+            ws.dw.resize(self.out_features * self.in_features, 0.0);
+            gemm_at_b(
+                self.out_features,
+                n,
+                self.in_features,
+                &grad_out.data,
+                &self.cache.input,
+                &mut ws.dw,
+            );
+            let spec = self.weight_spec;
+            for (i, (slot, (&g, &w0))) in self
+                .weight
+                .grad
+                .iter_mut()
+                .zip(ws.dw.iter().zip(&self.weight.value))
+                .enumerate()
+            {
+                *slot += g * quant::ste_mask(w0, self.cache.scales[i / self.in_features], spec);
+            }
+        });
         // db = column sums of dY
         for row in grad_out.data.chunks(self.out_features) {
             for (slot, &g) in self.bias.grad.iter_mut().zip(row) {
@@ -174,6 +226,7 @@ mod tests {
         // difference still sees a slope through the moving scale. Keep
         // every row maximum negative so all six masks are 1.
         lin.weight.value = vec![0.4, -0.6, 0.2, -0.5, 0.3, 0.1];
+        lin.weight.touch();
         let x = Activation::new(vec![0.3, -0.8, 0.5, 1.2, 0.1, -0.4], 2, vec![3]);
         let y = lin.forward(&x, true);
         let ones = Activation::new(vec![1.0; y.data.len()], y.n, y.dims.clone());
@@ -185,10 +238,13 @@ mod tests {
         for wi in 0..6 {
             let orig = lin.weight.value[wi];
             lin.weight.value[wi] = orig + eps;
+            lin.weight.touch();
             let lp: f32 = lin.forward(&x, false).data.iter().sum();
             lin.weight.value[wi] = orig - eps;
+            lin.weight.touch();
             let lm: f32 = lin.forward(&x, false).data.iter().sum();
             lin.weight.value[wi] = orig;
+            lin.weight.touch();
             let numeric = (lp - lm) / (2.0 * eps);
             assert!(
                 (numeric - lin.weight.grad[wi]).abs() < 0.5,

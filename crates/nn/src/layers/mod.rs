@@ -18,11 +18,17 @@ pub use linear::QuantLinear;
 pub use norm::BatchNorm;
 pub use pool::MaxPool2d;
 
+use adapex_tensor::workspace::{recycle_f32, recycle_usize, take_f32, take_f32_from, take_usize_from};
 use serde::{Deserialize, Serialize};
 
 /// A mini-batch activation: `n` samples, each with per-sample shape
 /// `dims` (e.g. `[C, H, W]` after a conv, `[F]` after a flatten).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Activation buffers cycle through the [`adapex_tensor::workspace`]
+/// pool: [`Activation::zeros`] and `clone` draw pooled buffers and `drop`
+/// recycles them, so a steady-state training loop reuses the same
+/// allocations batch after batch.
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct Activation {
     /// Flattened data, `n * dims.product()` elements, sample-major.
     pub data: Vec<f32>,
@@ -44,13 +50,13 @@ impl Activation {
         Activation { data, n, dims }
     }
 
-    /// Zero-filled activation.
+    /// Zero-filled activation, backed by a pooled buffer.
     pub fn zeros(n: usize, dims: &[usize]) -> Self {
         let per: usize = dims.iter().product();
         Activation {
-            data: vec![0.0; n * per],
+            data: take_f32(n * per),
             n,
-            dims: dims.to_vec(),
+            dims: take_usize_from(dims),
         }
     }
 
@@ -68,11 +74,44 @@ impl Activation {
         let per = self.sample_len();
         &self.data[i * per..(i + 1) * per]
     }
+
+    /// Decomposes into `(data, n, dims)`, transferring buffer ownership
+    /// to the caller (the `Drop` impl forbids plain destructuring).
+    pub fn into_parts(mut self) -> (Vec<f32>, usize, Vec<usize>) {
+        (
+            std::mem::take(&mut self.data),
+            self.n,
+            std::mem::take(&mut self.dims),
+        )
+    }
+}
+
+impl Clone for Activation {
+    fn clone(&self) -> Self {
+        Activation {
+            data: take_f32_from(&self.data),
+            n: self.n,
+            dims: take_usize_from(&self.dims),
+        }
+    }
+}
+
+impl Drop for Activation {
+    fn drop(&mut self) {
+        recycle_f32(std::mem::take(&mut self.data));
+        recycle_usize(std::mem::take(&mut self.dims));
+    }
 }
 
 /// A trainable parameter: full-precision value, gradient accumulator and
 /// momentum buffer of equal length.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The private `version` counter lets layers cache values derived from
+/// `value` (e.g. quantized weight views): it bumps on every
+/// [`Param::sgd_step`], and code that mutates `value` directly must call
+/// [`Param::touch`]. Equality ignores the counter — two params with the
+/// same numbers are equal regardless of their mutation history.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Param {
     /// Full-precision ("shadow") values; quantized views are derived per
     /// forward pass.
@@ -81,6 +120,19 @@ pub struct Param {
     pub grad: Vec<f32>,
     /// SGD momentum buffer.
     pub velocity: Vec<f32>,
+    /// Mutation counter for derived-value caches. Not serialized: a
+    /// deserialized param restarts at 0 and its consumers' caches
+    /// (also unserialized) restart empty, so no stale pairing exists.
+    #[serde(skip)]
+    version: u64,
+}
+
+impl PartialEq for Param {
+    fn eq(&self, other: &Self) -> bool {
+        self.value == other.value
+            && self.grad == other.grad
+            && self.velocity == other.velocity
+    }
 }
 
 impl Param {
@@ -91,6 +143,7 @@ impl Param {
             value,
             grad: vec![0.0; len],
             velocity: vec![0.0; len],
+            version: 1,
         }
     }
 
@@ -102,6 +155,18 @@ impl Param {
     /// `true` when the parameter is empty.
     pub fn is_empty(&self) -> bool {
         self.value.is_empty()
+    }
+
+    /// Current mutation-counter value. Caches derived from
+    /// [`Param::value`] stay valid while this is unchanged.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Records a direct mutation of [`Param::value`], invalidating
+    /// derived-value caches. [`Param::sgd_step`] calls this itself.
+    pub fn touch(&mut self) {
+        self.version = self.version.wrapping_add(1);
     }
 
     /// Clears the gradient accumulator.
@@ -121,6 +186,7 @@ impl Param {
             *v = momentum * *v + *g + weight_decay * *w;
             *w -= lr * *v;
         }
+        self.touch();
     }
 }
 
@@ -208,7 +274,27 @@ impl Layer {
             Layer::Pool(l) => l.forward(x, train),
             Layer::Norm(l) => l.forward(x, train),
             Layer::Act(l) => l.forward(x, train),
-            Layer::Flatten => Activation::new(x.data.clone(), x.n, vec![x.sample_len()]),
+            Layer::Flatten => {
+                Activation::new(take_f32_from(&x.data), x.n, take_usize_from(&[x.sample_len()]))
+            }
+        }
+    }
+
+    /// [`Layer::forward`] taking the input by value, letting layers keep
+    /// the buffer instead of copying it: flatten becomes a zero-copy
+    /// reshape, the conv layer moves its input straight into the backward
+    /// cache, and every other input is recycled into the buffer pool on
+    /// drop. Numerically identical to [`Layer::forward`].
+    pub fn forward_owned(&mut self, x: Activation, train: bool) -> Activation {
+        match self {
+            Layer::Conv(l) => l.forward_owned(x, train),
+            Layer::Flatten => {
+                let per = x.sample_len();
+                let (data, n, dims) = x.into_parts();
+                recycle_usize(dims);
+                Activation::new(data, n, take_usize_from(&[per]))
+            }
+            _ => self.forward(&x, train),
         }
     }
 

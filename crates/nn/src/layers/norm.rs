@@ -1,4 +1,5 @@
 use super::{Activation, Param};
+use adapex_tensor::workspace::with_workspace;
 use serde::{Deserialize, Serialize};
 
 /// Batch normalization over channels.
@@ -8,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// On the FPGA, FINN folds BatchNorm into the MVTU's threshold memory, so
 /// this layer exists only in the training graph; the compiler reports it
 /// as threshold configuration, not as a module.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BatchNorm {
     /// Number of channels (4-D input) or features (flat input).
     pub channels: usize,
@@ -24,11 +25,27 @@ pub struct BatchNorm {
     pub momentum: f32,
     /// Numerical-stability epsilon.
     pub eps: f32,
+    /// Backward-pass cache; buffers persist across batches.
     #[serde(skip)]
-    cache: Option<NormCache>,
+    cache: NormCache,
+    #[serde(skip)]
+    cache_valid: bool,
 }
 
-#[derive(Debug, Clone, PartialEq)]
+impl PartialEq for BatchNorm {
+    fn eq(&self, other: &Self) -> bool {
+        // Caches are derived state; equality is structural.
+        self.channels == other.channels
+            && self.gamma == other.gamma
+            && self.beta == other.beta
+            && self.running_mean == other.running_mean
+            && self.running_var == other.running_var
+            && self.momentum == other.momentum
+            && self.eps == other.eps
+    }
+}
+
+#[derive(Debug, Clone, Default)]
 struct NormCache {
     xhat: Vec<f32>,
     inv_std: Vec<f32>,
@@ -47,7 +64,8 @@ impl BatchNorm {
             running_var: vec![1.0; channels],
             momentum: 0.1,
             eps: 1e-5,
-            cache: None,
+            cache: NormCache::default(),
+            cache_valid: false,
         }
     }
 
@@ -72,16 +90,40 @@ impl BatchNorm {
         let mut out = Activation::zeros(x.n, &x.dims);
         let sample_len = x.sample_len();
 
-        let (mean, var) = if train {
-            let mut mean = vec![0.0f32; self.channels];
-            let mut var = vec![0.0f32; self.channels];
+        if !train {
+            // Eval normalizes against the running statistics directly; no
+            // xhat buffer is materialized since no backward will run.
+            self.cache_valid = false;
+            for i in 0..x.n {
+                let s = &x.data[i * sample_len..(i + 1) * sample_len];
+                let o = &mut out.data[i * sample_len..(i + 1) * sample_len];
+                for c in 0..self.channels {
+                    let mean = self.running_mean[c];
+                    let inv_std = 1.0 / (self.running_var[c] + self.eps).sqrt();
+                    let g = self.gamma.value[c];
+                    let b = self.beta.value[c];
+                    for j in c * spatial..(c + 1) * spatial {
+                        o[j] = g * ((s[j] - mean) * inv_std) + b;
+                    }
+                }
+            }
+            return out;
+        }
+
+        with_workspace(|ws| {
+            let mean = &mut ws.scratch;
+            mean.clear();
+            mean.resize(self.channels, 0.0);
+            let var = &mut ws.scratch2;
+            var.clear();
+            var.resize(self.channels, 0.0);
             for i in 0..x.n {
                 let s = &x.data[i * sample_len..(i + 1) * sample_len];
                 for c in 0..self.channels {
                     mean[c] += s[c * spatial..(c + 1) * spatial].iter().sum::<f32>();
                 }
             }
-            for m in &mut mean {
+            for m in mean.iter_mut() {
                 *m /= count;
             }
             for i in 0..x.n {
@@ -93,7 +135,7 @@ impl BatchNorm {
                         .sum::<f32>();
                 }
             }
-            for v in &mut var {
+            for v in var.iter_mut() {
                 *v /= count;
             }
             for c in 0..self.channels {
@@ -102,38 +144,38 @@ impl BatchNorm {
                 self.running_var[c] =
                     (1.0 - self.momentum) * self.running_var[c] + self.momentum * var[c];
             }
-            (mean, var)
-        } else {
-            (self.running_mean.clone(), self.running_var.clone())
-        };
 
-        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
-        let mut xhat = vec![0.0f32; x.data.len()];
-        for i in 0..x.n {
-            let s = &x.data[i * sample_len..(i + 1) * sample_len];
-            let o = &mut out.data[i * sample_len..(i + 1) * sample_len];
-            let xh = &mut xhat[i * sample_len..(i + 1) * sample_len];
-            for c in 0..self.channels {
-                let g = self.gamma.value[c];
-                let b = self.beta.value[c];
-                for j in c * spatial..(c + 1) * spatial {
-                    let h = (s[j] - mean[c]) * inv_std[c];
-                    xh[j] = h;
-                    o[j] = g * h + b;
+            self.cache.inv_std.clear();
+            self.cache
+                .inv_std
+                .extend(var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()));
+            self.cache.xhat.clear();
+            self.cache.xhat.resize(x.data.len(), 0.0);
+            for i in 0..x.n {
+                let s = &x.data[i * sample_len..(i + 1) * sample_len];
+                let o = &mut out.data[i * sample_len..(i + 1) * sample_len];
+                let xh = &mut self.cache.xhat[i * sample_len..(i + 1) * sample_len];
+                for (c, (o_ch, xh_ch)) in o
+                    .chunks_exact_mut(spatial)
+                    .zip(xh.chunks_exact_mut(spatial))
+                    .enumerate()
+                {
+                    let g = self.gamma.value[c];
+                    let b = self.beta.value[c];
+                    let (m, istd) = (mean[c], self.cache.inv_std[c]);
+                    let s_ch = &s[c * spatial..(c + 1) * spatial];
+                    for ((ov, xhv), &sv) in o_ch.iter_mut().zip(xh_ch.iter_mut()).zip(s_ch) {
+                        let h = (sv - m) * istd;
+                        *xhv = h;
+                        *ov = g * h + b;
+                    }
                 }
             }
-        }
-
-        if train {
-            self.cache = Some(NormCache {
-                xhat,
-                inv_std,
-                n: x.n,
-                dims: x.dims.clone(),
-            });
-        } else {
-            self.cache = None;
-        }
+        });
+        self.cache.n = x.n;
+        self.cache.dims.clear();
+        self.cache.dims.extend_from_slice(&x.dims);
+        self.cache_valid = true;
         out
     }
 
@@ -143,44 +185,48 @@ impl BatchNorm {
     ///
     /// Panics if no training-mode forward preceded this call.
     pub fn backward(&mut self, grad_out: &Activation) -> Activation {
-        let cache = self
-            .cache
-            .take()
-            .expect("batchnorm backward requires cached forward");
-        let spatial = self.spatial(&cache.dims);
-        let count = (cache.n * spatial) as f32;
-        let sample_len: usize = cache.dims.iter().product();
-        let mut grad_in = Activation::zeros(cache.n, &cache.dims);
+        assert!(self.cache_valid, "batchnorm backward requires cached forward");
+        self.cache_valid = false;
+        let spatial = self.spatial(&self.cache.dims);
+        let count = (self.cache.n * spatial) as f32;
+        let sample_len: usize = self.cache.dims.iter().product();
+        let mut grad_in = Activation::zeros(self.cache.n, &self.cache.dims);
 
-        // Per-channel reductions: sum(dY) and sum(dY * xhat).
-        let mut sum_dy = vec![0.0f32; self.channels];
-        let mut sum_dy_xhat = vec![0.0f32; self.channels];
-        for i in 0..cache.n {
-            let dy = &grad_out.data[i * sample_len..(i + 1) * sample_len];
-            let xh = &cache.xhat[i * sample_len..(i + 1) * sample_len];
-            for c in 0..self.channels {
-                for j in c * spatial..(c + 1) * spatial {
-                    sum_dy[c] += dy[j];
-                    sum_dy_xhat[c] += dy[j] * xh[j];
+        with_workspace(|ws| {
+            // Per-channel reductions: sum(dY) and sum(dY * xhat).
+            let sum_dy = &mut ws.scratch;
+            sum_dy.clear();
+            sum_dy.resize(self.channels, 0.0);
+            let sum_dy_xhat = &mut ws.scratch2;
+            sum_dy_xhat.clear();
+            sum_dy_xhat.resize(self.channels, 0.0);
+            for i in 0..self.cache.n {
+                let dy = &grad_out.data[i * sample_len..(i + 1) * sample_len];
+                let xh = &self.cache.xhat[i * sample_len..(i + 1) * sample_len];
+                for c in 0..self.channels {
+                    for j in c * spatial..(c + 1) * spatial {
+                        sum_dy[c] += dy[j];
+                        sum_dy_xhat[c] += dy[j] * xh[j];
+                    }
                 }
             }
-        }
-        for c in 0..self.channels {
-            self.gamma.grad[c] += sum_dy_xhat[c];
-            self.beta.grad[c] += sum_dy[c];
-        }
-        // dX = gamma * inv_std / N * (N*dY − sum(dY) − xhat*sum(dY*xhat))
-        for i in 0..cache.n {
-            let dy = &grad_out.data[i * sample_len..(i + 1) * sample_len];
-            let xh = &cache.xhat[i * sample_len..(i + 1) * sample_len];
-            let dx = &mut grad_in.data[i * sample_len..(i + 1) * sample_len];
             for c in 0..self.channels {
-                let coeff = self.gamma.value[c] * cache.inv_std[c] / count;
-                for j in c * spatial..(c + 1) * spatial {
-                    dx[j] = coeff * (count * dy[j] - sum_dy[c] - xh[j] * sum_dy_xhat[c]);
+                self.gamma.grad[c] += sum_dy_xhat[c];
+                self.beta.grad[c] += sum_dy[c];
+            }
+            // dX = gamma * inv_std / N * (N*dY − sum(dY) − xhat*sum(dY*xhat))
+            for i in 0..self.cache.n {
+                let dy = &grad_out.data[i * sample_len..(i + 1) * sample_len];
+                let xh = &self.cache.xhat[i * sample_len..(i + 1) * sample_len];
+                let dx = &mut grad_in.data[i * sample_len..(i + 1) * sample_len];
+                for c in 0..self.channels {
+                    let coeff = self.gamma.value[c] * self.cache.inv_std[c] / count;
+                    for j in c * spatial..(c + 1) * spatial {
+                        dx[j] = coeff * (count * dy[j] - sum_dy[c] - xh[j] * sum_dy_xhat[c]);
+                    }
                 }
             }
-        }
+        });
         grad_in
     }
 }

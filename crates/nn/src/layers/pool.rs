@@ -5,15 +5,26 @@ use serde::{Deserialize, Serialize};
 /// Max pooling with stride equal to the window (the only flavour CNV and
 /// the paper's exit branches use; the exit's `k = ⌊DIM/2⌋` pool is an
 /// instance of this).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MaxPool2d {
     /// Window size and stride.
     pub kernel: usize,
+    /// Backward-pass cache; the argmax buffer persists across batches and
+    /// is only recorded in training mode.
     #[serde(skip)]
-    cache: Option<PoolCache>,
+    cache: PoolCache,
+    #[serde(skip)]
+    cache_valid: bool,
 }
 
-#[derive(Debug, Clone, PartialEq)]
+impl PartialEq for MaxPool2d {
+    fn eq(&self, other: &Self) -> bool {
+        // Caches are derived state; equality is structural.
+        self.kernel == other.kernel
+    }
+}
+
+#[derive(Debug, Clone, Default)]
 struct PoolCache {
     argmax: Vec<usize>,
     in_dims: Vec<usize>,
@@ -30,7 +41,8 @@ impl MaxPool2d {
         assert!(kernel > 0, "pool kernel must be positive");
         MaxPool2d {
             kernel,
-            cache: None,
+            cache: PoolCache::default(),
+            cache_valid: false,
         }
     }
 
@@ -40,11 +52,18 @@ impl MaxPool2d {
     ///
     /// Panics unless `in_dims` is CHW with extents >= kernel.
     pub fn out_dims(&self, in_dims: &[usize]) -> Vec<usize> {
+        let (oh, ow) = self.out_hw(in_dims);
+        vec![in_dims[0], oh, ow]
+    }
+
+    /// Output spatial extent, shared by [`Self::out_dims`] and the
+    /// allocation-free forward path.
+    fn out_hw(&self, in_dims: &[usize]) -> (usize, usize) {
         assert_eq!(in_dims.len(), 3, "pool input must be CHW");
         let g = ConvGeometry::new(self.kernel).with_stride(self.kernel);
         let oh = g.output_dim(in_dims[1]).expect("pool window must fit");
         let ow = g.output_dim(in_dims[2]).expect("pool window must fit");
-        vec![in_dims[0], oh, ow]
+        (oh, ow)
     }
 
     /// Structural description.
@@ -68,13 +87,17 @@ impl MaxPool2d {
     ///
     /// Panics on an input shape mismatch.
     pub fn forward(&mut self, x: &Activation, train: bool) -> Activation {
-        let out_dims = self.out_dims(&x.dims);
+        let (oh, ow) = self.out_hw(&x.dims);
+        let out_dims = [x.dims[0], oh, ow];
         let (c, h, w) = (x.dims[0], x.dims[1], x.dims[2]);
-        let (oh, ow) = (out_dims[1], out_dims[2]);
         let k = self.kernel;
         let mut out = Activation::zeros(x.n, &out_dims);
-        let mut argmax = vec![0usize; out.data.len()];
         let sample_in = x.sample_len();
+        let argmax = &mut self.cache.argmax;
+        if train {
+            argmax.clear();
+            argmax.resize(out.data.len(), 0);
+        }
         for i in 0..x.n {
             let img = x.sample(i);
             let base_out = i * c * oh * ow;
@@ -97,19 +120,20 @@ impl MaxPool2d {
                         }
                         let o = base_out + (ch * oh + oy) * ow + ox;
                         out.data[o] = best;
-                        argmax[o] = best_idx;
+                        if train {
+                            argmax[o] = best_idx;
+                        }
                     }
                 }
             }
         }
         if train {
-            self.cache = Some(PoolCache {
-                argmax,
-                in_dims: x.dims.clone(),
-                n: x.n,
-            });
+            self.cache.in_dims.clear();
+            self.cache.in_dims.extend_from_slice(&x.dims);
+            self.cache.n = x.n;
+            self.cache_valid = true;
         } else {
-            self.cache = None;
+            self.cache_valid = false;
         }
         out
     }
@@ -120,12 +144,10 @@ impl MaxPool2d {
     ///
     /// Panics if no training-mode forward preceded this call.
     pub fn backward(&mut self, grad_out: &Activation) -> Activation {
-        let cache = self
-            .cache
-            .take()
-            .expect("pool backward requires cached forward");
-        let mut grad_in = Activation::zeros(cache.n, &cache.in_dims);
-        for (o, &src) in cache.argmax.iter().enumerate() {
+        assert!(self.cache_valid, "pool backward requires cached forward");
+        self.cache_valid = false;
+        let mut grad_in = Activation::zeros(self.cache.n, &self.cache.in_dims);
+        for (o, &src) in self.cache.argmax.iter().enumerate() {
             grad_in.data[src] += grad_out.data[o];
         }
         grad_in

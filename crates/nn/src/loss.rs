@@ -5,13 +5,33 @@
 //! softmax maximum as each exit's **confidence** measure (Sec. II).
 
 use crate::layers::Activation;
+use adapex_tensor::workspace::with_workspace;
 
 /// Numerically-stable softmax of one logit vector.
 pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; logits.len()];
+    softmax_into(logits, &mut out);
+    out
+}
+
+/// [`softmax`] into a caller-provided slice of the same length, so hot
+/// loops can reuse one probability buffer.
+///
+/// # Panics
+///
+/// Panics if `out.len() != logits.len()`.
+pub fn softmax_into(logits: &[f32], out: &mut [f32]) {
+    assert_eq!(out.len(), logits.len(), "softmax output length");
     let max = logits.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
-    let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
-    let sum: f32 = exps.iter().sum();
-    exps.iter().map(|&e| e / sum).collect()
+    let mut sum = 0.0f32;
+    for (o, &v) in out.iter_mut().zip(logits) {
+        let e = (v - max).exp();
+        *o = e;
+        sum += e;
+    }
+    for o in out.iter_mut() {
+        *o /= sum;
+    }
 }
 
 /// Softmax applied row-wise to a batch of logits.
@@ -24,8 +44,10 @@ pub fn softmax_batch(logits: &Activation) -> Activation {
     let classes = logits.dims[0];
     let mut out = Activation::zeros(logits.n, &logits.dims);
     for i in 0..logits.n {
-        let p = softmax(logits.sample(i));
-        out.data[i * classes..(i + 1) * classes].copy_from_slice(&p);
+        softmax_into(
+            logits.sample(i),
+            &mut out.data[i * classes..(i + 1) * classes],
+        );
     }
     out
 }
@@ -54,16 +76,21 @@ pub fn cross_entropy_with_grad(
     let mut grad = Activation::zeros(logits.n, &logits.dims);
     let mut loss = 0.0f32;
     let inv_n = 1.0 / logits.n.max(1) as f32;
-    for (i, &label) in labels.iter().enumerate() {
-        assert!(label < classes, "label {label} out of range {classes}");
-        let p = softmax(logits.sample(i));
-        loss -= (p[label].max(1e-12)).ln();
-        let g = &mut grad.data[i * classes..(i + 1) * classes];
-        for (c, (slot, &pc)) in g.iter_mut().zip(&p).enumerate() {
-            let target = if c == label { 1.0 } else { 0.0 };
-            *slot = weight * (pc - target) * inv_n;
+    with_workspace(|ws| {
+        let p = &mut ws.scratch;
+        p.clear();
+        p.resize(classes, 0.0);
+        for (i, &label) in labels.iter().enumerate() {
+            assert!(label < classes, "label {label} out of range {classes}");
+            softmax_into(logits.sample(i), p);
+            loss -= (p[label].max(1e-12)).ln();
+            let g = &mut grad.data[i * classes..(i + 1) * classes];
+            for (c, (slot, &pc)) in g.iter_mut().zip(p.iter()).enumerate() {
+                let target = if c == label { 1.0 } else { 0.0 };
+                *slot = weight * (pc - target) * inv_n;
+            }
         }
-    }
+    });
     (loss * inv_n, grad)
 }
 

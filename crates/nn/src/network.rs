@@ -91,14 +91,19 @@ impl EarlyExitNetwork {
     /// exits in attachment order, then the final backbone exit.
     pub fn forward(&mut self, x: &Activation, train: bool) -> Vec<Activation> {
         let mut outputs: Vec<Option<Activation>> = vec![None; self.exits.len()];
+        // Owned forward: each layer consumes its input activation, so the
+        // buffers recirculate through the workspace pool (or move straight
+        // into backward caches) instead of being reallocated. Exit branches
+        // fork from a *clone* of layer j's output, so handing `cur` to
+        // layer j+1 by value is safe.
         let mut cur = x.clone();
         for (j, layer) in self.backbone.iter_mut().enumerate() {
-            cur = layer.forward(&cur, train);
+            cur = layer.forward_owned(cur, train);
             for (idx, exit) in self.exits.iter_mut().enumerate() {
                 if exit.attach_after == j {
                     let mut branch = cur.clone();
                     for l in &mut exit.layers {
-                        branch = l.forward(&branch, train);
+                        branch = l.forward_owned(branch, train);
                     }
                     outputs[idx] = Some(branch);
                 }

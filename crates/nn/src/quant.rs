@@ -129,11 +129,33 @@ pub fn quantize_weights_per_row(
     row_len: usize,
     spec: QuantSpec,
 ) -> (Vec<f32>, Vec<f32>) {
+    let mut q = Vec::new();
+    let mut scales = Vec::new();
+    quantize_weights_per_row_into(weights, row_len, spec, &mut q, &mut scales);
+    (q, scales)
+}
+
+/// [`quantize_weights_per_row`] into caller-provided buffers so a cached
+/// `(q, scales)` pair can be refreshed without reallocating. Both buffers
+/// are cleared and refilled; prior contents are irrelevant.
+///
+/// # Panics
+///
+/// Panics if `weights.len()` is not a multiple of `row_len`.
+pub fn quantize_weights_per_row_into(
+    weights: &[f32],
+    row_len: usize,
+    spec: QuantSpec,
+    q: &mut Vec<f32>,
+    scales: &mut Vec<f32>,
+) {
     assert!(row_len > 0, "row length must be positive");
     assert_eq!(weights.len() % row_len, 0, "weights must be whole rows");
     let rows = weights.len() / row_len;
-    let mut q = vec![0.0f32; weights.len()];
-    let mut scales = Vec::with_capacity(rows);
+    q.clear();
+    q.resize(weights.len(), 0.0);
+    scales.clear();
+    scales.reserve(rows);
     for r in 0..rows {
         let row = &weights[r * row_len..(r + 1) * row_len];
         let max_abs = row.iter().fold(0.0f32, |m, v| m.max(v.abs()));
@@ -143,7 +165,6 @@ pub fn quantize_weights_per_row(
         }
         scales.push(scale);
     }
-    (q, scales)
 }
 
 /// STE gradient mask for a clipped quantizer: 1 inside the representable

@@ -1,0 +1,166 @@
+//! Allocation regression test for the kernel hot path.
+//!
+//! A counting global allocator wraps `System`; after a warmup pass that
+//! populates the workspace pools and layer caches, a steady-state training
+//! step over the layer stack (forward, loss + gradient, backward, SGD)
+//! must perform **zero** heap allocations. This pins down the workspace
+//! reuse contract: if a kernel regresses into allocating per batch, this
+//! test fails with the allocation count.
+//!
+//! Scope: the layer-stack hot path (`Layer::forward_owned` / `backward`,
+//! `cross_entropy_with_grad`, `Param::sgd_step`) under `ADAPEX_THREADS=1`.
+//! Trainer-level orchestration (dataset gather/augment, the per-epoch
+//! shuffle, the network container's per-forward `Vec` of exit outputs) is
+//! deliberately outside the window: those are per-batch-count, not
+//! per-element, costs.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use adapex_nn::layers::{
+    Activation, BatchNorm, Layer, MaxPool2d, QuantConv2d, QuantLinear, QuantReLU,
+};
+use adapex_nn::loss::cross_entropy_with_grad;
+use adapex_nn::quant::QuantSpec;
+use adapex_tensor::conv::ConvGeometry;
+use adapex_tensor::rng::{normal_tensor, rng_from_seed};
+
+/// Counts every allocator entry point; frees are not counted (recycling
+/// pools may legitimately drop overflow buffers).
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Serializes the two tests: they share the global workspace pools, and a
+/// concurrently running test stealing pooled buffers mid-measurement would
+/// register as spurious allocations.
+static POOLS: Mutex<()> = Mutex::new(());
+
+/// A miniature CNV-style stack covering every layer kind.
+fn build_stack() -> Vec<Layer> {
+    let mut rng = rng_from_seed(9);
+    let spec = QuantSpec::signed(2);
+    vec![
+        Layer::Conv(QuantConv2d::new(3, 8, ConvGeometry::new(3), spec, &mut rng)),
+        Layer::Norm(BatchNorm::new(8)),
+        Layer::Act(QuantReLU::a2()),
+        Layer::Pool(MaxPool2d::new(2)),
+        Layer::Flatten,
+        Layer::Linear(QuantLinear::new(8 * 15 * 15, 10, spec, &mut rng)),
+    ]
+}
+
+fn train_step(layers: &mut [Layer], x: &Activation, labels: &[usize]) {
+    let mut cur = x.clone();
+    for l in layers.iter_mut() {
+        l.for_each_param(&mut |p| p.zero_grad());
+        cur = l.forward_owned(cur, true);
+    }
+    let (_loss, grad) = cross_entropy_with_grad(&cur, labels, 1.0);
+    drop(cur);
+    let mut g = grad;
+    for l in layers.iter_mut().rev() {
+        g = l.backward(&g);
+    }
+    drop(g);
+    for l in layers.iter_mut() {
+        l.for_each_param(&mut |p| p.sgd_step(0.01, 0.9, 0.0));
+    }
+}
+
+fn eval_step(layers: &mut [Layer], x: &Activation) {
+    let mut cur = x.clone();
+    for l in layers.iter_mut() {
+        cur = l.forward_owned(cur, false);
+    }
+    drop(cur);
+}
+
+#[test]
+fn steady_state_training_step_does_not_allocate() {
+    let _guard = POOLS.lock().unwrap_or_else(|e| e.into_inner());
+    // Single-threaded: worker threads would allocate stacks; the kernels'
+    // inline (workers == 1) paths are the zero-allocation contract.
+    std::env::set_var("ADAPEX_THREADS", "1");
+
+    let mut layers = build_stack();
+    let batch = 8;
+    let mut rng = rng_from_seed(11);
+    let x = Activation::new(
+        normal_tensor(&[batch * 3 * 32 * 32], 0.0, 1.0, &mut rng).into_vec(),
+        batch,
+        vec![3, 32, 32],
+    );
+    let labels: Vec<usize> = (0..batch).map(|i| i % 10).collect();
+
+    // Warmup: populate workspace pools, layer caches, and quantized-weight
+    // caches at the steady-state shapes.
+    for _ in 0..3 {
+        train_step(&mut layers, &x, &labels);
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..5 {
+        train_step(&mut layers, &x, &labels);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state training steps allocated {} times",
+        after - before
+    );
+}
+
+#[test]
+fn steady_state_eval_forward_does_not_allocate() {
+    let _guard = POOLS.lock().unwrap_or_else(|e| e.into_inner());
+    std::env::set_var("ADAPEX_THREADS", "1");
+
+    let mut layers = build_stack();
+    let batch = 4;
+    let mut rng = rng_from_seed(13);
+    let x = Activation::new(
+        normal_tensor(&[batch * 3 * 32 * 32], 0.0, 1.0, &mut rng).into_vec(),
+        batch,
+        vec![3, 32, 32],
+    );
+
+    for _ in 0..3 {
+        eval_step(&mut layers, &x);
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..5 {
+        eval_step(&mut layers, &x);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state eval forwards allocated {} times",
+        after - before
+    );
+}

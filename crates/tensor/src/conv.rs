@@ -70,36 +70,81 @@ pub fn im2col(
     width: usize,
     geom: ConvGeometry,
 ) -> Vec<f32> {
+    let out_h = geom.output_dim(height).expect("window must fit input height");
+    let out_w = geom.output_dim(width).expect("window must fit input width");
+    // Allocate zeroed (the allocator hands back zero pages, no memset);
+    // `im2col_into` sees the length already matching and only writes taps.
+    let mut out = vec![0.0f32; channels * geom.kernel * geom.kernel * out_h * out_w];
+    im2col_into(input, channels, height, width, geom, &mut out);
+    out
+}
+
+/// [`im2col`] into a caller-provided buffer, so a reused scratch vector's
+/// capacity is recycled across calls. `out` is resized to the column-matrix
+/// size and every element is written (padding taps as literal zeros), so
+/// prior contents are irrelevant and no separate zero-fill pass is needed.
+///
+/// # Panics
+///
+/// Panics if `input.len() != channels * height * width` or the window does
+/// not fit the padded input.
+pub fn im2col_into(
+    input: &[f32],
+    channels: usize,
+    height: usize,
+    width: usize,
+    geom: ConvGeometry,
+    out: &mut Vec<f32>,
+) {
     assert_eq!(input.len(), channels * height * width, "input length");
     let out_h = geom.output_dim(height).expect("window must fit input height");
     let out_w = geom.output_dim(width).expect("window must fit input width");
     let k = geom.kernel;
     let cols = out_h * out_w;
-    let mut out = vec![0.0f32; channels * k * k * cols];
+    let len = channels * k * k * cols;
+    // Only the length is adjusted; stale contents are fully overwritten.
+    if out.len() > len {
+        out.truncate(len);
+    } else {
+        out.resize(len, 0.0);
+    }
+    let (kernel, stride, pad) = (geom.kernel, geom.stride, geom.padding);
     for c in 0..channels {
         let plane = &input[c * height * width..(c + 1) * height * width];
-        for ky in 0..k {
-            for kx in 0..k {
+        for ky in 0..kernel {
+            for kx in 0..kernel {
                 let row = ((c * k + ky) * k + kx) * cols;
                 for oy in 0..out_h {
-                    let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                    let dst = &mut out[row + oy * out_w..row + (oy + 1) * out_w];
+                    let iy = (oy * stride + ky) as isize - pad as isize;
                     if iy < 0 || iy >= height as isize {
-                        continue; // zero padding: leave the row at 0.0
+                        dst.fill(0.0); // the whole tap row is padding
+                        continue;
                     }
-                    let src_row = iy as usize * width;
-                    let dst_row = row + oy * out_w;
-                    for ox in 0..out_w {
-                        let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
-                        if ix < 0 || ix >= width as isize {
-                            continue;
+                    let src_row = &plane[iy as usize * width..(iy as usize + 1) * width];
+                    if stride == 1 {
+                        // Unit stride: the in-bounds taps `ix = ox + kx - pad`
+                        // form one contiguous run, so the row is a memcpy
+                        // flanked by padding zeros.
+                        let lo = pad.saturating_sub(kx).min(out_w);
+                        let hi = (width + pad).saturating_sub(kx).min(out_w).max(lo);
+                        dst[..lo].fill(0.0);
+                        dst[lo..hi].copy_from_slice(&src_row[lo + kx - pad..hi + kx - pad]);
+                        dst[hi..].fill(0.0);
+                    } else {
+                        for (ox, slot) in dst.iter_mut().enumerate() {
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            *slot = if ix < 0 || ix >= width as isize {
+                                0.0
+                            } else {
+                                src_row[ix as usize]
+                            };
                         }
-                        out[dst_row + ox] = plane[src_row + ix as usize];
                     }
                 }
             }
         }
     }
-    out
 }
 
 /// Accumulates im2col columns back into a CHW image (adjoint of [`im2col`]).
@@ -117,36 +162,69 @@ pub fn col2im(
     width: usize,
     geom: ConvGeometry,
 ) -> Vec<f32> {
+    let mut image = Vec::new();
+    col2im_into(cols_data, channels, height, width, geom, &mut image);
+    image
+}
+
+/// [`col2im`] into a caller-provided buffer. `image` is cleared and
+/// resized to `channels * height * width` (zero-filled) before the
+/// accumulation; prior contents are irrelevant.
+///
+/// # Panics
+///
+/// Panics if the column buffer length disagrees with the geometry.
+pub fn col2im_into(
+    cols_data: &[f32],
+    channels: usize,
+    height: usize,
+    width: usize,
+    geom: ConvGeometry,
+    image: &mut Vec<f32>,
+) {
     let out_h = geom.output_dim(height).expect("window must fit input height");
     let out_w = geom.output_dim(width).expect("window must fit input width");
     let k = geom.kernel;
     let cols = out_h * out_w;
     assert_eq!(cols_data.len(), channels * k * k * cols, "column buffer length");
-    let mut image = vec![0.0f32; channels * height * width];
+    image.clear();
+    image.resize(channels * height * width, 0.0);
+    let (stride, pad) = (geom.stride, geom.padding);
     for c in 0..channels {
         let plane_base = c * height * width;
         for ky in 0..k {
             for kx in 0..k {
                 let row = ((c * k + ky) * k + kx) * cols;
                 for oy in 0..out_h {
-                    let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                    let iy = (oy * stride + ky) as isize - pad as isize;
                     if iy < 0 || iy >= height as isize {
                         continue;
                     }
                     let dst_row = plane_base + iy as usize * width;
                     let src_row = row + oy * out_w;
-                    for ox in 0..out_w {
-                        let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
-                        if ix < 0 || ix >= width as isize {
-                            continue;
+                    if stride == 1 {
+                        // Unit stride: the in-bounds taps form one contiguous
+                        // run, accumulated branch-free.
+                        let lo = pad.saturating_sub(kx).min(out_w);
+                        let hi = (width + pad).saturating_sub(kx).min(out_w).max(lo);
+                        let dst = &mut image[dst_row + lo + kx - pad..dst_row + hi + kx - pad];
+                        let src = &cols_data[src_row + lo..src_row + hi];
+                        for (iv, &cv) in dst.iter_mut().zip(src) {
+                            *iv += cv;
                         }
-                        image[dst_row + ix as usize] += cols_data[src_row + ox];
+                    } else {
+                        for ox in 0..out_w {
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            if ix < 0 || ix >= width as isize {
+                                continue;
+                            }
+                            image[dst_row + ix as usize] += cols_data[src_row + ox];
+                        }
                     }
                 }
             }
         }
     }
-    image
 }
 
 #[cfg(test)]

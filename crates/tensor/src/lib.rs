@@ -12,6 +12,8 @@
 //! * [`rng`] — deterministic weight initialisation (uniform, normal via
 //!   Box–Muller, Kaiming fan-in scaling).
 //! * [`parallel`] — a scoped-thread `parallel_for` used by the batch loops.
+//! * [`workspace`] — pooled scratch buffers so the steady-state training
+//!   loop allocates nothing per batch.
 //!
 //! # Example
 //!
@@ -31,6 +33,7 @@ pub mod conv;
 pub mod gemm;
 pub mod parallel;
 pub mod rng;
+pub mod workspace;
 mod shape;
 mod tensor;
 

@@ -1,7 +1,7 @@
 //! Property-based tests of the numeric kernels.
 
-use adapex_tensor::conv::{col2im, im2col, ConvGeometry};
-use adapex_tensor::gemm::{gemm, gemm_a_bt, gemm_at_b};
+use adapex_tensor::conv::{col2im, col2im_into, im2col, im2col_into, ConvGeometry};
+use adapex_tensor::gemm::{gemm, gemm_a_bt, gemm_at_b, gemm_bias};
 use adapex_tensor::Tensor;
 use proptest::prelude::*;
 
@@ -99,6 +99,102 @@ proptest! {
         let rhs: f32 = x.iter().zip(&back).map(|(a, b)| a * b).sum();
         prop_assert!((lhs - rhs).abs() < 1e-2 * (cols.len() as f32).sqrt() + 1e-3,
             "{} vs {}", lhs, rhs);
+    }
+
+    /// The `_into` variants must match their allocating counterparts
+    /// bit-for-bit even when the destination starts with garbage of the
+    /// wrong length — the workspace path hands them recycled buffers.
+    #[test]
+    fn im2col_into_matches_allocating_version(
+        c in 1usize..4,
+        h in 3usize..10,
+        w in 3usize..10,
+        kernel in 1usize..4,
+        padding in 0usize..2,
+        stride in 1usize..3,
+        garbage_len in 0usize..300,
+        seed in 0u64..1000,
+    ) {
+        let geom = ConvGeometry { kernel, stride, padding };
+        prop_assume!(geom.output_dim(h).is_some() && geom.output_dim(w).is_some());
+        use adapex_tensor::rng::{normal_tensor, rng_from_seed};
+        let mut rng = rng_from_seed(seed);
+        let x = normal_tensor(&[c * h * w], 0.0, 1.0, &mut rng).into_vec();
+        let want = im2col(&x, c, h, w, geom);
+        let mut dst = vec![f32::NAN; garbage_len];
+        im2col_into(&x, c, h, w, geom, &mut dst);
+        prop_assert_eq!(dst, want);
+    }
+
+    #[test]
+    fn col2im_into_matches_allocating_version(
+        c in 1usize..4,
+        h in 3usize..10,
+        w in 3usize..10,
+        kernel in 1usize..4,
+        padding in 0usize..2,
+        stride in 1usize..3,
+        garbage_len in 0usize..300,
+        seed in 0u64..1000,
+    ) {
+        let geom = ConvGeometry { kernel, stride, padding };
+        prop_assume!(geom.output_dim(h).is_some() && geom.output_dim(w).is_some());
+        use adapex_tensor::rng::{normal_tensor, rng_from_seed};
+        let mut rng = rng_from_seed(seed);
+        let oh = geom.output_dim(h).expect("fits");
+        let ow = geom.output_dim(w).expect("fits");
+        let y = normal_tensor(&[c * kernel * kernel * oh * ow], 0.0, 1.0, &mut rng).into_vec();
+        let want = col2im(&y, c, h, w, geom);
+        let mut dst = vec![f32::NAN; garbage_len];
+        col2im_into(&y, c, h, w, geom, &mut dst);
+        prop_assert_eq!(dst, want);
+    }
+
+    /// The fused bias epilogue is bit-identical to a plain GEMM followed
+    /// by a per-row bias add: both accumulate k-terms in ascending order
+    /// and add the bias last. Shapes deliberately straddle the register
+    /// block (rows % 4 != 0) and the KC reduction panel (k > 256).
+    #[test]
+    fn gemm_bias_is_bit_identical_to_gemm_plus_bias(
+        m in 1usize..10, k in 1usize..300, n in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        use adapex_tensor::rng::{normal_tensor, rng_from_seed};
+        let mut rng = rng_from_seed(seed);
+        let a = normal_tensor(&[m * k], 0.0, 1.0, &mut rng).into_vec();
+        let b = normal_tensor(&[k * n], 0.0, 1.0, &mut rng).into_vec();
+        let bias = normal_tensor(&[m], 0.0, 1.0, &mut rng).into_vec();
+        let mut want = vec![0.0f32; m * n];
+        gemm(m, k, n, &a, &b, &mut want);
+        for (row, &bv) in want.chunks_exact_mut(n).zip(&bias) {
+            for v in row {
+                *v += bv;
+            }
+        }
+        let mut c = vec![f32::NAN; m * n];
+        gemm_bias(m, k, n, &a, &b, &bias, &mut c);
+        prop_assert_eq!(c, want);
+    }
+
+    /// The blocked kernel stays correct when m is not a multiple of the
+    /// 4-row register block and k crosses the 256-wide reduction panel.
+    #[test]
+    fn blocked_gemm_matches_naive_off_block_shapes(
+        m_block in 0usize..4, m_rem in 1usize..4,
+        k in 250usize..265, n in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        use adapex_tensor::rng::{normal_tensor, rng_from_seed};
+        let m = m_block * 4 + m_rem;
+        let mut rng = rng_from_seed(seed);
+        let a = normal_tensor(&[m * k], 0.0, 1.0, &mut rng).into_vec();
+        let b = normal_tensor(&[k * n], 0.0, 1.0, &mut rng).into_vec();
+        let mut c = vec![f32::NAN; m * n];
+        gemm(m, k, n, &a, &b, &mut c);
+        let want = naive_gemm(m, k, n, &a, &b);
+        for (x, y) in c.iter().zip(&want) {
+            prop_assert!((x - y).abs() < 1e-3 * (k as f32).sqrt(), "{} vs {}", x, y);
+        }
     }
 
     #[test]
