@@ -1,4 +1,5 @@
-//! Kernel micro-benchmark bin: emits `BENCH_kernels.json`.
+//! Kernel micro-benchmark bin: emits `BENCH_kernels.json` and
+//! `BENCH_simd.json`.
 //!
 //! Times the training/inference hot path at the shapes the library
 //! generator actually runs (CNV layer shapes at the generator width and
@@ -7,6 +8,14 @@
 //! compiled in (`baseline_kernels.json`) so the emitted report carries
 //! before/after speedups, letting the perf trajectory be tracked across
 //! PRs without re-checking-out old revisions.
+//!
+//! `BENCH_simd.json` pits the runtime-dispatched SIMD backend against the
+//! portable fallback (forced via `adapex_tensor::simd::override_backend`,
+//! the programmatic equivalent of `ADAPEX_NO_SIMD=1`) on the GEMM CNV
+//! shapes and the elementwise hot loops, joining the previous revision's
+//! scalar numbers from the compiled-in baseline where the names match.
+//! Both backends produce bit-identical results, so the delta is pure
+//! throughput.
 //!
 //! Run with `cargo run --release -p adapex-bench --bin bench`.
 
@@ -19,6 +28,7 @@ use adapex_tensor::conv::{im2col, ConvGeometry};
 use adapex_tensor::gemm::{gemm, gemm_bias};
 use adapex_tensor::parallel::num_threads;
 use adapex_tensor::rng::{normal_tensor, rng_from_seed};
+use adapex_tensor::simd::{self, Backend};
 use serde::{Deserialize, Serialize};
 use std::hint::black_box;
 use std::time::Instant;
@@ -42,6 +52,40 @@ struct Report {
     threads: usize,
     profile: String,
     kernels: Vec<KernelReport>,
+}
+
+#[derive(Debug, Serialize)]
+struct SimdKernelReport {
+    name: String,
+    dispatched_ns_per_op: f64,
+    /// Portable backend forced via `override_backend`: the scalar lane
+    /// loops, i.e. exactly the PR 2 kernel code, measured in the same run.
+    scalar_forced_ns_per_op: f64,
+    /// scalar-forced / dispatched: the factor the vector backend buys.
+    simd_speedup: f64,
+    /// The compiled-in seed-revision measurement, if the kernel existed
+    /// then (GEMM shapes only; the elementwise kernels are new counters,
+    /// reported as `null`).
+    seed_baseline_ns_per_op: Option<f64>,
+    speedup_vs_seed: Option<f64>,
+}
+
+#[derive(Debug, Serialize)]
+struct SimdReport {
+    threads: usize,
+    avx2_available: bool,
+    dispatched_backend: String,
+    kernels: Vec<SimdKernelReport>,
+}
+
+/// Times `f` under the portable backend and under default dispatch.
+/// Returns `(dispatched_ns, scalar_forced_ns)`.
+fn time_both_backends(mut f: impl FnMut(), samples: usize, iters: usize) -> (f64, f64) {
+    simd::override_backend(Some(Backend::Portable));
+    let scalar = time_ns(&mut f, samples, iters);
+    simd::override_backend(None);
+    let dispatched = time_ns(&mut f, samples, iters);
+    (dispatched, scalar)
 }
 
 /// Times `f`, returning ns per call: a few warmup calls, then the best
@@ -207,10 +251,108 @@ fn main() {
         );
     }
 
-    // Join with the compiled-in seed baseline and emit the report.
+    // SIMD dispatch report: each kernel timed twice, portable-forced then
+    // dispatched, at the GEMM CNV shapes plus the elementwise hot loops.
     let baseline: Vec<(String, f64)> = serde_json::from_str::<Report>(BASELINE)
         .map(|r| r.kernels.into_iter().map(|k| (k.name, k.ns_per_op)).collect())
         .unwrap_or_default();
+    {
+        let mut simd_kernels: Vec<SimdKernelReport> = Vec::new();
+        let mut push_simd = |name: &str, (dispatched, scalar): (f64, f64)| {
+            let base = baseline.iter().find(|(b, _)| b == name).map(|&(_, v)| v);
+            eprintln!(
+                "{name:36} {dispatched:>12.0} ns dispatched {scalar:>12.0} ns scalar ({:.2}x)",
+                scalar / dispatched
+            );
+            simd_kernels.push(SimdKernelReport {
+                name: name.to_string(),
+                dispatched_ns_per_op: dispatched,
+                scalar_forced_ns_per_op: scalar,
+                simd_speedup: scalar / dispatched,
+                speedup_vs_seed: base.map(|b| b / dispatched),
+                seed_baseline_ns_per_op: base,
+            });
+        };
+
+        for (name, m, k, n) in [
+            ("gemm_conv2_w8", 8usize, 72usize, 784usize),
+            ("gemm_conv5_w8", 32, 144, 9),
+            ("gemm_conv2_full", 64, 576, 784),
+        ] {
+            let a = normal_tensor(&[m * k], 0.0, 1.0, &mut rng).into_vec();
+            let b = normal_tensor(&[k * n], 0.0, 1.0, &mut rng).into_vec();
+            let mut c_buf = vec![0.0f32; m * n];
+            let times = time_both_backends(
+                || gemm(m, k, n, black_box(&a), black_box(&b), black_box(&mut c_buf)),
+                7,
+                20,
+            );
+            push_simd(name, times);
+        }
+
+        // Elementwise hot loops at a typical activation-slab size.
+        const ELEMS: usize = 16_384;
+        let src = normal_tensor(&[ELEMS], 0.0, 1.0, &mut rng).into_vec();
+        let mut buf = vec![0.0f32; ELEMS];
+
+        let times = time_both_backends(
+            || {
+                buf.copy_from_slice(&src);
+                simd::fake_quant_slice(black_box(&mut buf), 0.25, -2.0, 1.75);
+            },
+            7,
+            50,
+        );
+        push_simd("fake_quant_16k", times);
+
+        let times = time_both_backends(
+            || simd::normalize_affine(black_box(&mut buf), black_box(&src), 0.1, 0.9, 1.1, -0.2),
+            7,
+            50,
+        );
+        push_simd("bn_normalize_16k", times);
+
+        let grad = normal_tensor(&[ELEMS], 0.0, 1.0, &mut rng).into_vec();
+        let mut vel = vec![0.0f32; ELEMS];
+        let times = time_both_backends(
+            || {
+                simd::sgd_update(
+                    black_box(&mut buf),
+                    black_box(&grad),
+                    black_box(&mut vel),
+                    1e-6,
+                    0.9,
+                    1e-8,
+                )
+            },
+            7,
+            50,
+        );
+        push_simd("sgd_update_16k", times);
+
+        let times = time_both_backends(
+            || {
+                black_box(simd::fold_max_abs(0.0, black_box(&src)));
+            },
+            7,
+            50,
+        );
+        push_simd("fold_max_abs_16k", times);
+
+        let simd_report = SimdReport {
+            threads: num_threads(),
+            avx2_available: cfg!(target_arch = "x86_64")
+                && std::arch::is_x86_feature_detected!("avx2"),
+            dispatched_backend: format!("{:?}", simd::active_backend()),
+            kernels: simd_kernels,
+        };
+        let json = serde_json::to_string_pretty(&simd_report).expect("simd report serializes");
+        std::fs::write("BENCH_simd.json", &json).expect("write BENCH_simd.json");
+        println!("{json}");
+        eprintln!("wrote BENCH_simd.json");
+    }
+
+    // Join with the compiled-in seed baseline and emit the report.
     let report = Report {
         threads: num_threads(),
         profile: std::env::var("ADAPEX_PROFILE").unwrap_or_else(|_| "fast".into()),

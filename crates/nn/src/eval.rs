@@ -110,6 +110,28 @@ impl ExitEvaluation {
                 .collect(),
         }
     }
+
+    /// [`ExitEvaluation::at_threshold`] reduced to the minimal
+    /// [`EarlyExitSummary`] — reuse this (and [`final_accuracy`]) when
+    /// you already hold an evaluation instead of re-running inference.
+    ///
+    /// [`final_accuracy`]: ExitEvaluation::final_accuracy
+    pub fn summary_at(&self, threshold: f32) -> EarlyExitSummary {
+        let report = self.at_threshold(threshold);
+        EarlyExitSummary {
+            overall_accuracy: report.accuracy,
+            exit_fractions: report.exit_fractions,
+        }
+    }
+
+    /// Standalone top-1 accuracy of the final (backbone) exit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the evaluation covers zero exits.
+    pub fn final_accuracy(&self) -> f64 {
+        self.exit_accuracy(self.num_exits() - 1)
+    }
 }
 
 /// Runs `images` through every exit of `net` once.
@@ -149,23 +171,25 @@ pub fn evaluate_exits(net: &mut EarlyExitNetwork, images: &LabeledImages) -> Exi
 }
 
 /// Convenience: early-exit accuracy and exit fractions at one threshold.
+///
+/// Runs one full inference pass. To inspect several thresholds (or also
+/// the final-exit accuracy) of the same network, call [`evaluate_exits`]
+/// once and use [`ExitEvaluation::summary_at`] /
+/// [`ExitEvaluation::final_accuracy`] on the result.
 pub fn evaluate_early_exit(
     net: &mut EarlyExitNetwork,
     images: &LabeledImages,
     threshold: f32,
 ) -> EarlyExitSummary {
-    let eval = evaluate_exits(net, images);
-    let report = eval.at_threshold(threshold);
-    EarlyExitSummary {
-        overall_accuracy: report.accuracy,
-        exit_fractions: report.exit_fractions,
-    }
+    evaluate_exits(net, images).summary_at(threshold)
 }
 
 /// Convenience: final-exit (backbone) top-1 accuracy.
+///
+/// Runs one full inference pass; prefer [`ExitEvaluation::final_accuracy`]
+/// on an evaluation you already hold.
 pub fn evaluate_final(net: &mut EarlyExitNetwork, images: &LabeledImages) -> f64 {
-    let eval = evaluate_exits(net, images);
-    eval.exit_accuracy(eval.num_exits() - 1)
+    evaluate_exits(net, images).final_accuracy()
 }
 
 /// Minimal early-exit evaluation result.
@@ -240,6 +264,16 @@ mod tests {
         assert!((eval.exit_accuracy(0) - 0.5).abs() < 1e-9);
         assert!((eval.exit_accuracy(1) - 0.75).abs() < 1e-9);
         assert!((eval.mean_exit_accuracy() - 0.625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reusing_forms_match_threshold_report() {
+        let eval = synthetic_eval();
+        let summary = eval.summary_at(0.85);
+        let report = eval.at_threshold(0.85);
+        assert_eq!(summary.overall_accuracy, report.accuracy);
+        assert_eq!(summary.exit_fractions, report.exit_fractions);
+        assert_eq!(eval.final_accuracy(), eval.exit_accuracy(1));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 use super::Activation;
-use crate::quant::{fake_quantize, QuantSpec};
+use crate::quant::QuantSpec;
+use adapex_tensor::simd;
 use serde::{Deserialize, Serialize};
 
 /// Quantized ReLU: clamp to `[0, clip]`, then snap onto the unsigned
@@ -61,25 +62,23 @@ impl QuantReLU {
     pub fn forward(&mut self, x: &Activation, train: bool) -> Activation {
         let scale = self.clip / self.spec.q_max() as f32;
         let mut out = Activation::zeros(x.n, &x.dims);
+        // Clip, then snap onto the grid with the SIMD-dispatched quantizer
+        // (bit-identical to `fake_quantize` per element on every path).
+        for (o, &v) in out.data.iter_mut().zip(&x.data) {
+            *o = v.clamp(0.0, self.clip);
+        }
+        simd::fake_quant_slice(&mut out.data, scale, 0.0, self.spec.q_max() as f32);
         if train {
             let mask = &mut self.cache.mask;
             mask.clear();
             mask.resize(x.data.len(), 0.0);
-            for ((o, &v), m) in out.data.iter_mut().zip(&x.data).zip(mask.iter_mut()) {
-                let clipped = v.clamp(0.0, self.clip);
-                *o = fake_quantize(clipped, scale, self.spec);
-                *m = if v > 0.0 && v < self.clip { 1.0 } else { 0.0 };
-            }
+            simd::range_mask_slice(mask, &x.data, 0.0, self.clip);
             self.cache.n = x.n;
             self.cache.dims.clear();
             self.cache.dims.extend_from_slice(&x.dims);
             self.cache_valid = true;
         } else {
             // Eval skips building the STE mask; no backward will run.
-            for (o, &v) in out.data.iter_mut().zip(&x.data) {
-                let clipped = v.clamp(0.0, self.clip);
-                *o = fake_quantize(clipped, scale, self.spec);
-            }
             self.cache_valid = false;
         }
         out

@@ -18,6 +18,7 @@ pub use linear::QuantLinear;
 pub use norm::BatchNorm;
 pub use pool::MaxPool2d;
 
+use adapex_tensor::simd;
 use adapex_tensor::workspace::{recycle_f32, recycle_usize, take_f32, take_f32_from, take_usize_from};
 use serde::{Deserialize, Serialize};
 
@@ -177,15 +178,14 @@ impl Param {
     /// One SGD-with-momentum step:
     /// `v = m*v + g + wd*w; w -= lr*v`.
     pub fn sgd_step(&mut self, lr: f32, momentum: f32, weight_decay: f32) {
-        for ((w, g), v) in self
-            .value
-            .iter_mut()
-            .zip(&self.grad)
-            .zip(&mut self.velocity)
-        {
-            *v = momentum * *v + *g + weight_decay * *w;
-            *w -= lr * *v;
-        }
+        simd::sgd_update(
+            &mut self.value,
+            &self.grad,
+            &mut self.velocity,
+            lr,
+            momentum,
+            weight_decay,
+        );
         self.touch();
     }
 }

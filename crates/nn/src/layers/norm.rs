@@ -1,4 +1,5 @@
 use super::{Activation, Param};
+use adapex_tensor::simd;
 use adapex_tensor::workspace::with_workspace;
 use serde::{Deserialize, Serialize};
 
@@ -102,9 +103,8 @@ impl BatchNorm {
                     let inv_std = 1.0 / (self.running_var[c] + self.eps).sqrt();
                     let g = self.gamma.value[c];
                     let b = self.beta.value[c];
-                    for j in c * spatial..(c + 1) * spatial {
-                        o[j] = g * ((s[j] - mean) * inv_std) + b;
-                    }
+                    let ch = c * spatial..(c + 1) * spatial;
+                    simd::normalize_affine(&mut o[ch.clone()], &s[ch], mean, inv_std, g, b);
                 }
             }
             return out;
@@ -164,11 +164,7 @@ impl BatchNorm {
                     let b = self.beta.value[c];
                     let (m, istd) = (mean[c], self.cache.inv_std[c]);
                     let s_ch = &s[c * spatial..(c + 1) * spatial];
-                    for ((ov, xhv), &sv) in o_ch.iter_mut().zip(xh_ch.iter_mut()).zip(s_ch) {
-                        let h = (sv - m) * istd;
-                        *xhv = h;
-                        *ov = g * h + b;
-                    }
+                    simd::normalize_affine_xhat(o_ch, xh_ch, s_ch, m, istd, g, b);
                 }
             }
         });
@@ -221,9 +217,16 @@ impl BatchNorm {
                 let dx = &mut grad_in.data[i * sample_len..(i + 1) * sample_len];
                 for c in 0..self.channels {
                     let coeff = self.gamma.value[c] * self.cache.inv_std[c] / count;
-                    for j in c * spatial..(c + 1) * spatial {
-                        dx[j] = coeff * (count * dy[j] - sum_dy[c] - xh[j] * sum_dy_xhat[c]);
-                    }
+                    let ch = c * spatial..(c + 1) * spatial;
+                    simd::bn_backward_dx(
+                        &mut dx[ch.clone()],
+                        &dy[ch.clone()],
+                        &xh[ch],
+                        coeff,
+                        count,
+                        sum_dy[c],
+                        sum_dy_xhat[c],
+                    );
                 }
             }
         });

@@ -5,6 +5,7 @@
 //! softmax maximum as each exit's **confidence** measure (Sec. II).
 
 use crate::layers::Activation;
+use adapex_tensor::simd;
 use adapex_tensor::workspace::with_workspace;
 
 /// Numerically-stable softmax of one logit vector.
@@ -22,16 +23,16 @@ pub fn softmax(logits: &[f32]) -> Vec<f32> {
 /// Panics if `out.len() != logits.len()`.
 pub fn softmax_into(logits: &[f32], out: &mut [f32]) {
     assert_eq!(out.len(), logits.len(), "softmax output length");
-    let max = logits.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    let max = simd::fold_max(f32::NEG_INFINITY, logits);
+    // exp and the running sum stay scalar: the sum is an ordered
+    // reduction, and vectorizing it would change the rounding.
     let mut sum = 0.0f32;
     for (o, &v) in out.iter_mut().zip(logits) {
         let e = (v - max).exp();
         *o = e;
         sum += e;
     }
-    for o in out.iter_mut() {
-        *o /= sum;
-    }
+    simd::div_scalar(out, sum);
 }
 
 /// Softmax applied row-wise to a batch of logits.
@@ -57,7 +58,7 @@ pub fn softmax_batch(logits: &Activation) -> Activation {
 /// The paper accepts an exit whenever this value clears the confidence
 /// threshold.
 pub fn confidence(probs: &[f32]) -> f32 {
-    probs.iter().fold(0.0f32, |m, &v| m.max(v))
+    simd::fold_max(0.0, probs)
 }
 
 /// Mean cross-entropy of a batch of logits against integer labels, plus

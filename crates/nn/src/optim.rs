@@ -3,6 +3,11 @@
 //! The paper trains with lr 0.001 and decay 0.1 over 40 epochs on GPU;
 //! the reproduction keeps the same optimizer family with a schedule
 //! scaled to its shorter CPU runs.
+//!
+//! The per-parameter update loop itself lives in
+//! [`Param::sgd_step`](crate::layers::Param::sgd_step) and runs on the
+//! SIMD-dispatched `adapex_tensor::simd::sgd_update` kernel; every
+//! dispatch path produces bit-identical weights.
 
 use crate::network::EarlyExitNetwork;
 use serde::{Deserialize, Serialize};

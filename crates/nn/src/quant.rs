@@ -6,6 +6,7 @@
 //! quantizer as (clipped) identity, so full-precision shadow weights keep
 //! accumulating gradients.
 
+use adapex_tensor::simd;
 use serde::{Deserialize, Serialize};
 
 /// Bit width and signedness of a quantizer.
@@ -95,17 +96,18 @@ pub fn fake_quantize(x: f32, scale: f32, spec: QuantSpec) -> f32 {
 }
 
 /// Fake-quantizes a buffer in place with a shared scale.
+///
+/// Runs on the SIMD-dispatched kernel; every dispatch path produces the
+/// same bits as mapping [`fake_quantize`] over the slice.
 pub fn fake_quantize_slice(values: &mut [f32], scale: f32, spec: QuantSpec) {
-    for v in values {
-        *v = fake_quantize(*v, scale, spec);
-    }
+    simd::fake_quant_slice(values, scale, spec.q_min() as f32, spec.q_max() as f32);
 }
 
 /// Quantizes full-precision weights into the forward-pass view:
 /// returns `(quantized, scale)` where `scale` derives from the tensor's
 /// max-abs (symmetric per-tensor quantization).
 pub fn quantize_weights(weights: &[f32], spec: QuantSpec) -> (Vec<f32>, f32) {
-    let max_abs = weights.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    let max_abs = simd::fold_max_abs(0.0, weights);
     let scale = weight_scale(max_abs, spec);
     let q = weights
         .iter()
@@ -158,11 +160,11 @@ pub fn quantize_weights_per_row_into(
     scales.reserve(rows);
     for r in 0..rows {
         let row = &weights[r * row_len..(r + 1) * row_len];
-        let max_abs = row.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let max_abs = simd::fold_max_abs(0.0, row);
         let scale = weight_scale(max_abs, spec);
-        for (slot, &w) in q[r * row_len..(r + 1) * row_len].iter_mut().zip(row) {
-            *slot = fake_quantize(w, scale, spec);
-        }
+        let slot = &mut q[r * row_len..(r + 1) * row_len];
+        slot.copy_from_slice(row);
+        simd::fake_quant_slice(slot, scale, spec.q_min() as f32, spec.q_max() as f32);
         scales.push(scale);
     }
 }

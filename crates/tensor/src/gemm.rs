@@ -3,7 +3,9 @@
 //! Convolutions (after [`crate::conv::im2col`] lowering) and fully-connected
 //! layers both reduce to `C = A * B`, which makes this kernel the hot path
 //! of the whole training engine. The kernel is a blocked `i-k-j` loop: the
-//! inner loop is a SAXPY over a row of `B` (auto-vectorized), each loaded
+//! inner loop is a SAXPY over a row of `B` (dispatched through
+//! [`crate::simd`]: 8-lane AVX2 where available, a bit-identical portable
+//! fallback otherwise), each loaded
 //! `B` row feeds [`MR`] consecutive `C` rows (quartering `B` traffic versus
 //! the classic one-row loop), and the reduction dimension is split into
 //! [`KC`]-sized panels so the active slab of `B` stays cache-resident. The
@@ -18,9 +20,12 @@
 //!
 //! Every element of `C` is accumulated in ascending-`k` order, matching the
 //! textbook triple loop term by term, so results are bit-identical across
-//! the plain/`_st`/bias variants and independent of the thread count.
+//! the plain/`_st`/bias variants and independent of the thread count — and,
+//! because the SIMD layer forbids FMA contraction and keeps lane operations
+//! exactly rounded, independent of the dispatch path as well.
 
 use crate::parallel::parallel_for_chunks;
+use crate::simd::gemm_panel;
 use crate::workspace::{recycle_f32, take_f32_uninit};
 
 /// Panel size along the reduction dimension; keeps a `KC x n` slab of `B`
@@ -30,6 +35,12 @@ const KC: usize = 256;
 /// Rows of `A` processed together: one `B` row load feeds `MR` C-row
 /// SAXPYs.
 const MR: usize = 4;
+
+/// Column chunk for wide outputs: the row blocks sweep `NC` columns at a
+/// time so the active `KC x NC` sub-slab of `B` (32 KiB) stays L1-resident
+/// across all row blocks instead of re-streaming from L2 per block.
+/// Columns are independent, so chunking them never changes a result bit.
+const NC: usize = 32;
 
 /// The shared work-splitting heuristic: give each worker at least
 /// `min_rows` rows so a thread handles ≳64k multiply-adds before the
@@ -49,114 +60,6 @@ enum Epilogue<'a> {
     /// `C = A * B + bias[i]` broadcast along each row `i` (the conv bias
     /// epilogue, folded into the final `k` step).
     Bias(&'a [f32]),
-}
-
-/// `c = 0 + ar * b`: the explicit `0.0 +` keeps the per-element sum
-/// identical to accumulating onto a zero-filled row (they differ only in
-/// the sign of zero).
-#[inline(always)]
-fn axpy_init(c: &mut [f32], ar: f32, b: &[f32]) {
-    for (cv, &bv) in c.iter_mut().zip(b) {
-        *cv = 0.0 + ar * bv;
-    }
-}
-
-/// `c += ar * b`.
-#[inline(always)]
-fn axpy(c: &mut [f32], ar: f32, b: &[f32]) {
-    for (cv, &bv) in c.iter_mut().zip(b) {
-        *cv += ar * bv;
-    }
-}
-
-/// `c = (0 + ar * b) + bias`: single-`k` row with the bias folded in.
-#[inline(always)]
-fn axpy_init_bias(c: &mut [f32], ar: f32, b: &[f32], bias: f32) {
-    for (cv, &bv) in c.iter_mut().zip(b) {
-        *cv = (0.0 + ar * bv) + bias;
-    }
-}
-
-/// `c = (c + ar * b) + bias`: final `k` step with the bias folded in,
-/// associating exactly like a separate bias pass after the full sum.
-#[inline(always)]
-fn axpy_bias(c: &mut [f32], ar: f32, b: &[f32], bias: f32) {
-    for (cv, &bv) in c.iter_mut().zip(b) {
-        *cv = (*cv + ar * bv) + bias;
-    }
-}
-
-/// One block of up to [`MR`] `C` rows swept over panel `k0..k1`.
-///
-/// `TRANS` selects the `A` element for row `gr + r` at step `kk`:
-/// `a[(gr+r)*lda + kk]` for row-major `A: [m, k]` (`lda == k`), or
-/// `a[kk*lda + gr + r]` for the transposed layout `A: [k, m]`
-/// (`lda == m`), which [`gemm_at_b`] uses without materializing `A^T`.
-/// The `A` element feeding row `row` at reduction step `kk`.
-#[inline(always)]
-fn a_elem<const TRANS: bool>(a: &[f32], lda: usize, row: usize, kk: usize) -> f32 {
-    if TRANS {
-        a[kk * lda + row]
-    } else {
-        a[row * lda + kk]
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-#[inline(always)]
-fn saxpy_block<const RR: usize, const TRANS: bool>(
-    lda: usize,
-    n: usize,
-    a: &[f32],
-    gr: usize,
-    b: &[f32],
-    c: &mut [f32],
-    k0: usize,
-    k1: usize,
-    init: bool,
-    bias: Option<&[f32]>,
-) {
-    let mut it = c.chunks_exact_mut(n);
-    let mut rows: [&mut [f32]; RR] = std::array::from_fn(|_| it.next().expect("RR rows of C"));
-    // Three straight-line phases — the write step, the plain-SAXPY middle,
-    // and the bias step — so the hot loops carry no per-step dispatch.
-    let mut kk = k0;
-    let last = if bias.is_some() { k1 - 1 } else { k1 };
-    if init && kk < k1 {
-        let b_row = &b[kk * n..(kk + 1) * n];
-        if kk == last {
-            let bs = bias.expect("bias step");
-            for (r, row) in rows.iter_mut().enumerate() {
-                axpy_init_bias(row, a_elem::<TRANS>(a, lda, gr + r, kk), b_row, bs[gr + r]);
-            }
-        } else {
-            for (r, row) in rows.iter_mut().enumerate() {
-                axpy_init(row, a_elem::<TRANS>(a, lda, gr + r, kk), b_row);
-            }
-        }
-        kk += 1;
-    }
-    while kk < last {
-        let b_row = &b[kk * n..(kk + 1) * n];
-        for (r, row) in rows.iter_mut().enumerate() {
-            let ar = a_elem::<TRANS>(a, lda, gr + r, kk);
-            // Exact zeros are common in `A` (2-bit quantized weights,
-            // ReLU-masked gradients); their terms contribute nothing, so
-            // skip the row sweep. Skipping is per-element deterministic:
-            // it depends only on the data, never on the thread count.
-            if ar != 0.0 {
-                axpy(row, ar, b_row);
-            }
-        }
-        kk += 1;
-    }
-    if kk < k1 {
-        let b_row = &b[kk * n..(kk + 1) * n];
-        let bs = bias.expect("bias step");
-        for (r, row) in rows.iter_mut().enumerate() {
-            axpy_bias(row, a_elem::<TRANS>(a, lda, gr + r, kk), b_row, bs[gr + r]);
-        }
-    }
 }
 
 /// Computes `rows` rows of `C` (global rows `r0..r0+rows` of the output)
@@ -186,18 +89,23 @@ fn gemm_rows<const TRANS: bool>(
         let k1 = (k0 + KC).min(k);
         let panel_init = init && k0 == 0;
         let panel_bias = if k1 == k { bias } else { None };
-        let mut r = 0;
-        while r < rows {
-            let rr = (rows - r).min(MR);
-            let block = &mut c_chunk[r * n..(r + rr) * n];
-            let gr = r0 + r;
-            match rr {
-                4 => saxpy_block::<4, TRANS>(lda, n, a, gr, b, block, k0, k1, panel_init, panel_bias),
-                3 => saxpy_block::<3, TRANS>(lda, n, a, gr, b, block, k0, k1, panel_init, panel_bias),
-                2 => saxpy_block::<2, TRANS>(lda, n, a, gr, b, block, k0, k1, panel_init, panel_bias),
-                _ => saxpy_block::<1, TRANS>(lda, n, a, gr, b, block, k0, k1, panel_init, panel_bias),
+        let mut j0 = 0;
+        while j0 < n {
+            // Only chunk genuinely wide outputs; narrow ones take the
+            // whole width in one pass.
+            let j1 = if n >= 2 * NC { (j0 + NC).min(n) } else { n };
+            let mut r = 0;
+            while r < rows {
+                let rr = (rows - r).min(MR);
+                let block = &mut c_chunk[r * n..(r + rr) * n];
+                // Backend dispatch happens per block-panel call, amortizing
+                // the (relaxed atomic) backend lookup over the whole sweep.
+                gemm_panel::<TRANS>(
+                    block, n, rr, a, lda, r0 + r, b, k0, k1, j0, j1, panel_init, panel_bias,
+                );
+                r += rr;
             }
-            r += rr;
+            j0 = j1;
         }
         k0 = k1;
     }
@@ -425,7 +333,10 @@ fn pack_bt(k: usize, n: usize, b: &[f32]) -> Vec<f32> {
 
 /// Dot-product rows for the `A * B^T` layout: both operands are walked
 /// contiguously in `k`; blocking over `MR` rows of `A` reuses each `B` row
-/// across the block.
+/// across the block. Deliberately scalar: a vectorized dot product would
+/// reassociate the `k` sum and break the documented bit-agreement with
+/// the packed-SAXPY path, and this path only runs for `m < 4` where the
+/// repack dominates anyway.
 fn a_bt_rows(k: usize, n: usize, a: &[f32], r0: usize, rows: usize, b: &[f32], c: &mut [f32]) {
     let mut r = 0;
     while r < rows {

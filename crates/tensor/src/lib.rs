@@ -14,6 +14,9 @@
 //! * [`parallel`] — a scoped-thread `parallel_for` used by the batch loops.
 //! * [`workspace`] — pooled scratch buffers so the steady-state training
 //!   loop allocates nothing per batch.
+//! * [`simd`] — 8-lane `f32` kernels (AVX2 with a bit-identical portable
+//!   fallback, runtime-dispatched) behind the GEMM SAXPYs and the
+//!   engine's elementwise hot loops.
 //!
 //! # Example
 //!
@@ -33,6 +36,7 @@ pub mod conv;
 pub mod gemm;
 pub mod parallel;
 pub mod rng;
+pub mod simd;
 pub mod workspace;
 mod shape;
 mod tensor;

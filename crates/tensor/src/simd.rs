@@ -1,0 +1,1127 @@
+//! 8-lane `f32` SIMD kernels with deterministic lane semantics.
+//!
+//! Every hot elementwise loop in the engine — the GEMM SAXPY family, the
+//! fake-quantization grid snap, batch-norm's normalize/backward maps, the
+//! softmax epilogue and the SGD update — routes through this module. Two
+//! backends implement each operation:
+//!
+//! * **AVX2** (`x86_64`, selected at runtime via
+//!   `is_x86_feature_detected!`): 8-wide `std::arch` intrinsics.
+//! * **Portable**: plain scalar loops computing the *same lane-by-lane
+//!   operations in the same order*.
+//!
+//! Both paths are **bit-identical** for finite inputs, which keeps every
+//! result thread-count- and dispatch-invariant (the repo-wide determinism
+//! contract). Three properties make that possible:
+//!
+//! 1. Every lane operation (`+`, `-`, `*`, `/`, `min`, `max`) is exactly
+//!    rounded per IEEE 754, so an 8-wide vector op produces the same bits
+//!    as eight scalar ops.
+//! 2. **No FMA contraction**: multiply-then-add is kept as two exactly
+//!    rounded steps everywhere (a fused `a*b + c` rounds once and would
+//!    diverge from the scalar reference).
+//! 3. Accumulation order never changes: lanes map 1:1 onto output
+//!    elements (no horizontal reductions on accumulation paths), and the
+//!    only folds exposed ([`fold_max`]/[`fold_max_abs`]) use `max`, which
+//!    is order-insensitive for finite values.
+//!
+//! Rounding in [`fake_quant_slice`] needs care: `f32::round` ties away
+//! from zero while the AVX2 rounding instruction ties to even, so the
+//! AVX2 path reconstructs round-half-away-from-zero from truncation
+//! (`t = trunc(x)` and `x - t` are both exact, so the tie comparison is
+//! exact too).
+//!
+//! Dispatch is resolved once and cached. Setting `ADAPEX_NO_SIMD=1`
+//! forces the portable backend (CI exercises the fallback this way), and
+//! [`override_backend`] lets benches/tests pin a path explicitly.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Lane width of the vector abstraction. The portable backend emulates
+/// the same width so remainder handling is identical on every path.
+pub const LANES: usize = 8;
+
+/// Which implementation services the dispatched entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// 8-wide AVX2 intrinsics (x86-64 only, runtime-detected).
+    Avx2,
+    /// Scalar lane-by-lane fallback; bit-identical to AVX2.
+    Portable,
+}
+
+// Cached dispatch decision: 0 = undecided, 1 = AVX2, 2 = portable.
+// 3/4 = explicit override (AVX2/portable) from `override_backend`.
+static BACKEND: AtomicU8 = AtomicU8::new(0);
+
+fn detect() -> u8 {
+    if std::env::var_os("ADAPEX_NO_SIMD").is_some_and(|v| v == "1") {
+        return 2;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return 1;
+        }
+    }
+    2
+}
+
+/// The backend the dispatched operations currently use.
+pub fn active_backend() -> Backend {
+    match BACKEND.load(Ordering::Relaxed) {
+        1 | 3 => Backend::Avx2,
+        2 | 4 => Backend::Portable,
+        _ => {
+            let b = detect();
+            // Racing initializers compute the same value, so a plain
+            // store is fine — but never clobber an explicit override.
+            let _ = BACKEND.compare_exchange(0, b, Ordering::Relaxed, Ordering::Relaxed);
+            active_backend()
+        }
+    }
+}
+
+/// Pins the dispatch to one backend (`Some`) or restores runtime
+/// detection (`None`). Bench/test hook: because both backends are
+/// bit-identical, flipping this never changes results, only which code
+/// path produces them.
+///
+/// # Panics
+///
+/// Panics when asked to force AVX2 on a host without it.
+pub fn override_backend(backend: Option<Backend>) {
+    let v = match backend {
+        Some(Backend::Avx2) => {
+            assert!(detect() == 1, "AVX2 backend unavailable on this host");
+            3
+        }
+        Some(Backend::Portable) => 4,
+        None => detect(),
+    };
+    BACKEND.store(v, Ordering::Relaxed);
+}
+
+macro_rules! dispatch {
+    ($name:ident($($arg:expr),*)) => {
+        match active_backend() {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `active_backend` only reports Avx2 after runtime
+            // feature detection (or an override that re-checked it).
+            Backend::Avx2 => unsafe { avx2::$name($($arg),*) },
+            #[cfg(not(target_arch = "x86_64"))]
+            Backend::Avx2 => portable::$name($($arg),*),
+            Backend::Portable => portable::$name($($arg),*),
+        }
+    };
+}
+
+/// `c[j] = 0.0 + a * b[j]` (the explicit `0.0 +` matches accumulating
+/// onto a zero-filled row, differing only in the sign of zero).
+#[inline]
+pub fn axpy_init(c: &mut [f32], a: f32, b: &[f32]) {
+    debug_assert_eq!(c.len(), b.len());
+    dispatch!(axpy_init(c, a, b))
+}
+
+/// `c[j] += a * b[j]`.
+#[inline]
+pub fn axpy(c: &mut [f32], a: f32, b: &[f32]) {
+    debug_assert_eq!(c.len(), b.len());
+    dispatch!(axpy(c, a, b))
+}
+
+/// `c[j] = (0.0 + a * b[j]) + bias`: single-step row with a folded bias.
+#[inline]
+pub fn axpy_init_bias(c: &mut [f32], a: f32, b: &[f32], bias: f32) {
+    debug_assert_eq!(c.len(), b.len());
+    dispatch!(axpy_init_bias(c, a, b, bias))
+}
+
+/// `c[j] = (c[j] + a * b[j]) + bias`: final accumulation step with the
+/// bias folded in, associating exactly like a separate bias pass.
+#[inline]
+pub fn axpy_bias(c: &mut [f32], a: f32, b: &[f32], bias: f32) {
+    debug_assert_eq!(c.len(), b.len());
+    dispatch!(axpy_bias(c, a, b, bias))
+}
+
+/// Fake-quantizes in place: `v = clamp(round(v / scale), lo, hi) * scale`
+/// with round-half-away-from-zero (exactly `f32::round`) and clamp
+/// realized as `max` then `min`.
+#[inline]
+pub fn fake_quant_slice(v: &mut [f32], scale: f32, lo: f32, hi: f32) {
+    dispatch!(fake_quant_slice(v, scale, lo, hi))
+}
+
+/// `mask[j] = 1.0` where `lo < x[j] < hi` (strict), else `0.0` — the
+/// straight-through-estimator window mask.
+#[inline]
+pub fn range_mask_slice(mask: &mut [f32], x: &[f32], lo: f32, hi: f32) {
+    debug_assert_eq!(mask.len(), x.len());
+    dispatch!(range_mask_slice(mask, x, lo, hi))
+}
+
+/// `out[j] = g * ((src[j] - mean) * inv_std) + b` — batch-norm's affine
+/// normalize with per-channel constants.
+#[inline]
+pub fn normalize_affine(out: &mut [f32], src: &[f32], mean: f32, inv_std: f32, g: f32, b: f32) {
+    debug_assert_eq!(out.len(), src.len());
+    dispatch!(normalize_affine(out, src, mean, inv_std, g, b))
+}
+
+/// [`normalize_affine`] that also stores the normalized value
+/// `xhat[j] = (src[j] - mean) * inv_std` for the backward pass.
+#[inline]
+pub fn normalize_affine_xhat(
+    out: &mut [f32],
+    xhat: &mut [f32],
+    src: &[f32],
+    mean: f32,
+    inv_std: f32,
+    g: f32,
+    b: f32,
+) {
+    debug_assert_eq!(out.len(), src.len());
+    debug_assert_eq!(xhat.len(), src.len());
+    dispatch!(normalize_affine_xhat(out, xhat, src, mean, inv_std, g, b))
+}
+
+/// Batch-norm input gradient:
+/// `dx[j] = coeff * (count * dy[j] - sum_dy - xhat[j] * sum_dy_xhat)`,
+/// associated exactly as written.
+#[inline]
+pub fn bn_backward_dx(
+    dx: &mut [f32],
+    dy: &[f32],
+    xhat: &[f32],
+    coeff: f32,
+    count: f32,
+    sum_dy: f32,
+    sum_dy_xhat: f32,
+) {
+    debug_assert_eq!(dx.len(), dy.len());
+    debug_assert_eq!(xhat.len(), dy.len());
+    dispatch!(bn_backward_dx(dx, dy, xhat, coeff, count, sum_dy, sum_dy_xhat))
+}
+
+/// SGD-with-momentum update:
+/// `v = (momentum * v + g) + wd * w; w -= lr * v`.
+#[inline]
+pub fn sgd_update(w: &mut [f32], g: &[f32], v: &mut [f32], lr: f32, momentum: f32, wd: f32) {
+    debug_assert_eq!(w.len(), g.len());
+    debug_assert_eq!(w.len(), v.len());
+    dispatch!(sgd_update(w, g, v, lr, momentum, wd))
+}
+
+/// `x[j] /= d` (true division — *not* multiplication by a reciprocal,
+/// which would round differently).
+#[inline]
+pub fn div_scalar(x: &mut [f32], d: f32) {
+    dispatch!(div_scalar(x, d))
+}
+
+/// Fold of `max` over `xs` starting from `init`. Order-insensitive for
+/// finite inputs, so it equals the plain scalar fold bit for bit.
+#[inline]
+pub fn fold_max(init: f32, xs: &[f32]) -> f32 {
+    dispatch!(fold_max(init, xs))
+}
+
+/// Fold of `max(acc, |x|)` over `xs` starting from `init` (the max-abs
+/// reduction behind symmetric quantization scales).
+#[inline]
+pub fn fold_max_abs(init: f32, xs: &[f32]) -> f32 {
+    dispatch!(fold_max_abs(init, xs))
+}
+
+/// The `A` element feeding output row `row` at reduction step `kk`:
+/// `a[row*lda + kk]` for row-major `A` or, with `TRANS`, `a[kk*lda + row]`
+/// for the transposed layout the backward passes use.
+#[inline(always)]
+fn a_elem<const TRANS: bool>(a: &[f32], lda: usize, row: usize, kk: usize) -> f32 {
+    if TRANS {
+        a[kk * lda + row]
+    } else {
+        a[row * lda + kk]
+    }
+}
+
+/// The GEMM panel microkernel: sweeps columns `j0..j1` of one block of
+/// `rr <= 4` contiguous `C` rows (`c`, laid out `rr x n`, row 0 = global
+/// output row `gr`) over reduction steps `k0..k1` of `B: [.., n]`.
+/// Columns are independent, so the caller may chunk `j0..j1` freely (for
+/// cache residency) without changing a single bit of the result.
+///
+/// Semantics per element, identical on every backend:
+/// * when `init`, step `k0` *writes* `0.0 + a*b` (no read of `C`);
+/// * middle steps accumulate `c += a*b` in ascending-`k` order, skipping
+///   steps whose `A` element is exactly zero (data-dependent only);
+/// * when `bias` is given, the final step folds it as `(c + a*b) + bias`
+///   (the bias row is indexed by the global row `gr + r`).
+///
+/// The AVX2 backend keeps the accumulators in registers across the whole
+/// `k` sweep (column tiles of 16/8 plus a scalar tail), which is where the
+/// GEMM speedup lives; the portable backend is the plain three-phase SAXPY
+/// loop. Both apply the exact same exactly-rounded operation sequence per
+/// element, so they agree bit for bit.
+///
+/// # Panics
+///
+/// Panics (in debug) when `c` is not `rr * n` long or `rr` is outside
+/// `1..=4`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_panel<const TRANS: bool>(
+    c: &mut [f32],
+    n: usize,
+    rr: usize,
+    a: &[f32],
+    lda: usize,
+    gr: usize,
+    b: &[f32],
+    k0: usize,
+    k1: usize,
+    j0: usize,
+    j1: usize,
+    init: bool,
+    bias: Option<&[f32]>,
+) {
+    debug_assert_eq!(c.len(), rr * n);
+    debug_assert!((1..=4).contains(&rr));
+    debug_assert!(b.len() >= k1 * n);
+    debug_assert!(j0 <= j1 && j1 <= n);
+    match active_backend() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only reported after runtime feature detection.
+        Backend::Avx2 => unsafe {
+            avx2::gemm_panel::<TRANS>(c, n, rr, a, lda, gr, b, k0, k1, j0, j1, init, bias)
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2 => {
+            portable::gemm_panel::<TRANS>(c, n, rr, a, lda, gr, b, k0, k1, j0, j1, init, bias)
+        }
+        Backend::Portable => {
+            portable::gemm_panel::<TRANS>(c, n, rr, a, lda, gr, b, k0, k1, j0, j1, init, bias)
+        }
+    }
+}
+
+/// The portable backend: scalar loops whose per-element operations are
+/// exactly the lane operations of the AVX2 backend, in the same order.
+/// Elementwise maps carry no cross-lane state, so chunking is irrelevant
+/// to the result; the two folds replicate the vector backend's 8-lane
+/// accumulator and lane-order reduction explicitly.
+pub mod portable {
+    use super::LANES;
+
+    #[inline]
+    pub fn axpy_init(c: &mut [f32], a: f32, b: &[f32]) {
+        for (cv, &bv) in c.iter_mut().zip(b) {
+            *cv = 0.0 + a * bv;
+        }
+    }
+
+    #[inline]
+    pub fn axpy(c: &mut [f32], a: f32, b: &[f32]) {
+        for (cv, &bv) in c.iter_mut().zip(b) {
+            *cv += a * bv;
+        }
+    }
+
+    #[inline]
+    pub fn axpy_init_bias(c: &mut [f32], a: f32, b: &[f32], bias: f32) {
+        for (cv, &bv) in c.iter_mut().zip(b) {
+            *cv = (0.0 + a * bv) + bias;
+        }
+    }
+
+    #[inline]
+    pub fn axpy_bias(c: &mut [f32], a: f32, b: &[f32], bias: f32) {
+        for (cv, &bv) in c.iter_mut().zip(b) {
+            *cv = (*cv + a * bv) + bias;
+        }
+    }
+
+    /// Round half away from zero — the lane op both backends implement.
+    /// `f32::round` has exactly these semantics.
+    #[inline]
+    pub(super) fn round_half_away(x: f32) -> f32 {
+        x.round()
+    }
+
+    #[inline]
+    pub fn fake_quant_slice(v: &mut [f32], scale: f32, lo: f32, hi: f32) {
+        for x in v {
+            let q = round_half_away(*x / scale).max(lo).min(hi);
+            *x = q * scale;
+        }
+    }
+
+    #[inline]
+    pub fn range_mask_slice(mask: &mut [f32], x: &[f32], lo: f32, hi: f32) {
+        for (m, &v) in mask.iter_mut().zip(x) {
+            *m = if v > lo && v < hi { 1.0 } else { 0.0 };
+        }
+    }
+
+    #[inline]
+    pub fn normalize_affine(out: &mut [f32], src: &[f32], mean: f32, inv_std: f32, g: f32, b: f32) {
+        for (o, &s) in out.iter_mut().zip(src) {
+            *o = g * ((s - mean) * inv_std) + b;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn normalize_affine_xhat(
+        out: &mut [f32],
+        xhat: &mut [f32],
+        src: &[f32],
+        mean: f32,
+        inv_std: f32,
+        g: f32,
+        b: f32,
+    ) {
+        for ((o, xh), &s) in out.iter_mut().zip(xhat.iter_mut()).zip(src) {
+            let h = (s - mean) * inv_std;
+            *xh = h;
+            *o = g * h + b;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn bn_backward_dx(
+        dx: &mut [f32],
+        dy: &[f32],
+        xhat: &[f32],
+        coeff: f32,
+        count: f32,
+        sum_dy: f32,
+        sum_dy_xhat: f32,
+    ) {
+        for ((d, &y), &xh) in dx.iter_mut().zip(dy).zip(xhat) {
+            *d = coeff * (count * y - sum_dy - xh * sum_dy_xhat);
+        }
+    }
+
+    #[inline]
+    pub fn sgd_update(w: &mut [f32], g: &[f32], v: &mut [f32], lr: f32, momentum: f32, wd: f32) {
+        for ((wv, &gv), vv) in w.iter_mut().zip(g).zip(v.iter_mut()) {
+            *vv = momentum * *vv + gv + wd * *wv;
+            *wv -= lr * *vv;
+        }
+    }
+
+    #[inline]
+    pub fn div_scalar(x: &mut [f32], d: f32) {
+        for v in x {
+            *v /= d;
+        }
+    }
+
+    #[inline]
+    pub fn fold_max(init: f32, xs: &[f32]) -> f32 {
+        let mut chunks = xs.chunks_exact(LANES);
+        let mut acc = [init; LANES];
+        for chunk in &mut chunks {
+            for (a, &v) in acc.iter_mut().zip(chunk) {
+                *a = a.max(v);
+            }
+        }
+        let mut m = acc.into_iter().fold(init, f32::max);
+        for &v in chunks.remainder() {
+            m = m.max(v);
+        }
+        m
+    }
+
+    #[inline]
+    pub fn fold_max_abs(init: f32, xs: &[f32]) -> f32 {
+        let mut chunks = xs.chunks_exact(LANES);
+        let mut acc = [init; LANES];
+        for chunk in &mut chunks {
+            for (a, &v) in acc.iter_mut().zip(chunk) {
+                *a = a.max(v.abs());
+            }
+        }
+        let mut m = acc.into_iter().fold(init, f32::max);
+        for &v in chunks.remainder() {
+            m = m.max(v.abs());
+        }
+        m
+    }
+
+    /// Portable [`super::gemm_panel`]: three straight-line phases — the
+    /// write step, the zero-skipping SAXPY middle, and the bias step — so
+    /// the hot loops carry no per-step dispatch.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn gemm_panel<const TRANS: bool>(
+        c: &mut [f32],
+        n: usize,
+        rr: usize,
+        a: &[f32],
+        lda: usize,
+        gr: usize,
+        b: &[f32],
+        k0: usize,
+        k1: usize,
+        j0: usize,
+        j1: usize,
+        init: bool,
+        bias: Option<&[f32]>,
+    ) {
+        let mut it = c.chunks_exact_mut(n);
+        macro_rules! run {
+            ($RR:literal) => {{
+                let mut rows: [&mut [f32]; $RR] =
+                    std::array::from_fn(|_| &mut it.next().expect("rr rows of C")[j0..j1]);
+                let mut kk = k0;
+                let last = if bias.is_some() { k1 - 1 } else { k1 };
+                if init && kk < k1 {
+                    let b_row = &b[kk * n + j0..kk * n + j1];
+                    if kk == last {
+                        let bs = bias.expect("bias step");
+                        for (r, row) in rows.iter_mut().enumerate() {
+                            axpy_init_bias(row, super::a_elem::<TRANS>(a, lda, gr + r, kk), b_row, bs[gr + r]);
+                        }
+                    } else {
+                        for (r, row) in rows.iter_mut().enumerate() {
+                            axpy_init(row, super::a_elem::<TRANS>(a, lda, gr + r, kk), b_row);
+                        }
+                    }
+                    kk += 1;
+                }
+                while kk < last {
+                    let b_row = &b[kk * n + j0..kk * n + j1];
+                    for (r, row) in rows.iter_mut().enumerate() {
+                        let ar = super::a_elem::<TRANS>(a, lda, gr + r, kk);
+                        // Exact zeros are common in `A` (2-bit quantized
+                        // weights, ReLU-masked gradients); skipping their
+                        // row sweep is per-element deterministic: it
+                        // depends only on the data.
+                        if ar != 0.0 {
+                            axpy(row, ar, b_row);
+                        }
+                    }
+                    kk += 1;
+                }
+                if kk < k1 {
+                    let b_row = &b[kk * n + j0..kk * n + j1];
+                    let bs = bias.expect("bias step");
+                    for (r, row) in rows.iter_mut().enumerate() {
+                        axpy_bias(row, super::a_elem::<TRANS>(a, lda, gr + r, kk), b_row, bs[gr + r]);
+                    }
+                }
+            }};
+        }
+        match rr {
+            4 => run!(4),
+            3 => run!(3),
+            2 => run!(2),
+            _ => run!(1),
+        }
+    }
+}
+
+/// The AVX2 backend. Every function is `unsafe` because it requires the
+/// `avx2` target feature at runtime; the dispatcher (and any direct
+/// caller, e.g. the bit-identity tests) must verify it first via
+/// `is_x86_feature_detected!("avx2")`.
+///
+/// Multiplication and addition are always separate intrinsics — never
+/// `_mm256_fmadd_ps` — so every intermediate rounds exactly like the
+/// portable backend's scalar ops.
+#[cfg(target_arch = "x86_64")]
+pub mod avx2 {
+    use super::LANES;
+    use std::arch::x86_64::*;
+
+    /// Splits a mutable slice into LANES-sized body chunks plus a tail.
+    #[inline(always)]
+    fn split_mut(c: &mut [f32]) -> (std::slice::ChunksExactMut<'_, f32>, usize) {
+        let tail_at = c.len() - c.len() % LANES;
+        (c.chunks_exact_mut(LANES), tail_at)
+    }
+
+    /// # Safety
+    /// Requires AVX2. `c.len() == b.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy_init(c: &mut [f32], a: f32, b: &[f32]) {
+        let va = _mm256_set1_ps(a);
+        let zero = _mm256_setzero_ps();
+        let (chunks, tail_at) = split_mut(c);
+        for (i, cv) in chunks.enumerate() {
+            let vb = _mm256_loadu_ps(b.as_ptr().add(i * LANES));
+            let r = _mm256_add_ps(zero, _mm256_mul_ps(va, vb));
+            _mm256_storeu_ps(cv.as_mut_ptr(), r);
+        }
+        super::portable::axpy_init(&mut c[tail_at..], a, &b[tail_at..]);
+    }
+
+    /// # Safety
+    /// Requires AVX2. `c.len() == b.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy(c: &mut [f32], a: f32, b: &[f32]) {
+        let va = _mm256_set1_ps(a);
+        let (chunks, tail_at) = split_mut(c);
+        for (i, cv) in chunks.enumerate() {
+            let vb = _mm256_loadu_ps(b.as_ptr().add(i * LANES));
+            let vc = _mm256_loadu_ps(cv.as_ptr());
+            let r = _mm256_add_ps(vc, _mm256_mul_ps(va, vb));
+            _mm256_storeu_ps(cv.as_mut_ptr(), r);
+        }
+        super::portable::axpy(&mut c[tail_at..], a, &b[tail_at..]);
+    }
+
+    /// # Safety
+    /// Requires AVX2. `c.len() == b.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy_init_bias(c: &mut [f32], a: f32, b: &[f32], bias: f32) {
+        let va = _mm256_set1_ps(a);
+        let vbias = _mm256_set1_ps(bias);
+        let zero = _mm256_setzero_ps();
+        let (chunks, tail_at) = split_mut(c);
+        for (i, cv) in chunks.enumerate() {
+            let vb = _mm256_loadu_ps(b.as_ptr().add(i * LANES));
+            let r = _mm256_add_ps(_mm256_add_ps(zero, _mm256_mul_ps(va, vb)), vbias);
+            _mm256_storeu_ps(cv.as_mut_ptr(), r);
+        }
+        super::portable::axpy_init_bias(&mut c[tail_at..], a, &b[tail_at..], bias);
+    }
+
+    /// # Safety
+    /// Requires AVX2. `c.len() == b.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy_bias(c: &mut [f32], a: f32, b: &[f32], bias: f32) {
+        let va = _mm256_set1_ps(a);
+        let vbias = _mm256_set1_ps(bias);
+        let (chunks, tail_at) = split_mut(c);
+        for (i, cv) in chunks.enumerate() {
+            let vb = _mm256_loadu_ps(b.as_ptr().add(i * LANES));
+            let vc = _mm256_loadu_ps(cv.as_ptr());
+            let r = _mm256_add_ps(_mm256_add_ps(vc, _mm256_mul_ps(va, vb)), vbias);
+            _mm256_storeu_ps(cv.as_mut_ptr(), r);
+        }
+        super::portable::axpy_bias(&mut c[tail_at..], a, &b[tail_at..], bias);
+    }
+
+    /// Round half away from zero, reconstructed from truncation because
+    /// `_mm256_round_ps` ties to even. `trunc(x)` and `x - trunc(x)` are
+    /// both exact, so comparing the fraction against 0.5 reproduces
+    /// `f32::round` bit for bit on every finite input.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn round_half_away(x: __m256) -> __m256 {
+        let sign_mask = _mm256_set1_ps(-0.0);
+        let t = _mm256_round_ps::<{ _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC }>(x);
+        let frac = _mm256_sub_ps(x, t);
+        let abs_frac = _mm256_andnot_ps(sign_mask, frac);
+        let ge_half = _mm256_cmp_ps::<_CMP_GE_OQ>(abs_frac, _mm256_set1_ps(0.5));
+        let signed_one = _mm256_or_ps(_mm256_and_ps(x, sign_mask), _mm256_set1_ps(1.0));
+        // Blend rather than add a masked term: `-0.0 + 0.0` would flip the
+        // sign of zero on the not-taken lanes.
+        _mm256_blendv_ps(t, _mm256_add_ps(t, signed_one), ge_half)
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn fake_quant_slice(v: &mut [f32], scale: f32, lo: f32, hi: f32) {
+        let vscale = _mm256_set1_ps(scale);
+        let vlo = _mm256_set1_ps(lo);
+        let vhi = _mm256_set1_ps(hi);
+        let (chunks, tail_at) = split_mut(v);
+        for xv in chunks {
+            let x = _mm256_loadu_ps(xv.as_ptr());
+            let q = round_half_away(_mm256_div_ps(x, vscale));
+            let q = _mm256_min_ps(_mm256_max_ps(q, vlo), vhi);
+            _mm256_storeu_ps(xv.as_mut_ptr(), _mm256_mul_ps(q, vscale));
+        }
+        super::portable::fake_quant_slice(&mut v[tail_at..], scale, lo, hi);
+    }
+
+    /// # Safety
+    /// Requires AVX2. `mask.len() == x.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn range_mask_slice(mask: &mut [f32], x: &[f32], lo: f32, hi: f32) {
+        let vlo = _mm256_set1_ps(lo);
+        let vhi = _mm256_set1_ps(hi);
+        let one = _mm256_set1_ps(1.0);
+        let (chunks, tail_at) = split_mut(mask);
+        for (i, mv) in chunks.enumerate() {
+            let xv = _mm256_loadu_ps(x.as_ptr().add(i * LANES));
+            let inside = _mm256_and_ps(
+                _mm256_cmp_ps::<_CMP_GT_OQ>(xv, vlo),
+                _mm256_cmp_ps::<_CMP_LT_OQ>(xv, vhi),
+            );
+            _mm256_storeu_ps(mv.as_mut_ptr(), _mm256_and_ps(inside, one));
+        }
+        super::portable::range_mask_slice(&mut mask[tail_at..], &x[tail_at..], lo, hi);
+    }
+
+    /// # Safety
+    /// Requires AVX2. `out.len() == src.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn normalize_affine(
+        out: &mut [f32],
+        src: &[f32],
+        mean: f32,
+        inv_std: f32,
+        g: f32,
+        b: f32,
+    ) {
+        let vm = _mm256_set1_ps(mean);
+        let vistd = _mm256_set1_ps(inv_std);
+        let vg = _mm256_set1_ps(g);
+        let vb = _mm256_set1_ps(b);
+        let (chunks, tail_at) = split_mut(out);
+        for (i, ov) in chunks.enumerate() {
+            let s = _mm256_loadu_ps(src.as_ptr().add(i * LANES));
+            let h = _mm256_mul_ps(_mm256_sub_ps(s, vm), vistd);
+            _mm256_storeu_ps(ov.as_mut_ptr(), _mm256_add_ps(_mm256_mul_ps(vg, h), vb));
+        }
+        super::portable::normalize_affine(&mut out[tail_at..], &src[tail_at..], mean, inv_std, g, b);
+    }
+
+    /// # Safety
+    /// Requires AVX2. `out.len() == xhat.len() == src.len()`.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn normalize_affine_xhat(
+        out: &mut [f32],
+        xhat: &mut [f32],
+        src: &[f32],
+        mean: f32,
+        inv_std: f32,
+        g: f32,
+        b: f32,
+    ) {
+        let vm = _mm256_set1_ps(mean);
+        let vistd = _mm256_set1_ps(inv_std);
+        let vg = _mm256_set1_ps(g);
+        let vb = _mm256_set1_ps(b);
+        let (chunks, tail_at) = split_mut(out);
+        for (i, ov) in chunks.enumerate() {
+            let s = _mm256_loadu_ps(src.as_ptr().add(i * LANES));
+            let h = _mm256_mul_ps(_mm256_sub_ps(s, vm), vistd);
+            _mm256_storeu_ps(xhat.as_mut_ptr().add(i * LANES), h);
+            _mm256_storeu_ps(ov.as_mut_ptr(), _mm256_add_ps(_mm256_mul_ps(vg, h), vb));
+        }
+        super::portable::normalize_affine_xhat(
+            &mut out[tail_at..],
+            &mut xhat[tail_at..],
+            &src[tail_at..],
+            mean,
+            inv_std,
+            g,
+            b,
+        );
+    }
+
+    /// # Safety
+    /// Requires AVX2. `dx.len() == dy.len() == xhat.len()`.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn bn_backward_dx(
+        dx: &mut [f32],
+        dy: &[f32],
+        xhat: &[f32],
+        coeff: f32,
+        count: f32,
+        sum_dy: f32,
+        sum_dy_xhat: f32,
+    ) {
+        let vcoeff = _mm256_set1_ps(coeff);
+        let vcount = _mm256_set1_ps(count);
+        let vsdy = _mm256_set1_ps(sum_dy);
+        let vsdxh = _mm256_set1_ps(sum_dy_xhat);
+        let (chunks, tail_at) = split_mut(dx);
+        for (i, dv) in chunks.enumerate() {
+            let y = _mm256_loadu_ps(dy.as_ptr().add(i * LANES));
+            let xh = _mm256_loadu_ps(xhat.as_ptr().add(i * LANES));
+            let t = _mm256_sub_ps(_mm256_mul_ps(vcount, y), vsdy);
+            let t = _mm256_sub_ps(t, _mm256_mul_ps(xh, vsdxh));
+            _mm256_storeu_ps(dv.as_mut_ptr(), _mm256_mul_ps(vcoeff, t));
+        }
+        super::portable::bn_backward_dx(
+            &mut dx[tail_at..],
+            &dy[tail_at..],
+            &xhat[tail_at..],
+            coeff,
+            count,
+            sum_dy,
+            sum_dy_xhat,
+        );
+    }
+
+    /// # Safety
+    /// Requires AVX2. `w.len() == g.len() == v.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sgd_update(w: &mut [f32], g: &[f32], v: &mut [f32], lr: f32, momentum: f32, wd: f32) {
+        let vlr = _mm256_set1_ps(lr);
+        let vmom = _mm256_set1_ps(momentum);
+        let vwd = _mm256_set1_ps(wd);
+        let (chunks, tail_at) = split_mut(w);
+        for (i, wv) in chunks.enumerate() {
+            let wx = _mm256_loadu_ps(wv.as_ptr());
+            let gx = _mm256_loadu_ps(g.as_ptr().add(i * LANES));
+            let vx = _mm256_loadu_ps(v.as_ptr().add(i * LANES));
+            let vel = _mm256_add_ps(
+                _mm256_add_ps(_mm256_mul_ps(vmom, vx), gx),
+                _mm256_mul_ps(vwd, wx),
+            );
+            _mm256_storeu_ps(v.as_mut_ptr().add(i * LANES), vel);
+            _mm256_storeu_ps(wv.as_mut_ptr(), _mm256_sub_ps(wx, _mm256_mul_ps(vlr, vel)));
+        }
+        super::portable::sgd_update(&mut w[tail_at..], &g[tail_at..], &mut v[tail_at..], lr, momentum, wd);
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn div_scalar(x: &mut [f32], d: f32) {
+        let vd = _mm256_set1_ps(d);
+        let (chunks, tail_at) = split_mut(x);
+        for xv in chunks {
+            let v = _mm256_loadu_ps(xv.as_ptr());
+            _mm256_storeu_ps(xv.as_mut_ptr(), _mm256_div_ps(v, vd));
+        }
+        super::portable::div_scalar(&mut x[tail_at..], d);
+    }
+
+    /// Folds the 8 lanes of `acc` with `f32::max` in lane order, then the
+    /// scalar tail — the exact structure the portable backend mirrors.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn finish_fold(init: f32, acc: __m256, tail: &[f32], abs: bool) -> f32 {
+        let mut lanes = [0.0f32; LANES];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        let mut m = lanes.into_iter().fold(init, f32::max);
+        for &v in tail {
+            m = m.max(if abs { v.abs() } else { v });
+        }
+        m
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn fold_max(init: f32, xs: &[f32]) -> f32 {
+        let mut acc = _mm256_set1_ps(init);
+        let chunks = xs.chunks_exact(LANES);
+        let tail = chunks.remainder();
+        for chunk in chunks {
+            acc = _mm256_max_ps(acc, _mm256_loadu_ps(chunk.as_ptr()));
+        }
+        finish_fold(init, acc, tail, false)
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn fold_max_abs(init: f32, xs: &[f32]) -> f32 {
+        let sign_mask = _mm256_set1_ps(-0.0);
+        let mut acc = _mm256_set1_ps(init);
+        let chunks = xs.chunks_exact(LANES);
+        let tail = chunks.remainder();
+        for chunk in chunks {
+            let v = _mm256_andnot_ps(sign_mask, _mm256_loadu_ps(chunk.as_ptr()));
+            acc = _mm256_max_ps(acc, v);
+        }
+        finish_fold(init, acc, tail, true)
+    }
+
+    /// AVX2 [`super::gemm_panel`]: register-tiled. Columns are walked in
+    /// tiles of 16 (two vectors per row) then 8, with the `C` accumulators
+    /// held in registers across the entire `k0..k1` sweep — `C` is loaded
+    /// and stored once per tile instead of once per `k` step, and one
+    /// broadcast `A` element feeds a full tile row. Remaining columns run
+    /// the scalar per-element sequence. Lanes map 1:1 onto `C` elements
+    /// and every element still accumulates mul-then-add in ascending-`k`
+    /// order with the same zero-skip rule, so the result is bit-identical
+    /// to the portable panel.
+    ///
+    /// # Safety
+    /// Requires AVX2. `c.len() == rr * n`, `rr` in `1..=4`,
+    /// `b.len() >= k1 * n`, `bias` (when present) indexable at
+    /// `gr + rr - 1`, and `a` indexable per [`super::a_elem`].
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gemm_panel<const TRANS: bool>(
+        c: &mut [f32],
+        n: usize,
+        rr: usize,
+        a: &[f32],
+        lda: usize,
+        gr: usize,
+        b: &[f32],
+        k0: usize,
+        k1: usize,
+        j0: usize,
+        j1: usize,
+        init: bool,
+        bias: Option<&[f32]>,
+    ) {
+        match rr {
+            4 => panel_rr::<TRANS, 4>(c, n, a, lda, gr, b, k0, k1, j0, j1, init, bias),
+            3 => panel_rr::<TRANS, 3>(c, n, a, lda, gr, b, k0, k1, j0, j1, init, bias),
+            2 => panel_rr::<TRANS, 2>(c, n, a, lda, gr, b, k0, k1, j0, j1, init, bias),
+            _ => panel_rr::<TRANS, 1>(c, n, a, lda, gr, b, k0, k1, j0, j1, init, bias),
+        }
+    }
+
+    /// Unchecked [`super::a_elem`]: the panel's preconditions guarantee
+    /// the index is in bounds, and the checked form's `lea/cmp/jae` per
+    /// `A` load otherwise sits in the middle of the port-bound k-loop.
+    ///
+    /// # Safety
+    /// `row`/`kk` must address a valid element of `a` under `lda`.
+    #[inline(always)]
+    unsafe fn a_elem_raw<const TRANS: bool>(a: &[f32], lda: usize, row: usize, kk: usize) -> f32 {
+        let idx = if TRANS { kk * lda + row } else { row * lda + kk };
+        debug_assert!(idx < a.len());
+        *a.get_unchecked(idx)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn panel_rr<const TRANS: bool, const RR: usize>(
+        c: &mut [f32],
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        gr: usize,
+        b: &[f32],
+        k0: usize,
+        k1: usize,
+        j0: usize,
+        j1: usize,
+        init: bool,
+        bias: Option<&[f32]>,
+    ) {
+        let mut j = j0;
+        while j + 2 * LANES <= j1 {
+            tile::<TRANS, RR, 2>(c, n, a, lda, gr, b, k0, k1, init, bias, j);
+            j += 2 * LANES;
+        }
+        if j + LANES <= j1 {
+            tile::<TRANS, RR, 1>(c, n, a, lda, gr, b, k0, k1, init, bias, j);
+            j += LANES;
+        }
+        // Scalar tail columns: the same per-element phase sequence, with
+        // the `RR` per-row accumulators carried together (k outermost) so
+        // the rows' add chains interleave instead of serializing.
+        let last = if bias.is_some() { k1 - 1 } else { k1 };
+        for jj in j..j1 {
+            let mut kk = k0;
+            let mut acc_s: [f32; RR];
+            if init && kk < k1 {
+                let bv = *b.get_unchecked(kk * n + jj);
+                acc_s = std::array::from_fn(|r| {
+                    0.0 + a_elem_raw::<TRANS>(a, lda, gr + r, kk) * bv
+                });
+                if kk == last {
+                    let bs = bias.expect("bias step");
+                    for (r, v) in acc_s.iter_mut().enumerate() {
+                        *v += *bs.get_unchecked(gr + r);
+                    }
+                }
+                kk += 1;
+            } else {
+                acc_s = std::array::from_fn(|r| *c.get_unchecked(r * n + jj));
+            }
+            while kk < last {
+                let bv = *b.get_unchecked(kk * n + jj);
+                for (r, v) in acc_s.iter_mut().enumerate() {
+                    let ar = a_elem_raw::<TRANS>(a, lda, gr + r, kk);
+                    // Same integer zero test as in `tile` (≡ `ar != 0.0`).
+                    if ar.to_bits() << 1 != 0 {
+                        *v += ar * bv;
+                    }
+                }
+                kk += 1;
+            }
+            if kk < k1 {
+                let bs = bias.expect("bias step");
+                let bv = *b.get_unchecked(kk * n + jj);
+                for (r, v) in acc_s.iter_mut().enumerate() {
+                    let ar = a_elem_raw::<TRANS>(a, lda, gr + r, kk);
+                    *v = (*v + ar * bv) + *bs.get_unchecked(gr + r);
+                }
+            }
+            for (r, &v) in acc_s.iter().enumerate() {
+                *c.get_unchecked_mut(r * n + jj) = v;
+            }
+        }
+    }
+
+    /// One `RR x (NV*8)` register tile of `C` starting at column `j`,
+    /// swept over `k0..k1` entirely in registers.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn tile<const TRANS: bool, const RR: usize, const NV: usize>(
+        c: &mut [f32],
+        n: usize,
+        a: &[f32],
+        lda: usize,
+        gr: usize,
+        b: &[f32],
+        k0: usize,
+        k1: usize,
+        init: bool,
+        bias: Option<&[f32]>,
+        j: usize,
+    ) {
+        let last = if bias.is_some() { k1 - 1 } else { k1 };
+        let mut kk = k0;
+        let mut acc: [[__m256; NV]; RR];
+        if init && kk < k1 {
+            let zero = _mm256_setzero_ps();
+            let bv: [__m256; NV] =
+                std::array::from_fn(|v| _mm256_loadu_ps(b.as_ptr().add(kk * n + j + v * LANES)));
+            acc = std::array::from_fn(|r| {
+                let ar = _mm256_set1_ps(a_elem_raw::<TRANS>(a, lda, gr + r, kk));
+                std::array::from_fn(|v| _mm256_add_ps(zero, _mm256_mul_ps(ar, bv[v])))
+            });
+            if kk == last {
+                let bs = bias.expect("bias step");
+                for (r, row) in acc.iter_mut().enumerate() {
+                    let vb = _mm256_set1_ps(*bs.get_unchecked(gr + r));
+                    for lane in row.iter_mut() {
+                        *lane = _mm256_add_ps(*lane, vb);
+                    }
+                }
+            }
+            kk += 1;
+        } else {
+            acc = std::array::from_fn(|r| {
+                std::array::from_fn(|v| _mm256_loadu_ps(c.as_ptr().add(r * n + j + v * LANES)))
+            });
+        }
+        while kk < last {
+            let bv: [__m256; NV] =
+                std::array::from_fn(|v| _mm256_loadu_ps(b.as_ptr().add(kk * n + j + v * LANES)));
+            for (r, row) in acc.iter_mut().enumerate() {
+                let ar = a_elem_raw::<TRANS>(a, lda, gr + r, kk);
+                // `to_bits() << 1 != 0` is exactly `ar != 0.0` for the
+                // skip (false only for ±0.0; NaN still accumulates) but
+                // compiles to one integer test instead of `ucomiss` plus
+                // a NaN-parity branch pair.
+                if ar.to_bits() << 1 != 0 {
+                    let var = _mm256_set1_ps(ar);
+                    for (lane, &bvv) in row.iter_mut().zip(bv.iter()) {
+                        *lane = _mm256_add_ps(*lane, _mm256_mul_ps(var, bvv));
+                    }
+                }
+            }
+            kk += 1;
+        }
+        if kk < k1 {
+            let bs = bias.expect("bias step");
+            let bv: [__m256; NV] =
+                std::array::from_fn(|v| _mm256_loadu_ps(b.as_ptr().add(kk * n + j + v * LANES)));
+            for (r, row) in acc.iter_mut().enumerate() {
+                let var = _mm256_set1_ps(a_elem_raw::<TRANS>(a, lda, gr + r, kk));
+                let vb = _mm256_set1_ps(*bs.get_unchecked(gr + r));
+                for (lane, &bvv) in row.iter_mut().zip(bv.iter()) {
+                    *lane = _mm256_add_ps(_mm256_add_ps(*lane, _mm256_mul_ps(var, bvv)), vb);
+                }
+            }
+        }
+        for (r, row) in acc.iter().enumerate() {
+            for (v, &lane) in row.iter().enumerate() {
+                _mm256_storeu_ps(c.as_mut_ptr().add(r * n + j + v * LANES), lane);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(len: usize, seed: u64) -> Vec<f32> {
+        let mut s = seed | 1;
+        (0..len)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 33) as i32 % 2000) as f32 / 512.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn backend_is_detected_and_overridable() {
+        let detected = active_backend();
+        override_backend(Some(Backend::Portable));
+        assert_eq!(active_backend(), Backend::Portable);
+        override_backend(None);
+        assert_eq!(active_backend(), detected);
+    }
+
+    #[test]
+    fn dispatched_ops_match_portable_bit_for_bit() {
+        // Whatever backend is active, results must equal the portable
+        // reference exactly — including remainder lanes (lengths chosen
+        // to land off the 8-lane grid).
+        for len in [0usize, 1, 5, 8, 13, 64, 100] {
+            let b = fill(len, 3);
+            let mut c1 = fill(len, 4);
+            let mut c2 = c1.clone();
+            axpy(&mut c1, 0.37, &b);
+            portable::axpy(&mut c2, 0.37, &b);
+            assert_eq!(c1, c2, "axpy len {len}");
+
+            let mut q1 = fill(len, 5);
+            let mut q2 = q1.clone();
+            fake_quant_slice(&mut q1, 0.25, -2.0, 1.0);
+            portable::fake_quant_slice(&mut q2, 0.25, -2.0, 1.0);
+            assert_eq!(q1, q2, "fake_quant len {len}");
+
+            let xs = fill(len, 6);
+            assert_eq!(
+                fold_max(f32::NEG_INFINITY, &xs).to_bits(),
+                portable::fold_max(f32::NEG_INFINITY, &xs).to_bits(),
+                "fold_max len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_half_away_matches_f32_round_on_ties() {
+        let vals: Vec<f32> = vec![
+            0.5, -0.5, 1.5, -1.5, 2.5, -2.5, 0.49999997, -0.49999997, 3.4999998, 8388607.5,
+            -8388607.5, 1.0e8, -1.0e8, 0.0, -0.0,
+        ];
+        let mut got = vals.clone();
+        // scale 1, wide clamp: fake_quant reduces to plain rounding.
+        fake_quant_slice(&mut got, 1.0, -1.0e9, 1.0e9);
+        for (&x, &r) in vals.iter().zip(&got) {
+            assert_eq!(r.to_bits(), x.round().to_bits(), "round({x})");
+        }
+    }
+
+    #[test]
+    fn sgd_update_matches_scalar_reference() {
+        let mut w = fill(37, 7);
+        let g = fill(37, 8);
+        let mut v = fill(37, 9);
+        let (mut w_ref, mut v_ref) = (w.clone(), v.clone());
+        sgd_update(&mut w, &g, &mut v, 0.01, 0.9, 1e-4);
+        for ((wv, &gv), vv) in w_ref.iter_mut().zip(&g).zip(v_ref.iter_mut()) {
+            *vv = 0.9 * *vv + gv + 1e-4 * *wv;
+            *wv -= 0.01 * *vv;
+        }
+        assert_eq!(w, w_ref);
+        assert_eq!(v, v_ref);
+    }
+}

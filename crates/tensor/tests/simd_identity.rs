@@ -1,0 +1,395 @@
+//! Bit-identity proptests across the SIMD dispatch paths.
+//!
+//! Every kernel in `adapex_tensor::simd` is pinned three ways: the
+//! pre-SIMD scalar reference (inlined here as plain loops), the portable
+//! fixed-width backend, and — on hosts with AVX2 — the vector backend
+//! called directly. Agreement is asserted on the raw bit patterns, over
+//! aligned and unaligned slices, lengths that exercise the remainder
+//! lanes, and inputs dense in exact zeros so the GEMM zero-skip fast
+//! path runs.
+
+use adapex_tensor::simd::{self, portable, Backend};
+use proptest::prelude::*;
+
+#[cfg(target_arch = "x86_64")]
+use adapex_tensor::simd::avx2;
+
+fn has_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Finite values mixed with exact ±0.0 (the zero-skip trigger).
+fn vals(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(
+        (0u8..8, -3.0f32..3.0).prop_map(|(tag, v)| match tag {
+            6 => 0.0,
+            7 => -0.0,
+            _ => v,
+        }),
+        len..=len,
+    )
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+// --- Pre-SIMD scalar references ------------------------------------------
+
+fn ref_axpy_init(c: &mut [f32], a: f32, b: &[f32]) {
+    for (cv, &bv) in c.iter_mut().zip(b) {
+        *cv = 0.0 + a * bv;
+    }
+}
+
+fn ref_axpy(c: &mut [f32], a: f32, b: &[f32]) {
+    for (cv, &bv) in c.iter_mut().zip(b) {
+        *cv += a * bv;
+    }
+}
+
+fn ref_axpy_init_bias(c: &mut [f32], a: f32, b: &[f32], bias: f32) {
+    for (cv, &bv) in c.iter_mut().zip(b) {
+        *cv = (0.0 + a * bv) + bias;
+    }
+}
+
+fn ref_axpy_bias(c: &mut [f32], a: f32, b: &[f32], bias: f32) {
+    for (cv, &bv) in c.iter_mut().zip(b) {
+        *cv = (*cv + a * bv) + bias;
+    }
+}
+
+fn ref_fake_quant(v: &mut [f32], scale: f32, lo: f32, hi: f32) {
+    for x in v {
+        *x = (*x / scale).round().clamp(lo, hi) * scale;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The SAXPY family: reference == portable == AVX2, bit for bit, on
+    /// aligned and unaligned (offset-1) slices of every tail length.
+    #[test]
+    fn axpy_family_bit_identity(
+        len in 0usize..130,
+        off in 0usize..2,
+        a in (0u8..5, -3.0f32..3.0).prop_map(|(t, v)| if t == 4 { 0.0 } else { v }),
+        bias in -2.0f32..2.0,
+        c0 in vals(131),
+        b0 in vals(131),
+    ) {
+        let c0 = &c0[off..off + len];
+        let b = &b0[off..off + len];
+        // (name, needs_bias) covering all four variants.
+        for variant in 0..4 {
+            let mut want = c0.to_vec();
+            let mut got_p = c0.to_vec();
+            match variant {
+                0 => { ref_axpy_init(&mut want, a, b); portable::axpy_init(&mut got_p, a, b); }
+                1 => { ref_axpy(&mut want, a, b); portable::axpy(&mut got_p, a, b); }
+                2 => {
+                    ref_axpy_init_bias(&mut want, a, b, bias);
+                    portable::axpy_init_bias(&mut got_p, a, b, bias);
+                }
+                _ => {
+                    ref_axpy_bias(&mut want, a, b, bias);
+                    portable::axpy_bias(&mut got_p, a, b, bias);
+                }
+            }
+            prop_assert_eq!(bits(&got_p), bits(&want), "portable variant {}", variant);
+            #[cfg(target_arch = "x86_64")]
+            if has_avx2() {
+                let mut got_v = c0.to_vec();
+                unsafe {
+                    match variant {
+                        0 => avx2::axpy_init(&mut got_v, a, b),
+                        1 => avx2::axpy(&mut got_v, a, b),
+                        2 => avx2::axpy_init_bias(&mut got_v, a, b, bias),
+                        _ => avx2::axpy_bias(&mut got_v, a, b, bias),
+                    }
+                }
+                prop_assert_eq!(bits(&got_v), bits(&want), "avx2 variant {}", variant);
+            }
+        }
+    }
+
+    /// Fake-quant (incl. the round-half-away emulation), the STE window
+    /// mask, and softmax's scalar divide.
+    #[test]
+    fn quant_and_mask_bit_identity(
+        len in 0usize..130,
+        off in 0usize..2,
+        scale in 0.05f32..2.0,
+        x0 in vals(131),
+        d in (0u8..5, 0.5f32..8.0).prop_map(|(t, v)| if t == 4 { 3.0 } else { v }),
+    ) {
+        let x = &x0[off..off + len];
+        let (lo, hi) = (-2.0f32, 1.0f32);
+
+        let mut want = x.to_vec();
+        ref_fake_quant(&mut want, scale, lo, hi);
+        let mut got = x.to_vec();
+        portable::fake_quant_slice(&mut got, scale, lo, hi);
+        prop_assert_eq!(bits(&got), bits(&want), "portable fake_quant");
+
+        let mut want_mask = vec![0.0f32; x.len()];
+        for (m, &v) in want_mask.iter_mut().zip(x) {
+            *m = if v > lo && v < hi { 1.0 } else { 0.0 };
+        }
+        let mut got_mask = vec![0.0f32; x.len()];
+        portable::range_mask_slice(&mut got_mask, x, lo, hi);
+        prop_assert_eq!(bits(&got_mask), bits(&want_mask), "portable range_mask");
+
+        let mut want_div = x.to_vec();
+        for v in want_div.iter_mut() {
+            *v /= d;
+        }
+        let mut got_div = x.to_vec();
+        portable::div_scalar(&mut got_div, d);
+        prop_assert_eq!(bits(&got_div), bits(&want_div), "portable div_scalar");
+
+        #[cfg(target_arch = "x86_64")]
+        if has_avx2() {
+            let mut got = x.to_vec();
+            unsafe { avx2::fake_quant_slice(&mut got, scale, lo, hi) };
+            prop_assert_eq!(bits(&got), bits(&want), "avx2 fake_quant");
+            let mut got_mask = vec![0.0f32; x.len()];
+            unsafe { avx2::range_mask_slice(&mut got_mask, x, lo, hi) };
+            prop_assert_eq!(bits(&got_mask), bits(&want_mask), "avx2 range_mask");
+            let mut got_div = x.to_vec();
+            unsafe { avx2::div_scalar(&mut got_div, d) };
+            prop_assert_eq!(bits(&got_div), bits(&want_div), "avx2 div_scalar");
+        }
+    }
+
+    /// Batch-norm forward/backward maps and the SGD-with-momentum update.
+    #[test]
+    fn norm_and_sgd_bit_identity(
+        len in 0usize..130,
+        off in 0usize..2,
+        src0 in vals(131),
+        dy0 in vals(131),
+        v0 in vals(131),
+        mean in -1.0f32..1.0,
+        inv_std in 0.2f32..3.0,
+        g in -2.0f32..2.0,
+        b in -1.0f32..1.0,
+    ) {
+        let src = &src0[off..off + len];
+        let dy = &dy0[off..off + len];
+
+        let mut want = vec![0.0f32; len];
+        for (o, &s) in want.iter_mut().zip(src) {
+            *o = g * ((s - mean) * inv_std) + b;
+        }
+        let mut got = vec![0.0f32; len];
+        portable::normalize_affine(&mut got, src, mean, inv_std, g, b);
+        prop_assert_eq!(bits(&got), bits(&want), "portable normalize_affine");
+
+        let mut want_xh = vec![0.0f32; len];
+        let mut want_o = vec![0.0f32; len];
+        for ((o, xh), &s) in want_o.iter_mut().zip(want_xh.iter_mut()).zip(src) {
+            let h = (s - mean) * inv_std;
+            *xh = h;
+            *o = g * h + b;
+        }
+        let mut got_xh = vec![0.0f32; len];
+        let mut got_o = vec![0.0f32; len];
+        portable::normalize_affine_xhat(&mut got_o, &mut got_xh, src, mean, inv_std, g, b);
+        prop_assert_eq!(bits(&got_o), bits(&want_o), "portable xhat out");
+        prop_assert_eq!(bits(&got_xh), bits(&want_xh), "portable xhat");
+
+        // bn_backward_dx with the xhat we just built.
+        let (coeff, count, sum_dy, sum_dy_xhat) = (g * inv_std / 7.0, 7.0, 0.3f32, -0.2f32);
+        let mut want_dx = vec![0.0f32; len];
+        for ((d, &y), &xh) in want_dx.iter_mut().zip(dy).zip(&want_xh) {
+            *d = coeff * (count * y - sum_dy - xh * sum_dy_xhat);
+        }
+        let mut got_dx = vec![0.0f32; len];
+        portable::bn_backward_dx(&mut got_dx, dy, &want_xh, coeff, count, sum_dy, sum_dy_xhat);
+        prop_assert_eq!(bits(&got_dx), bits(&want_dx), "portable bn_backward_dx");
+
+        // SGD: w = src, grad = dy, velocity = v0.
+        let (lr, momentum, wd) = (0.05f32, 0.9f32, 0.0005f32);
+        let mut want_w = src.to_vec();
+        let mut want_v = v0[off..off + len].to_vec();
+        for ((wv, &gv), vv) in want_w.iter_mut().zip(dy).zip(want_v.iter_mut()) {
+            *vv = momentum * *vv + gv + wd * *wv;
+            *wv -= lr * *vv;
+        }
+        let mut got_w = src.to_vec();
+        let mut got_v = v0[off..off + len].to_vec();
+        portable::sgd_update(&mut got_w, dy, &mut got_v, lr, momentum, wd);
+        prop_assert_eq!(bits(&got_w), bits(&want_w), "portable sgd w");
+        prop_assert_eq!(bits(&got_v), bits(&want_v), "portable sgd v");
+
+        #[cfg(target_arch = "x86_64")]
+        if has_avx2() {
+            let mut got = vec![0.0f32; len];
+            unsafe { avx2::normalize_affine(&mut got, src, mean, inv_std, g, b) };
+            prop_assert_eq!(bits(&got), bits(&want), "avx2 normalize_affine");
+            let mut got_xh = vec![0.0f32; len];
+            let mut got_o = vec![0.0f32; len];
+            unsafe {
+                avx2::normalize_affine_xhat(&mut got_o, &mut got_xh, src, mean, inv_std, g, b)
+            };
+            prop_assert_eq!(bits(&got_o), bits(&want_o), "avx2 xhat out");
+            prop_assert_eq!(bits(&got_xh), bits(&want_xh), "avx2 xhat");
+            let mut got_dx = vec![0.0f32; len];
+            unsafe {
+                avx2::bn_backward_dx(&mut got_dx, dy, &want_xh, coeff, count, sum_dy, sum_dy_xhat)
+            };
+            prop_assert_eq!(bits(&got_dx), bits(&want_dx), "avx2 bn_backward_dx");
+            let mut got_w = src.to_vec();
+            let mut got_v = v0[off..off + len].to_vec();
+            unsafe { avx2::sgd_update(&mut got_w, dy, &mut got_v, lr, momentum, wd) };
+            prop_assert_eq!(bits(&got_w), bits(&want_w), "avx2 sgd w");
+            prop_assert_eq!(bits(&got_v), bits(&want_v), "avx2 sgd v");
+        }
+    }
+
+    /// The max folds equal the plain sequential fold (max over finite
+    /// values is order-insensitive) on every backend.
+    #[test]
+    fn folds_bit_identity(
+        len in 0usize..130,
+        off in 0usize..2,
+        x0 in vals(131),
+        init in any::<bool>().prop_map(|b| if b { f32::NEG_INFINITY } else { 0.0f32 }),
+    ) {
+        let x = &x0[off..off + len];
+        let want_max = x.iter().fold(init, |m, &v| m.max(v));
+        let want_abs = x.iter().fold(init.abs(), |m, &v| m.max(v.abs()));
+        prop_assert_eq!(portable::fold_max(init, x).to_bits(), want_max.to_bits());
+        prop_assert_eq!(
+            portable::fold_max_abs(init.abs(), x).to_bits(),
+            want_abs.to_bits()
+        );
+        #[cfg(target_arch = "x86_64")]
+        if has_avx2() {
+            prop_assert_eq!(
+                unsafe { avx2::fold_max(init, x) }.to_bits(),
+                want_max.to_bits()
+            );
+            prop_assert_eq!(
+                unsafe { avx2::fold_max_abs(init.abs(), x) }.to_bits(),
+                want_abs.to_bits()
+            );
+        }
+    }
+
+    /// The register-tiled AVX2 GEMM panel agrees bit-for-bit with the
+    /// portable three-phase panel for both A layouts, interior column
+    /// windows, bias folding, the first-k-step write (C starts as NaN
+    /// garbage when `init`), and zero-dense A (the skip fast path).
+    #[test]
+    fn gemm_panel_dispatch_paths_agree(
+        rr in 1usize..5,
+        gr in 0usize..3,
+        n in 1usize..40,
+        k in 1usize..16,
+        trans in any::<bool>(),
+        with_bias in any::<bool>(),
+        init in any::<bool>(),
+        window in any::<bool>(),
+        a0 in vals(18 * 8),
+        b0 in vals(16 * 40),
+    ) {
+        let rows = gr + rr;
+        // Row-major A is [rows, k]; the transposed layout is [k, rows].
+        let lda = if trans { rows } else { k };
+        let a = &a0[..rows * k];
+        let b = &b0[..k * n];
+        let bias_vec: Vec<f32> = (0..rows).map(|r| 0.25 * r as f32 - 0.5).collect();
+        let bias = if with_bias { Some(&bias_vec[..]) } else { None };
+        let (j0, j1) = if window && n > 2 { (1, n - 1) } else { (0, n) };
+
+        // When not initializing, both paths must accumulate onto the
+        // same prior C; when initializing, NaN garbage must be
+        // overwritten by the first k step.
+        let c_start: Vec<f32> = if init {
+            vec![f32::NAN; rr * n]
+        } else {
+            (0..rr * n).map(|i| (i % 7) as f32 * 0.5 - 1.0).collect()
+        };
+
+        let run = |avx: bool| -> Vec<f32> {
+            let mut c = c_start.clone();
+            if avx {
+                #[cfg(target_arch = "x86_64")]
+                unsafe {
+                    if trans {
+                        avx2::gemm_panel::<true>(&mut c, n, rr, a, lda, gr, b, 0, k, j0, j1, init, bias);
+                    } else {
+                        avx2::gemm_panel::<false>(&mut c, n, rr, a, lda, gr, b, 0, k, j0, j1, init, bias);
+                    }
+                }
+            } else if trans {
+                portable::gemm_panel::<true>(&mut c, n, rr, a, lda, gr, b, 0, k, j0, j1, init, bias);
+            } else {
+                portable::gemm_panel::<false>(&mut c, n, rr, a, lda, gr, b, 0, k, j0, j1, init, bias);
+            }
+            c
+        };
+
+        let want = run(false);
+        if init {
+            // First-k-step-write: every column inside the window must
+            // have been overwritten.
+            for row in want.chunks_exact(n) {
+                for &v in &row[j0..j1] {
+                    prop_assert!(!v.is_nan(), "stale NaN survived the init step");
+                }
+            }
+        }
+        if has_avx2() {
+            let got = run(true);
+            prop_assert_eq!(bits(&got), bits(&want), "avx2 panel vs portable");
+        }
+    }
+}
+
+/// The public dispatched entry points equal the forced-portable backend
+/// on the full GEMM and the elementwise kernels. Serialized because
+/// `override_backend` is process-global state.
+#[test]
+fn dispatched_equals_forced_portable() {
+    use adapex_tensor::gemm::gemm_bias;
+
+    let (m, k, n) = (7, 33, 19);
+    let a: Vec<f32> = (0..m * k)
+        .map(|i| if i % 5 == 0 { 0.0 } else { (i % 11) as f32 * 0.3 - 1.5 })
+        .collect();
+    let b: Vec<f32> = (0..k * n).map(|i| ((i * 7) % 13) as f32 * 0.21 - 1.3).collect();
+    let bias: Vec<f32> = (0..m).map(|i| i as f32 * 0.1 - 0.3).collect();
+
+    let run_gemm = || {
+        let mut c = vec![0.0f32; m * n];
+        gemm_bias(m, k, n, &a, &b, &bias, &mut c);
+        c
+    };
+    let run_quant = || {
+        let mut v = b.clone();
+        simd::fake_quant_slice(&mut v, 0.25, -2.0, 1.0);
+        v
+    };
+
+    let dispatched_gemm = run_gemm();
+    let dispatched_quant = run_quant();
+    simd::override_backend(Some(Backend::Portable));
+    let forced_gemm = run_gemm();
+    let forced_quant = run_quant();
+    simd::override_backend(None);
+
+    assert_eq!(bits(&dispatched_gemm), bits(&forced_gemm));
+    assert_eq!(bits(&dispatched_quant), bits(&forced_quant));
+}
