@@ -17,8 +17,16 @@
 //! Both backends produce bit-identical results, so the delta is pure
 //! throughput.
 //!
+//! `BENCH_cache.json` measures the generator's content-addressed
+//! artifact cache: one cold sweep populating a scratch cache, then warm
+//! re-runs at one and several workers. Warm runs must be all-hits and
+//! byte-identical to the cold artifacts; the report records the
+//! cold/warm speedup.
+//!
 //! Run with `cargo run --release -p adapex-bench --bin bench`.
 
+use adapex::generator::{GeneratorConfig, LibraryGenerator};
+use adapex::CacheStats;
 use adapex_dataset::{DatasetKind, SyntheticConfig};
 use adapex_nn::cnv::CnvConfig;
 use adapex_nn::layers::{Activation, QuantConv2d, QuantLinear};
@@ -373,4 +381,80 @@ fn main() {
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
     println!("{json}");
     eprintln!("wrote BENCH_kernels.json");
+
+    bench_artifact_cache();
+}
+
+#[derive(Debug, Serialize)]
+struct CacheRunReport {
+    label: String,
+    jobs: usize,
+    seconds: f64,
+    stats: CacheStats,
+    /// Artifacts serialize byte-identically to the cold run's.
+    byte_identical_to_cold: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct CacheReport {
+    threads: usize,
+    runs: Vec<CacheRunReport>,
+    /// cold seconds / warm (jobs=1) seconds.
+    warm_speedup: f64,
+}
+
+/// Times the design-space sweep cold (empty cache) and warm (fully
+/// populated), at one and several workers, and emits `BENCH_cache.json`.
+fn bench_artifact_cache() {
+    let cache_dir = std::env::temp_dir().join(format!("adapex-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let config = |jobs: usize| {
+        let mut cfg = GeneratorConfig::fast(DatasetKind::Cifar10Like);
+        cfg.jobs = jobs;
+        cfg.with_cache_dir(&cache_dir)
+    };
+    let timed = |label: &str, jobs: usize| {
+        let t0 = Instant::now();
+        let (artifacts, stats) = LibraryGenerator::new(config(jobs)).generate_with_stats();
+        let seconds = t0.elapsed().as_secs_f64();
+        let json = serde_json::to_string_pretty(&artifacts).expect("artifacts serialize");
+        eprintln!(
+            "cache sweep {label:14} jobs={jobs} {seconds:>8.2} s ({} hits / {} misses)",
+            stats.hits(),
+            stats.misses()
+        );
+        (label.to_string(), jobs, seconds, stats, json)
+    };
+
+    let cold = timed("cold", 1);
+    let warm = timed("warm", 1);
+    let warm_par = timed("warm-parallel", num_threads().max(2));
+
+    assert!(warm.3.all_hits(), "warm run must be all hits: {:?}", warm.3);
+    let mut runs = Vec::new();
+    for (label, jobs, seconds, stats, json) in [&cold, &warm, &warm_par] {
+        runs.push(CacheRunReport {
+            label: label.clone(),
+            jobs: *jobs,
+            seconds: *seconds,
+            stats: stats.clone(),
+            byte_identical_to_cold: *json == cold.4,
+        });
+    }
+    assert!(
+        runs.iter().all(|r| r.byte_identical_to_cold),
+        "warm artifacts diverged from cold run"
+    );
+
+    let report = CacheReport {
+        threads: num_threads(),
+        warm_speedup: cold.2 / warm.2,
+        runs,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("cache report serializes");
+    std::fs::write("BENCH_cache.json", &json).expect("write BENCH_cache.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_cache.json ({:.1}x warm speedup)", report.warm_speedup);
+    let _ = std::fs::remove_dir_all(&cache_dir);
 }

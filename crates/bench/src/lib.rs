@@ -14,6 +14,11 @@
 //! * `ADAPEX_JOBS=N` — worker threads for the variant sweep (default
 //!   0 = available parallelism; artifacts are byte-identical for any
 //!   value).
+//! * `ADAPEX_CACHE=DIR` — content-addressed artifact cache for the
+//!   generator itself (trained checkpoints, evaluations, finished
+//!   entries). Unlike the whole-artifact JSON above, it survives
+//!   config extensions: adding a pruning rate retrains only the new
+//!   variants. Unset = no cache; hits are byte-identical to recompute.
 
 use adapex::generator::{Artifacts, GeneratorConfig, LibraryGenerator};
 use adapex_dataset::DatasetKind;
@@ -53,8 +58,19 @@ impl Profile {
         };
         cfg.verbose = true;
         cfg.jobs = jobs();
+        if let Some(dir) = artifact_cache_dir() {
+            cfg = cfg.with_cache_dir(dir);
+        }
         cfg
     }
+}
+
+/// Generator-level artifact cache directory (`ADAPEX_CACHE`), if set.
+pub fn artifact_cache_dir() -> Option<PathBuf> {
+    std::env::var("ADAPEX_CACHE")
+        .ok()
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
 }
 
 /// Sweep worker threads (`ADAPEX_JOBS`, default 0 = auto). The job

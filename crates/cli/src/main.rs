@@ -54,6 +54,9 @@ adapex-cli — AdaPEx (DATE 2023) reproduction toolkit
 USAGE:
   adapex-cli generate --dataset cifar10|gtsrb [--profile fast|repro] --out FILE
                       [--jobs N]   (0 = auto; results are identical for any N)
+                      [--cache-dir DIR] [--no-cache]
+                      (DIR defaults to $ADAPEX_CACHE when set; caching is off
+                       otherwise. Cache hits are byte-identical to recompute.)
   adapex-cli inspect  --artifacts FILE [--prune-exits]
   adapex-cli report   --artifacts FILE [--out FILE.md]
   adapex-cli simulate --artifacts FILE [--system adapex|pr-only|ct-only|finn|all]
@@ -80,7 +83,16 @@ fn cmd_generate(args: &Args) -> Result<(), Box<dyn Error>> {
     };
     cfg.verbose = true;
     cfg.jobs = args.get_or("jobs", 0usize)?;
-    let artifacts = LibraryGenerator::new(cfg).generate();
+    // --cache-dir wins over $ADAPEX_CACHE; --no-cache disables both.
+    let cache_dir = match args.get("cache-dir") {
+        Some(dir) => Some(dir.to_string()),
+        None => std::env::var("ADAPEX_CACHE").ok().filter(|v| !v.is_empty()),
+    };
+    if let Some(dir) = cache_dir.filter(|_| !args.flag("no-cache")) {
+        cfg = cfg.with_cache_dir(dir);
+    }
+    let cached = cfg.cache_dir.is_some();
+    let (artifacts, stats) = LibraryGenerator::new(cfg).generate_with_stats();
     artifacts.save_json(out)?;
     println!(
         "wrote {out}: {} AdaPEx entries, {} PR-Only entries, reference accuracy {:.1}%",
@@ -88,6 +100,19 @@ fn cmd_generate(args: &Args) -> Result<(), Box<dyn Error>> {
         artifacts.pr_only.len(),
         artifacts.reference_accuracy * 100.0
     );
+    if cached {
+        println!(
+            "cache: {} hits / {} misses (entries {}/{}, checkpoints {}/{}, evals {}/{})",
+            stats.hits(),
+            stats.misses(),
+            stats.entry_hits,
+            stats.entry_misses,
+            stats.checkpoint_hits,
+            stats.checkpoint_misses,
+            stats.eval_hits,
+            stats.eval_misses,
+        );
+    }
     Ok(())
 }
 

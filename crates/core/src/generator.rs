@@ -18,10 +18,11 @@
 //! The same pass also produces the paper's baselines: a plain CNV for
 //! the original-FINN baseline and a pruned-plain sweep for PR-Only.
 
+use crate::cache::{fingerprint, ArtifactCache, CacheStats};
 use crate::library::{Library, LibraryEntry, OperatingPoint};
 use adapex_dataset::{DatasetKind, SyntheticConfig, SyntheticDataset};
 use adapex_nn::cnv::{CnvConfig, ExitsConfig};
-use adapex_nn::eval::evaluate_exits;
+use adapex_nn::eval::{evaluate_exits_with, EvalConfig};
 use adapex_nn::layers::Layer;
 use adapex_nn::network::EarlyExitNetwork;
 use adapex_nn::train::{TrainConfig, Trainer};
@@ -30,7 +31,8 @@ use adapex_tensor::parallel::par_map;
 use finn_dataflow::{compile, Accelerator, FoldingConfig, FpgaDevice, IrOp, ModelIr};
 use serde::{Deserialize, Serialize};
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 
 /// Everything the library generator needs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -71,6 +73,13 @@ pub struct GeneratorConfig {
     /// [`LibraryGenerator::generate`]).
     #[serde(skip)]
     pub jobs: usize,
+    /// Root of the persistent artifact cache (see [`crate::cache`]);
+    /// `None` (the default) disables caching entirely. Excluded from
+    /// serialization for the same reason as `jobs`: cached and uncached
+    /// runs produce byte-identical artifacts, so the knob must not leak
+    /// into them.
+    #[serde(skip)]
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl GeneratorConfig {
@@ -108,6 +117,7 @@ impl GeneratorConfig {
             seed: 42,
             verbose: false,
             jobs: 0,
+            cache_dir: None,
         }
     }
 
@@ -137,7 +147,14 @@ impl GeneratorConfig {
             seed: 42,
             verbose: false,
             jobs: 0,
+            cache_dir: None,
         }
+    }
+
+    /// Enables the persistent artifact cache rooted at `dir`.
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
     }
 
     /// The confidence thresholds swept per entry: multiples of
@@ -287,31 +304,64 @@ impl LibraryGenerator {
     /// with its siblings, so the returned artifacts are byte-identical
     /// for every job count (`jobs = 1` *is* the sequential sweep).
     ///
+    /// With [`GeneratorConfig::cache_dir`] set, every work product is
+    /// first looked up in the content-addressed [`ArtifactCache`];
+    /// because checkpoints preserve `f32` bits and the JSON codec
+    /// round-trips floats exactly, cache hits produce byte-identical
+    /// artifacts to recomputation. Base networks train lazily: a fully
+    /// warm run never trains at all.
+    ///
     /// # Panics
     ///
     /// Panics if a generated variant fails to compile to the device —
     /// that indicates an internal inconsistency between the pruner's
     /// constraints and the folding configuration.
     pub fn generate(&self) -> Artifacts {
+        self.generate_with_stats().0
+    }
+
+    /// [`LibraryGenerator::generate`] plus the cache hit/miss counters
+    /// of this run (all zero when caching is disabled).
+    pub fn generate_with_stats(&self) -> (Artifacts, CacheStats) {
         let cfg = &self.config;
+        let cache = cfg.cache_dir.as_ref().map(ArtifactCache::new);
+        let cache = cache.as_ref();
         let data = cfg.dataset.generate();
         let classes = cfg.kind.num_classes();
         let thresholds = cfg.thresholds();
+        let jobs = cfg.effective_jobs();
+        // Evaluations nested inside a fanned-out sweep stay sequential
+        // (the sweep already saturates the workers); a sequential sweep
+        // lets each evaluation parallelize over batches instead.
+        let eval_jobs = if jobs > 1 { 1 } else { 0 };
 
         // --- Plain CNV: FINN baseline + PR-Only sweep. -----------------
-        self.log("training plain CNV (FINN / PR-Only baseline)");
-        let mut plain = cfg.cnv.build(classes, cfg.seed);
-        Trainer::new(cfg.train.clone()).fit(&mut plain, &data, cfg.seed ^ 0x1);
-        let plain_ir = ModelIr::from_summary(&plain.summarize());
+        // Folding and constraints depend only on layer shapes, never on
+        // weights, so they derive from a fresh untrained build; the
+        // trained network itself is produced lazily (train or cached
+        // checkpoint) the first time something actually needs weights.
+        let plain_shape = cfg.cnv.build(classes, cfg.seed);
+        let plain_ir = ModelIr::from_summary(&plain_shape.summarize());
         let plain_folding = FoldingConfig::balanced(
             &plain_ir,
             cfg.folding_target_cycles,
             1.0, // no exits, no junction bias
         );
-        let plain_constraints = derive_constraints(&plain, &plain_folding);
-        let reference_accuracy = {
-            let eval = evaluate_exits(&mut plain, &data.test);
-            eval.exit_accuracy(0)
+        let plain_constraints = derive_constraints(&plain_shape, &plain_folding);
+        let plain_fp = fingerprint("model", &BaseModelKey::plain(cfg));
+        let plain = LazyNet::new(Box::new(|| self.trained_base(None, &data, cache, &plain_fp)));
+
+        let reference_accuracy = match cache.and_then(|c| c.load_eval(&plain_fp)) {
+            Some(eval) => eval.exit_accuracy(0),
+            None => {
+                let mut net = plain.get().clone();
+                let eval =
+                    evaluate_exits_with(&mut net, &data.test, EvalConfig::default());
+                if let Some(c) = cache {
+                    c.store_eval(&plain_fp, &eval);
+                }
+                eval.exit_accuracy(0)
+            }
         };
 
         // Each variant is a pure function of its id (its retrain seed
@@ -319,7 +369,6 @@ impl LibraryGenerator {
         // thread-count-invariant), so the sweep fans out over `jobs`
         // workers while `par_map` keeps the entries in id order — the
         // artifacts are byte-identical to the sequential `jobs = 1` run.
-        let jobs = cfg.effective_jobs();
         self.log(&format!("sweeping variants on {jobs} worker(s)"));
 
         let mut pr_only = Library::new();
@@ -329,30 +378,31 @@ impl LibraryGenerator {
             self.build_entry(
                 i,
                 &plain,
+                &plain_fp,
                 rate,
                 false,
                 &plain_constraints,
                 &plain_folding,
                 &data,
                 &[1.0], // single exit: one "threshold"
+                cache,
+                eval_jobs,
             )
         });
 
         // --- Early-exit CNV: AdaPEx library (and CT-Only via rate 0). --
-        self.log("training early-exit CNV (joint loss)");
-        let mut ee = cfg.cnv.build_early_exit(classes, &cfg.exits, cfg.seed);
-        let ee_train = TrainConfig {
-            exit_loss_weights: Some(cfg.exits.loss_weights(ee.num_exits())),
-            ..cfg.train.clone()
-        };
-        Trainer::new(ee_train).fit(&mut ee, &data, cfg.seed ^ 0x2);
-        let ee_ir = ModelIr::from_summary(&ee.summarize());
+        let ee_shape = cfg.cnv.build_early_exit(classes, &cfg.exits, cfg.seed);
+        let ee_ir = ModelIr::from_summary(&ee_shape.summarize());
         let ee_folding = FoldingConfig::balanced(
             &ee_ir,
             cfg.folding_target_cycles,
             cfg.pre_junction_speedup,
         );
-        let ee_constraints = derive_constraints(&ee, &ee_folding);
+        let ee_constraints = derive_constraints(&ee_shape, &ee_folding);
+        let ee_fp = fingerprint("model", &BaseModelKey::early_exit(cfg));
+        let ee = LazyNet::new(Box::new(|| {
+            self.trained_base(Some(&cfg.exits), &data, cache, &ee_fp)
+        }));
 
         // Flatten the (mode, rate) grid in the same order the
         // sequential loops walked it, so ids — and with them the
@@ -372,55 +422,169 @@ impl LibraryGenerator {
             self.build_entry(
                 id,
                 &ee,
+                &ee_fp,
                 rate,
                 prune_exits,
                 &ee_constraints,
                 &ee_folding,
                 &data,
                 &thresholds,
+                cache,
+                eval_jobs,
             )
         });
 
-        Artifacts {
+        let artifacts = Artifacts {
             kind: cfg.kind,
             adapex,
             pr_only,
             reference_accuracy,
             reconfig_time_ms: self.device.reconfig_time_ms(),
             config: cfg.clone(),
+        };
+        let stats = cache.map(|c| c.stats()).unwrap_or_default();
+        (artifacts, stats)
+    }
+
+    /// Produces one trained base network: loaded from its cached
+    /// checkpoint when intact, trained (and stored) otherwise.
+    /// `exits = None` builds the plain CNV, `Some` the early-exit CNV.
+    fn trained_base(
+        &self,
+        exits: Option<&ExitsConfig>,
+        data: &SyntheticDataset,
+        cache: Option<&ArtifactCache>,
+        fp: &str,
+    ) -> EarlyExitNetwork {
+        let cfg = &self.config;
+        let classes = cfg.kind.num_classes();
+        let (mut net, train, fit_seed, what) = match exits {
+            None => (
+                cfg.cnv.build(classes, cfg.seed),
+                cfg.train.clone(),
+                cfg.seed ^ 0x1,
+                "plain CNV (FINN / PR-Only baseline)",
+            ),
+            Some(e) => {
+                let net = cfg.cnv.build_early_exit(classes, e, cfg.seed);
+                let train = TrainConfig {
+                    exit_loss_weights: Some(e.loss_weights(net.num_exits())),
+                    ..cfg.train.clone()
+                };
+                (net, train, cfg.seed ^ 0x2, "early-exit CNV (joint loss)")
+            }
+        };
+        if let Some(c) = cache {
+            if c.load_checkpoint_into(fp, &mut net) {
+                self.log(&format!("loaded cached {what}"));
+                return net;
+            }
         }
+        self.log(&format!("training {what}"));
+        Trainer::new(train).fit(&mut net, data, fit_seed);
+        if let Some(c) = cache {
+            c.store_checkpoint(fp, &net);
+        }
+        net
     }
 
     /// Prunes (if `rate > 0`), retrains, evaluates and synthesizes one
     /// library entry.
+    ///
+    /// With a cache attached the lookups go finest-grained first: a hit
+    /// on the finished entry returns immediately; otherwise a hit on
+    /// the variant's trained checkpoint skips the retrain (pruning the
+    /// base to recover the architecture is cheap and deterministic) and
+    /// only the evaluation/synthesis re-run; a miss recomputes
+    /// everything and populates all levels.
     #[allow(clippy::too_many_arguments)]
     fn build_entry(
         &self,
         id: usize,
-        base: &EarlyExitNetwork,
+        base: &LazyNet<'_>,
+        base_fp: &str,
         rate: f64,
         prune_exits: bool,
         constraints: &ConstraintMap,
         folding: &FoldingConfig,
         data: &SyntheticDataset,
         thresholds: &[f64],
+        cache: Option<&ArtifactCache>,
+        eval_jobs: usize,
     ) -> LibraryEntry {
         let cfg = &self.config;
+        let stem = cache.map(|_| {
+            fingerprint(
+                "variant",
+                &VariantKey {
+                    base: base_fp,
+                    id,
+                    rate,
+                    prune_exits,
+                    retrain: &cfg.retrain,
+                    exits: &cfg.exits,
+                    folding,
+                    device: &self.device,
+                    clock_mhz: cfg.clock_mhz,
+                    seed: cfg.seed,
+                },
+            )
+        });
+        if let (Some(c), Some(stem)) = (cache, stem.as_deref()) {
+            let entry_fp = fingerprint("entry", &EntryKey { stem, thresholds });
+            if let Some(entry) = c.load_entry(&entry_fp) {
+                return entry;
+            }
+        }
+
         let (mut net, achieved_rate) = if rate > 0.0 {
             let pruner = Pruner::new(PruneConfig { rate, prune_exits });
-            let (mut pruned, report) = pruner.prune(base, constraints);
-            let retrain = TrainConfig {
-                exit_loss_weights: Some(cfg.exits.loss_weights(pruned.num_exits())),
-                ..cfg.retrain.clone()
+            let (mut pruned, report) = pruner.prune(base.get(), constraints);
+            let cached_ckpt = match (cache, stem.as_deref()) {
+                (Some(c), Some(stem)) => c.load_checkpoint_into(stem, &mut pruned),
+                _ => false,
             };
-            Trainer::new(retrain).fit(&mut pruned, data, cfg.seed ^ (id as u64) << 8);
+            if !cached_ckpt {
+                let retrain = TrainConfig {
+                    exit_loss_weights: Some(cfg.exits.loss_weights(pruned.num_exits())),
+                    ..cfg.retrain.clone()
+                };
+                Trainer::new(retrain).fit(&mut pruned, data, cfg.seed ^ (id as u64) << 8);
+                if let (Some(c), Some(stem)) = (cache, stem.as_deref()) {
+                    c.store_checkpoint(stem, &pruned);
+                }
+            }
             (pruned, report.overall_rate())
         } else {
-            (base.clone(), 0.0)
+            (base.get().clone(), 0.0)
         };
 
         let acc = self.synthesize(&net, folding);
-        let eval = evaluate_exits(&mut net, &data.test);
+        let eval = match (cache, stem.as_deref()) {
+            (Some(c), Some(stem)) => c.load_eval(stem).unwrap_or_else(|| {
+                let eval = evaluate_exits_with(
+                    &mut net,
+                    &data.test,
+                    EvalConfig {
+                        jobs: eval_jobs,
+                        ..EvalConfig::default()
+                    },
+                );
+                c.store_eval(stem, &eval);
+                eval
+            }),
+            _ => evaluate_exits_with(
+                &mut net,
+                &data.test,
+                EvalConfig {
+                    jobs: eval_jobs,
+                    ..EvalConfig::default()
+                },
+            ),
+        };
+        if let (Some(c), Some(stem)) = (cache, stem.as_deref()) {
+            c.store_report(stem, acc.report());
+        }
         let points = thresholds
             .iter()
             .map(|&ct| {
@@ -441,7 +605,7 @@ impl LibraryGenerator {
         let exit_resources = (0..acc.graph().exits.len())
             .map(|e| acc.graph().segment_resources(finn_dataflow::graph::Segment::Exit(e)))
             .fold(finn_dataflow::ResourceUsage::zero(), |a, b| a + b);
-        LibraryEntry {
+        let entry = LibraryEntry {
             id,
             pruning_rate: rate,
             achieved_rate,
@@ -454,7 +618,12 @@ impl LibraryGenerator {
             static_ips: report.throughput_ips,
             latency_to_exit_ms: report.latency_to_exit_ms.clone(),
             points,
+        };
+        if let (Some(c), Some(stem)) = (cache, stem.as_deref()) {
+            let entry_fp = fingerprint("entry", &EntryKey { stem, thresholds });
+            c.store_entry(&entry_fp, &entry);
         }
+        entry
     }
 
     /// Compiles a network against the shared folding configuration.
@@ -468,6 +637,140 @@ impl LibraryGenerator {
         if self.config.verbose {
             println!("[adapex-gen:{}] {msg}", self.config.kind.id());
         }
+    }
+}
+
+/// A base network that trains (or loads) at most once, on first demand.
+///
+/// Sweep workers share one `LazyNet` per base model; `OnceLock` makes
+/// the first `get` run the initializer while concurrent callers block,
+/// so a fully cache-warm sweep — where no worker ever needs weights —
+/// skips base training entirely.
+struct LazyNet<'a> {
+    cell: OnceLock<EarlyExitNetwork>,
+    init: Box<dyn Fn() -> EarlyExitNetwork + Send + Sync + 'a>,
+}
+
+impl<'a> LazyNet<'a> {
+    fn new(init: Box<dyn Fn() -> EarlyExitNetwork + Send + Sync + 'a>) -> Self {
+        LazyNet {
+            cell: OnceLock::new(),
+            init,
+        }
+    }
+
+    fn get(&self) -> &EarlyExitNetwork {
+        self.cell.get_or_init(|| (self.init)())
+    }
+}
+
+/// Cache key of one trained base network. Covers everything its weights
+/// depend on: the dataset (train split content and seed), architecture,
+/// training recipe and the master seed the fit seed derives from.
+struct BaseModelKey<'a> {
+    role: &'static str,
+    kind: DatasetKind,
+    dataset: &'a SyntheticConfig,
+    cnv: &'a CnvConfig,
+    exits: Option<&'a ExitsConfig>,
+    train: &'a TrainConfig,
+    seed: u64,
+}
+
+impl<'a> BaseModelKey<'a> {
+    fn plain(cfg: &'a GeneratorConfig) -> Self {
+        BaseModelKey {
+            role: "plain",
+            kind: cfg.kind,
+            dataset: &cfg.dataset,
+            cnv: &cfg.cnv,
+            exits: None,
+            train: &cfg.train,
+            seed: cfg.seed,
+        }
+    }
+
+    fn early_exit(cfg: &'a GeneratorConfig) -> Self {
+        BaseModelKey {
+            exits: Some(&cfg.exits),
+            role: "early-exit",
+            ..BaseModelKey::plain(cfg)
+        }
+    }
+}
+
+/// Cache key of one sweep variant's model/eval/report artifacts.
+///
+/// `base` is the base model's fingerprint (hash chaining: everything
+/// that shaped the base weights is inherited). `id` is the variant's
+/// position in the sweep — the retrain seed derives from `(seed, id)`,
+/// so appending rates to a sweep preserves existing ids (hits) while
+/// reordering changes them (correct misses). The folding/device/clock
+/// parameters are included because pruning constraints derive from the
+/// folding and synthesis numbers depend on all three. Thresholds are
+/// *excluded*: they only shape the finished entry (see [`EntryKey`]),
+/// so a `ct_step` change still reuses checkpoints and evaluations.
+struct VariantKey<'a> {
+    base: &'a str,
+    id: usize,
+    rate: f64,
+    prune_exits: bool,
+    retrain: &'a TrainConfig,
+    exits: &'a ExitsConfig,
+    folding: &'a FoldingConfig,
+    device: &'a FpgaDevice,
+    clock_mhz: f64,
+    seed: u64,
+}
+
+/// Cache key of one finished [`LibraryEntry`]: the variant stem plus
+/// the exact threshold sweep baked into its operating points.
+struct EntryKey<'a> {
+    stem: &'a str,
+    thresholds: &'a [f64],
+}
+
+// The vendored serde derive does not support lifetime-generic types, so
+// the key structs build their `Value` trees by hand. Field order is the
+// declaration order above — part of the fingerprint format, covered by
+// `CACHE_FORMAT_EPOCH`.
+impl Serialize for BaseModelKey<'_> {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("role".to_string(), self.role.to_value()),
+            ("kind".to_string(), self.kind.to_value()),
+            ("dataset".to_string(), self.dataset.to_value()),
+            ("cnv".to_string(), self.cnv.to_value()),
+            ("exits".to_string(), self.exits.to_value()),
+            ("train".to_string(), self.train.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+        ])
+    }
+}
+
+impl Serialize for VariantKey<'_> {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("base".to_string(), self.base.to_value()),
+            ("id".to_string(), self.id.to_value()),
+            ("rate".to_string(), self.rate.to_value()),
+            ("prune_exits".to_string(), self.prune_exits.to_value()),
+            ("retrain".to_string(), self.retrain.to_value()),
+            ("exits".to_string(), self.exits.to_value()),
+            ("folding".to_string(), self.folding.to_value()),
+            ("device".to_string(), self.device.to_value()),
+            ("clock_mhz".to_string(), self.clock_mhz.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+        ])
+    }
+}
+
+impl Serialize for EntryKey<'_> {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("stem".to_string(), self.stem.to_value()),
+            ("thresholds".to_string(), self.thresholds.to_value()),
+        ])
     }
 }
 

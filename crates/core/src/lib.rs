@@ -36,11 +36,13 @@
 //! ```
 
 pub mod baselines;
+pub mod cache;
 pub mod generator;
 pub mod library;
 pub mod report;
 pub mod runtime;
 
+pub use cache::{ArtifactCache, CacheStats, CACHE_FORMAT_EPOCH};
 pub use generator::{Artifacts, GeneratorConfig, LibraryGenerator};
 pub use library::{Library, LibraryEntry, OperatingPoint};
 pub use runtime::{Decision, RuntimeManager, SelectionPolicy};

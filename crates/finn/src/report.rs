@@ -40,6 +40,25 @@ impl SynthesisReport {
             .expect("at least the final exit exists")
     }
 
+    /// Serializes the report to a JSON string — the interchange form
+    /// the generator's artifact cache stores per variant, so downstream
+    /// tools can reuse a variant's hardware characterization without
+    /// recompiling it.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report is plain data")
+    }
+
+    /// Parses a report previously produced by
+    /// [`to_json`](SynthesisReport::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying decode error on malformed input, so
+    /// callers can fall back to re-synthesis.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(

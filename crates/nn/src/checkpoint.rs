@@ -1,0 +1,441 @@
+//! Versioned binary checkpoints of [`EarlyExitNetwork`] parameters.
+//!
+//! A checkpoint stores the exact `f32` bits of every learned tensor —
+//! conv/linear weights and biases, batch-norm gamma/beta **and the
+//! running statistics** the eval-mode forward reads — so that a loaded
+//! network produces bit-identical forward passes and
+//! [`ExitEvaluation`](crate::eval::ExitEvaluation)s. Structure
+//! (layer kinds, shapes, exit attachment points) is *not* stored: the
+//! caller rebuilds the architecture (it is cheap and deterministic) and
+//! the loader verifies every tensor length against it, so a checkpoint
+//! can never be silently applied to the wrong architecture.
+//!
+//! # Wire format (all integers little-endian)
+//!
+//! ```text
+//! magic    8 bytes  "ADPXCKPT"
+//! version  u32      CHECKPOINT_VERSION
+//! count    u32      number of tensors
+//! tensor*  u32 len, then len × f32 raw bits
+//! checksum u64      FNV-1a-64 over every preceding byte
+//! ```
+//!
+//! The trailing checksum turns truncation and bit corruption into a
+//! clean [`CheckpointError`], which cache readers treat as a miss
+//! (recompute) rather than an answer.
+
+use crate::layers::{Layer, Param};
+use crate::network::EarlyExitNetwork;
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// File magic identifying an AdaPEx checkpoint.
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"ADPXCKPT";
+
+/// Current wire-format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Why a checkpoint failed to load.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with [`CHECKPOINT_MAGIC`].
+    BadMagic,
+    /// The file's version is not [`CHECKPOINT_VERSION`].
+    BadVersion(u32),
+    /// The file ended before the declared payload did.
+    Truncated,
+    /// The trailing FNV-1a-64 checksum does not match the payload.
+    BadChecksum,
+    /// Tensor `index` has `got` elements where the network expects
+    /// `expected` — the checkpoint belongs to a different architecture.
+    ShapeMismatch {
+        /// Tensor position in the serialization walk.
+        index: usize,
+        /// Element count the target network expects.
+        expected: usize,
+        /// Element count found in the file.
+        got: usize,
+    },
+    /// The file declares `got` tensors where the network has `expected`.
+    CountMismatch {
+        /// Tensor count the target network expects.
+        expected: usize,
+        /// Tensor count found in the file.
+        got: usize,
+    },
+    /// Extra bytes follow the checksum.
+    TrailingBytes,
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not an AdaPEx checkpoint (bad magic)"),
+            CheckpointError::BadVersion(v) => {
+                write!(f, "unsupported checkpoint version {v} (expected {CHECKPOINT_VERSION})")
+            }
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::BadChecksum => write!(f, "checkpoint checksum mismatch"),
+            CheckpointError::ShapeMismatch { index, expected, got } => write!(
+                f,
+                "checkpoint tensor {index} has {got} elements, network expects {expected}"
+            ),
+            CheckpointError::CountMismatch { expected, got } => {
+                write!(f, "checkpoint holds {got} tensors, network expects {expected}")
+            }
+            CheckpointError::TrailingBytes => write!(f, "checkpoint has trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// A mutable view of one serialized tensor inside the network.
+enum TensorMut<'a> {
+    /// A learned parameter; loading must bump its version so quantized
+    /// weight caches are invalidated.
+    Learned(&'a mut Param),
+    /// Raw state (batch-norm running statistics).
+    Raw(&'a mut Vec<f32>),
+}
+
+/// Visits every serialized tensor of `layer` in wire order, read-only.
+fn layer_tensors<'a>(layer: &'a Layer, f: &mut impl FnMut(&'a [f32])) {
+    match layer {
+        Layer::Conv(c) => {
+            f(&c.weight.value);
+            f(&c.bias.value);
+        }
+        Layer::Linear(l) => {
+            f(&l.weight.value);
+            f(&l.bias.value);
+        }
+        Layer::Norm(n) => {
+            f(&n.gamma.value);
+            f(&n.beta.value);
+            f(&n.running_mean);
+            f(&n.running_var);
+        }
+        Layer::Pool(_) | Layer::Act(_) | Layer::Flatten => {}
+    }
+}
+
+/// Visits every serialized tensor of `layer` in wire order, mutably.
+fn layer_tensors_mut<'a>(layer: &'a mut Layer, f: &mut impl FnMut(TensorMut<'a>)) {
+    match layer {
+        Layer::Conv(c) => {
+            f(TensorMut::Learned(&mut c.weight));
+            f(TensorMut::Learned(&mut c.bias));
+        }
+        Layer::Linear(l) => {
+            f(TensorMut::Learned(&mut l.weight));
+            f(TensorMut::Learned(&mut l.bias));
+        }
+        Layer::Norm(n) => {
+            f(TensorMut::Learned(&mut n.gamma));
+            f(TensorMut::Learned(&mut n.beta));
+            f(TensorMut::Raw(&mut n.running_mean));
+            f(TensorMut::Raw(&mut n.running_var));
+        }
+        Layer::Pool(_) | Layer::Act(_) | Layer::Flatten => {}
+    }
+}
+
+/// Collects read-only views of every tensor in wire order: backbone
+/// layers first, then each exit's layers, both in execution order.
+fn network_tensors(net: &EarlyExitNetwork) -> Vec<&[f32]> {
+    let mut out = Vec::new();
+    for layer in &net.backbone {
+        layer_tensors(layer, &mut |t| out.push(t));
+    }
+    for exit in &net.exits {
+        for layer in &exit.layers {
+            layer_tensors(layer, &mut |t| out.push(t));
+        }
+    }
+    out
+}
+
+/// Collects mutable views of every tensor, same order as
+/// [`network_tensors`].
+fn network_tensors_mut(net: &mut EarlyExitNetwork) -> Vec<TensorMut<'_>> {
+    let mut out = Vec::new();
+    for layer in &mut net.backbone {
+        layer_tensors_mut(layer, &mut |t| out.push(t));
+    }
+    for exit in &mut net.exits {
+        for layer in &mut exit.layers {
+            layer_tensors_mut(layer, &mut |t| out.push(t));
+        }
+    }
+    out
+}
+
+/// FNV-1a-64 over `bytes`.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serializes `net`'s tensors into the checkpoint wire format.
+pub fn checkpoint_bytes(net: &EarlyExitNetwork) -> Vec<u8> {
+    let tensors = network_tensors(net);
+    let payload: usize = tensors.iter().map(|t| 4 + 4 * t.len()).sum();
+    let mut out = Vec::with_capacity(8 + 4 + 4 + payload + 8);
+    out.extend_from_slice(&CHECKPOINT_MAGIC);
+    out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(tensors.len() as u32).to_le_bytes());
+    for t in tensors {
+        out.extend_from_slice(&(t.len() as u32).to_le_bytes());
+        for &v in t {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    let checksum = fnv1a64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Restores `net`'s tensors from checkpoint `bytes`.
+///
+/// Validates magic, version, checksum and every tensor shape against the
+/// network *before* writing anything, so a failed load leaves `net`
+/// untouched. Loaded [`Param`]s are [`touch`](Param::touch)ed to
+/// invalidate derived quantized-weight caches.
+pub fn load_checkpoint_bytes(
+    net: &mut EarlyExitNetwork,
+    bytes: &[u8],
+) -> Result<(), CheckpointError> {
+    let header = 8 + 4 + 4;
+    if bytes.len() < header + 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    if bytes[..8] != CHECKPOINT_MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != CHECKPOINT_VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let (payload, tail) = bytes.split_at(bytes.len() - 8);
+    let declared = u64::from_le_bytes(tail.try_into().unwrap());
+    if fnv1a64(payload) != declared {
+        return Err(CheckpointError::BadChecksum);
+    }
+    let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    let mut targets = network_tensors_mut(net);
+    if count != targets.len() {
+        return Err(CheckpointError::CountMismatch {
+            expected: targets.len(),
+            got: count,
+        });
+    }
+
+    // Pass 1: validate shapes and record each tensor's data offset.
+    let mut offsets = Vec::with_capacity(count);
+    let mut pos = header;
+    for (index, target) in targets.iter().enumerate() {
+        if payload.len() < pos + 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let len = u32::from_le_bytes(payload[pos..pos + 4].try_into().unwrap()) as usize;
+        let expected = match target {
+            TensorMut::Learned(p) => p.value.len(),
+            TensorMut::Raw(v) => v.len(),
+        };
+        if len != expected {
+            return Err(CheckpointError::ShapeMismatch {
+                index,
+                expected,
+                got: len,
+            });
+        }
+        pos += 4;
+        if payload.len() < pos + 4 * len {
+            return Err(CheckpointError::Truncated);
+        }
+        offsets.push(pos);
+        pos += 4 * len;
+    }
+    if pos != payload.len() {
+        return Err(CheckpointError::TrailingBytes);
+    }
+
+    // Pass 2: copy the bits in.
+    for (target, &off) in targets.iter_mut().zip(&offsets) {
+        let dst: &mut Vec<f32> = match target {
+            TensorMut::Learned(p) => &mut p.value,
+            TensorMut::Raw(v) => v,
+        };
+        for (i, v) in dst.iter_mut().enumerate() {
+            let at = off + 4 * i;
+            *v = f32::from_le_bytes(payload[at..at + 4].try_into().unwrap());
+        }
+        if let TensorMut::Learned(p) = target {
+            p.touch();
+        }
+    }
+    Ok(())
+}
+
+/// Writes `net`'s checkpoint to `path` atomically (temp file + rename).
+pub fn save_checkpoint(net: &EarlyExitNetwork, path: &Path) -> std::io::Result<()> {
+    let bytes = checkpoint_bytes(net);
+    write_atomic(path, &bytes)
+}
+
+/// Reads and applies the checkpoint at `path`; see
+/// [`load_checkpoint_bytes`] for validation semantics.
+pub fn load_checkpoint(net: &mut EarlyExitNetwork, path: &Path) -> Result<(), CheckpointError> {
+    let bytes = std::fs::read(path)?;
+    load_checkpoint_bytes(net, &bytes)
+}
+
+/// Writes `bytes` to `path` via a unique temp file in the same directory
+/// followed by a rename, so concurrent writers never expose a partial
+/// file and the last writer wins with a complete one.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnv::{CnvConfig, ExitsConfig};
+
+    fn tiny_net(seed: u64) -> EarlyExitNetwork {
+        let mut net = CnvConfig::tiny().build_early_exit(10, &ExitsConfig::paper_default(), 2);
+        // Make the tensors distinctive so a wrong restore can't pass.
+        let mut k = seed as f32;
+        net.for_each_param(|p| {
+            for v in &mut p.value {
+                *v += 0.001 * k;
+                k += 1.0;
+            }
+            p.touch();
+        });
+        net
+    }
+
+    #[test]
+    fn roundtrip_restores_every_tensor_bit_for_bit() {
+        let src = tiny_net(3);
+        let bytes = checkpoint_bytes(&src);
+        let mut dst = tiny_net(7);
+        assert_ne!(src, dst);
+        load_checkpoint_bytes(&mut dst, &bytes).unwrap();
+        assert_eq!(network_tensors(&src), network_tensors(&dst));
+    }
+
+    #[test]
+    fn running_stats_are_serialized() {
+        let mut src = tiny_net(1);
+        for layer in &mut src.backbone {
+            if let Layer::Norm(n) = layer {
+                n.running_mean.iter_mut().for_each(|v| *v = 0.25);
+                n.running_var.iter_mut().for_each(|v| *v = 4.0);
+            }
+        }
+        let bytes = checkpoint_bytes(&src);
+        let mut dst = tiny_net(1);
+        load_checkpoint_bytes(&mut dst, &bytes).unwrap();
+        let mut saw_norm = false;
+        for layer in &dst.backbone {
+            if let Layer::Norm(n) = layer {
+                saw_norm = true;
+                assert!(n.running_mean.iter().all(|&v| v == 0.25));
+                assert!(n.running_var.iter().all(|&v| v == 4.0));
+            }
+        }
+        assert!(saw_norm);
+    }
+
+    #[test]
+    fn corruption_and_truncation_are_detected_and_leave_net_untouched() {
+        let src = tiny_net(5);
+        let bytes = checkpoint_bytes(&src);
+        let mut dst = tiny_net(9);
+        let before = dst.clone();
+
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        assert!(matches!(
+            load_checkpoint_bytes(&mut dst, &flipped),
+            Err(CheckpointError::BadChecksum)
+        ));
+        assert_eq!(dst, before);
+
+        assert!(matches!(
+            load_checkpoint_bytes(&mut dst, &bytes[..bytes.len() / 2]),
+            Err(CheckpointError::Truncated) | Err(CheckpointError::BadChecksum)
+        ));
+        assert_eq!(dst, before);
+
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert!(matches!(
+            load_checkpoint_bytes(&mut dst, &wrong_magic),
+            Err(CheckpointError::BadMagic)
+        ));
+        assert_eq!(dst, before);
+    }
+
+    #[test]
+    fn wrong_architecture_is_rejected() {
+        let src = tiny_net(2);
+        let bytes = checkpoint_bytes(&src);
+        let mut other =
+            CnvConfig::scaled(2).build_early_exit(10, &ExitsConfig::paper_default(), 1);
+        assert!(matches!(
+            load_checkpoint_bytes(&mut other, &bytes),
+            Err(CheckpointError::CountMismatch { .. }) | Err(CheckpointError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn atomic_write_then_load_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("adapex-ckpt-{}", std::process::id()));
+        let path = dir.join("net.ckpt");
+        let src = tiny_net(4);
+        save_checkpoint(&src, &path).unwrap();
+        let mut dst = tiny_net(8);
+        load_checkpoint(&mut dst, &path).unwrap();
+        assert_eq!(network_tensors(&src), network_tensors(&dst));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -11,11 +11,31 @@ use crate::layers::Activation;
 use crate::loss::{confidence, softmax_into};
 use crate::network::EarlyExitNetwork;
 use adapex_dataset::LabeledImages;
+use adapex_tensor::parallel::{num_threads, par_map_init};
 use adapex_tensor::workspace::with_workspace;
 use serde::{Deserialize, Serialize};
 
-/// Batch size used when sweeping a dataset through the network.
-const EVAL_BATCH: usize = 64;
+/// Default batch size used when sweeping a dataset through the network.
+pub const EVAL_BATCH: usize = 64;
+
+/// Knobs for [`evaluate_exits_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalConfig {
+    /// Samples per forward batch (default [`EVAL_BATCH`]).
+    pub batch: usize,
+    /// Worker threads; `0` resolves to
+    /// [`num_threads`](adapex_tensor::parallel::num_threads).
+    pub jobs: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        Self {
+            batch: EVAL_BATCH,
+            jobs: 0,
+        }
+    }
+}
 
 /// Per-sample, per-exit predictions of one network on one dataset.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -134,40 +154,92 @@ impl ExitEvaluation {
     }
 }
 
-/// Runs `images` through every exit of `net` once.
+/// Runs `images` through every exit of `net` once, with default
+/// [`EvalConfig`] (batch [`EVAL_BATCH`], auto worker count).
 pub fn evaluate_exits(net: &mut EarlyExitNetwork, images: &LabeledImages) -> ExitEvaluation {
+    evaluate_exits_with(net, images, EvalConfig::default())
+}
+
+/// [`evaluate_exits`] with explicit batch size and worker count.
+///
+/// Batches are fixed by `cfg.batch` alone and processed via the
+/// order-preserving [`par_map_init`], each worker forwarding through its
+/// own clone of `net` (eval-mode forward reads running statistics and
+/// never mutates parameters, so clones agree bit-for-bit with the shared
+/// network). Per-sample results are concatenated in batch order, so the
+/// output is identical for every `cfg.jobs` value.
+pub fn evaluate_exits_with(
+    net: &mut EarlyExitNetwork,
+    images: &LabeledImages,
+    cfg: EvalConfig,
+) -> ExitEvaluation {
     let exits = net.num_exits();
+    let batches: Vec<Vec<usize>> = images.batches(cfg.batch.max(1), None).collect();
+    let jobs = if cfg.jobs == 0 { num_threads() } else { cfg.jobs };
+    let per_batch: Vec<BatchScores> = if jobs <= 1 || batches.len() <= 1 {
+        batches
+            .iter()
+            .map(|batch| eval_batch(net, images, batch, exits))
+            .collect()
+    } else {
+        let shared = &*net;
+        par_map_init(
+            batches.len(),
+            jobs,
+            || shared.clone(),
+            |local, i| eval_batch(local, images, &batches[i], exits),
+        )
+    };
     let mut correct = vec![Vec::with_capacity(images.len()); exits];
     let mut conf = vec![Vec::with_capacity(images.len()); exits];
-    let (c, h, w) = images.dims();
-    for batch in images.batches(EVAL_BATCH, None) {
-        let (pixels, labels) = images.gather(&batch);
-        let x = Activation::new(pixels, batch.len(), vec![c, h, w]);
-        let outputs = net.forward(&x, false);
-        with_workspace(|ws| {
-            let probs = &mut ws.scratch;
-            for (e, out) in outputs.iter().enumerate() {
-                probs.clear();
-                probs.resize(out.sample_len(), 0.0);
-                for (i, &label) in labels.iter().enumerate() {
-                    softmax_into(out.sample(i), probs);
-                    let mut best = 0;
-                    for k in 1..probs.len() {
-                        if probs[k] > probs[best] {
-                            best = k;
-                        }
-                    }
-                    correct[e].push(best == label);
-                    conf[e].push(confidence(probs));
-                }
-            }
-        });
+    for (batch_correct, batch_conf) in per_batch {
+        for e in 0..exits {
+            correct[e].extend_from_slice(&batch_correct[e]);
+            conf[e].extend_from_slice(&batch_conf[e]);
+        }
     }
     ExitEvaluation {
         correct,
         confidence: conf,
         samples: images.len(),
     }
+}
+
+/// Per-exit `(correct, confidence)` columns for one mini-batch.
+type BatchScores = (Vec<Vec<bool>>, Vec<Vec<f32>>);
+
+/// Forwards one mini-batch and scores every exit's argmax/confidence.
+fn eval_batch(
+    net: &mut EarlyExitNetwork,
+    images: &LabeledImages,
+    batch: &[usize],
+    exits: usize,
+) -> BatchScores {
+    let (c, h, w) = images.dims();
+    let (pixels, labels) = images.gather(batch);
+    let x = Activation::new(pixels, batch.len(), vec![c, h, w]);
+    let outputs = net.forward(&x, false);
+    let mut correct = vec![Vec::with_capacity(batch.len()); exits];
+    let mut conf = vec![Vec::with_capacity(batch.len()); exits];
+    with_workspace(|ws| {
+        let probs = &mut ws.scratch;
+        for (e, out) in outputs.iter().enumerate() {
+            probs.clear();
+            probs.resize(out.sample_len(), 0.0);
+            for (i, &label) in labels.iter().enumerate() {
+                softmax_into(out.sample(i), probs);
+                let mut best = 0;
+                for k in 1..probs.len() {
+                    if probs[k] > probs[best] {
+                        best = k;
+                    }
+                }
+                correct[e].push(best == label);
+                conf[e].push(confidence(probs));
+            }
+        }
+    });
+    (correct, conf)
 }
 
 /// Convenience: early-exit accuracy and exit fractions at one threshold.

@@ -7,6 +7,7 @@ use adapex_tensor::rng::kaiming_tensor;
 use adapex_tensor::workspace::{recycle_f32, recycle_usize, take_f32_from, with_workspace, Workspace};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
 
 /// 2-D convolution with fake-quantized weights.
 ///
@@ -290,6 +291,25 @@ impl QuantConv2d {
     ///
     /// Panics if no training-mode forward preceded this call.
     pub fn backward(&mut self, grad_out: &Activation) -> Activation {
+        self.backward_with_workers(grad_out, num_threads())
+    }
+
+    /// [`QuantConv2d::backward`] with an explicit worker count.
+    ///
+    /// The batch is cut into fixed [`BWD_CHUNK`]-sample chunks. Each
+    /// chunk's `(dW, db)` partial is accumulated sample-by-sample, and
+    /// the partials are folded into the parameter gradients in
+    /// chunk-index order. Chunk boundaries and the reduction order thus
+    /// depend only on the batch size — never on `workers` — so the
+    /// floating-point result is bit-identical for every worker count
+    /// (`ADAPEX_THREADS` only changes wall-clock time). Chunk `c` is
+    /// processed by worker `c % workers`; `dX` writes are per-sample
+    /// disjoint and order-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no training-mode forward preceded this call.
+    pub fn backward_with_workers(&mut self, grad_out: &Activation, workers: usize) -> Activation {
         assert!(self.cache_valid, "conv backward requires cached forward");
         self.cache_valid = false;
         let (h, w) = self.cache.in_hw;
@@ -304,63 +324,92 @@ impl QuantConv2d {
         let sample_out = self.c_out * pixels;
 
         let mut grad_in = Activation::zeros(n, &[self.c_in, h, w]);
+        if n == 0 {
+            return grad_in;
+        }
+        let chunks = n.div_ceil(BWD_CHUNK);
+        let workers = workers.max(1).min(chunks);
 
-        let workers = num_threads().min(n).max(1);
         if workers == 1 {
-            // Inline path: no worker threads, no partials — the hot path
-            // for the single-threaded training the generator runs.
+            // Inline path: same per-chunk accumulation and in-order
+            // reduction as the threaded path, on the calling thread.
             with_workspace(|ws| {
-                ws.dw.clear();
-                ws.dw.resize(self.c_out * kk, 0.0);
-                ws.db.clear();
-                ws.db.resize(self.c_out, 0.0);
-                for i in 0..n {
-                    let img = &self.cache.input[i * sample_in..(i + 1) * sample_in];
-                    let dy = &grad_out.data[i * sample_out..(i + 1) * sample_out];
-                    let dx = &mut grad_in.data[i * sample_in..(i + 1) * sample_in];
-                    self.backward_image(ws, img, dy, (h, w), pixels, kk, dx);
+                for c in 0..chunks {
+                    let start = c * BWD_CHUNK;
+                    let end = (start + BWD_CHUNK).min(n);
+                    ws.dw.clear();
+                    ws.dw.resize(self.c_out * kk, 0.0);
+                    ws.db.clear();
+                    ws.db.resize(self.c_out, 0.0);
+                    for i in start..end {
+                        let img = &self.cache.input[i * sample_in..(i + 1) * sample_in];
+                        let dy = &grad_out.data[i * sample_out..(i + 1) * sample_out];
+                        let dx = &mut grad_in.data[i * sample_in..(i + 1) * sample_in];
+                        self.backward_image(ws, img, dy, (h, w), pixels, kk, dx);
+                    }
+                    let Workspace { dw, db, .. } = ws;
+                    self.reduce_partial(dw, db, kk);
                 }
-                let Workspace { dw, db, .. } = ws;
-                self.reduce_partial(dw, db, kk);
             });
             return grad_in;
         }
 
-        // Parallelize over batch images; each worker accumulates its own
-        // dW/db into pooled buffers and the main thread reduces them.
-        let chunk_len = n.div_ceil(workers);
+        // Threaded path: distribute the fixed chunks round-robin, hand
+        // each chunk its disjoint dX slice, then reduce the collected
+        // per-chunk partials in chunk-index order.
+        // One unit of work: `(chunk index, sample range, dX slice)`.
+        type ChunkTask<'t> = (usize, Range<usize>, &'t mut [f32]);
         let this = &*self;
         let dy_all = &grad_out.data;
-        let partials: Vec<(Vec<f32>, Vec<f32>)> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
+        let mut per_worker: Vec<Vec<ChunkTask<'_>>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        {
             let mut rest: &mut [f32] = &mut grad_in.data;
-            let mut start = 0;
-            while start < n {
-                let end = (start + chunk_len).min(n);
+            for c in 0..chunks {
+                let start = c * BWD_CHUNK;
+                let end = (start + BWD_CHUNK).min(n);
                 let (head, tail) = rest.split_at_mut((end - start) * sample_in);
                 rest = tail;
-                let range = start..end;
-                handles.push(scope.spawn(move || {
-                    with_workspace(|ws| {
-                        ws.dw.clear();
-                        ws.dw.resize(this.c_out * kk, 0.0);
-                        ws.db.clear();
-                        ws.db.resize(this.c_out, 0.0);
-                        for (local, i) in range.enumerate() {
-                            let img = &this.cache.input[i * sample_in..(i + 1) * sample_in];
-                            let dy = &dy_all[i * sample_out..(i + 1) * sample_out];
-                            let dx = &mut head[local * sample_in..(local + 1) * sample_in];
-                            this.backward_image(ws, img, dy, (h, w), pixels, kk, dx);
-                        }
-                        (take_f32_from(&ws.dw), take_f32_from(&ws.db))
-                    })
-                }));
-                start = end;
+                per_worker[c % workers].push((c, start..end, head));
             }
-            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        }
+        let mut partials: Vec<(usize, Vec<f32>, Vec<f32>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = per_worker
+                .into_iter()
+                .map(|tasks| {
+                    scope.spawn(move || {
+                        with_workspace(|ws| {
+                            let mut out = Vec::with_capacity(tasks.len());
+                            for (c, range, head) in tasks {
+                                ws.dw.clear();
+                                ws.dw.resize(this.c_out * kk, 0.0);
+                                ws.db.clear();
+                                ws.db.resize(this.c_out, 0.0);
+                                let base = range.start;
+                                for i in range {
+                                    let img =
+                                        &this.cache.input[i * sample_in..(i + 1) * sample_in];
+                                    let dy = &dy_all[i * sample_out..(i + 1) * sample_out];
+                                    let local = i - base;
+                                    let dx =
+                                        &mut head[local * sample_in..(local + 1) * sample_in];
+                                    this.backward_image(ws, img, dy, (h, w), pixels, kk, dx);
+                                }
+                                out.push((c, take_f32_from(&ws.dw), take_f32_from(&ws.db)));
+                            }
+                            out
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker"))
+                .collect()
         });
 
-        for (dw, db) in partials {
+        partials.sort_by_key(|&(c, _, _)| c);
+        for (_, dw, db) in partials {
             self.reduce_partial(&dw, &db, kk);
             recycle_f32(dw);
             recycle_f32(db);
@@ -368,6 +417,12 @@ impl QuantConv2d {
         grad_in
     }
 }
+
+/// Fixed width of the batch chunks [`QuantConv2d::backward`] reduces
+/// over. Partial `(dW, db)` sums are accumulated per chunk and folded in
+/// chunk-index order, so the gradient bits depend only on this constant
+/// and the batch size, not on the worker count.
+const BWD_CHUNK: usize = 8;
 
 #[cfg(test)]
 mod tests {

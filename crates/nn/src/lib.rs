@@ -36,6 +36,7 @@
 //! assert!(eval.final_accuracy() >= 0.0);
 //! ```
 
+pub mod checkpoint;
 pub mod cnv;
 pub mod eval;
 pub mod layers;

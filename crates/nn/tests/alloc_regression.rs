@@ -15,7 +15,7 @@
 //! per-element, costs.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::Cell;
 use std::sync::Mutex;
 
 use adapex_nn::layers::{
@@ -27,22 +27,39 @@ use adapex_tensor::conv::ConvGeometry;
 use adapex_tensor::rng::{normal_tensor, rng_from_seed};
 
 /// Counts every allocator entry point; frees are not counted (recycling
-/// pools may legitimately drop overflow buffers).
+/// pools may legitimately drop overflow buffers). The count is
+/// per-thread: the measured hot path is single-threaded
+/// (`ADAPEX_THREADS=1`), and a global counter would pick up unrelated
+/// allocations from the harness starting the *other* test's thread
+/// mid-measurement.
 struct CountingAlloc;
 
-static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    static ALLOCS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Allocations observed on the calling thread so far. `try_with`: the
+/// allocator may be entered during TLS teardown, where counting is
+/// neither possible nor needed.
+fn thread_allocs() -> usize {
+    ALLOCS.try_with(Cell::get).unwrap_or(0)
+}
+
+fn count_alloc() {
+    let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count_alloc();
         System.alloc(layout)
     }
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count_alloc();
         System.alloc_zeroed(layout)
     }
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count_alloc();
         System.realloc(ptr, layout, new_size)
     }
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
@@ -121,11 +138,11 @@ fn steady_state_training_step_does_not_allocate() {
         train_step(&mut layers, &x, &labels);
     }
 
-    let before = ALLOCS.load(Ordering::Relaxed);
+    let before = thread_allocs();
     for _ in 0..5 {
         train_step(&mut layers, &x, &labels);
     }
-    let after = ALLOCS.load(Ordering::Relaxed);
+    let after = thread_allocs();
     assert_eq!(
         after - before,
         0,
@@ -152,11 +169,11 @@ fn steady_state_eval_forward_does_not_allocate() {
         eval_step(&mut layers, &x);
     }
 
-    let before = ALLOCS.load(Ordering::Relaxed);
+    let before = thread_allocs();
     for _ in 0..5 {
         eval_step(&mut layers, &x);
     }
-    let after = ALLOCS.load(Ordering::Relaxed);
+    let after = thread_allocs();
     assert_eq!(
         after - before,
         0,

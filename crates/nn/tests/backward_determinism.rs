@@ -1,0 +1,74 @@
+//! Job-count invariance of the parallel conv backward pass.
+//!
+//! The backward pass reduces per-chunk `(dW, db)` partials over fixed
+//! `BWD_CHUNK`-sample chunks in chunk-index order, so the floating-point
+//! gradient bits must not depend on how many workers process the chunks.
+//! These tests pin that contract through `backward_with_workers` (the
+//! cached `ADAPEX_THREADS` count cannot be varied within one process).
+
+use adapex_nn::layers::{Activation, QuantConv2d};
+use adapex_nn::quant::QuantSpec;
+use adapex_tensor::conv::ConvGeometry;
+use adapex_tensor::rng::rng_from_seed;
+
+fn fresh_conv() -> QuantConv2d {
+    let mut rng = rng_from_seed(11);
+    QuantConv2d::new(3, 8, ConvGeometry::new(3), QuantSpec::signed(2), &mut rng)
+}
+
+/// Runs one forward + backward with `workers` threads and returns the
+/// exact bits of (dW, db, dX).
+fn grads_with_workers(workers: usize, n: usize) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let mut conv = fresh_conv();
+    let hw = 8;
+    let x = Activation::new(
+        (0..n * 3 * hw * hw)
+            .map(|v| ((v * 31 % 29) as f32 - 14.0) / 9.0)
+            .collect(),
+        n,
+        vec![3, hw, hw],
+    );
+    let y = conv.forward(&x, true);
+    let dy = Activation::new(
+        (0..y.data.len())
+            .map(|v| ((v * 17 % 23) as f32 - 11.0) / 7.0)
+            .collect(),
+        y.n,
+        y.dims.clone(),
+    );
+    let dx = conv.backward_with_workers(&dy, workers);
+    let bits = |v: &[f32]| v.iter().map(|f| f.to_bits()).collect::<Vec<u32>>();
+    (
+        bits(&conv.weight.grad),
+        bits(&conv.bias.grad),
+        bits(&dx.data),
+    )
+}
+
+#[test]
+fn conv_backward_gradients_are_worker_count_invariant() {
+    // 37 samples: five 8-sample chunks (BWD_CHUNK = 8) plus a short
+    // tail, so chunk assignment differs across every worker count.
+    let reference = grads_with_workers(1, 37);
+    for workers in [2, 3, 4, 7, 16] {
+        let got = grads_with_workers(workers, 37);
+        assert_eq!(got.0, reference.0, "dW bits differ at {workers} workers");
+        assert_eq!(got.1, reference.1, "db bits differ at {workers} workers");
+        assert_eq!(got.2, reference.2, "dX bits differ at {workers} workers");
+    }
+}
+
+#[test]
+fn conv_backward_invariance_holds_for_small_batches() {
+    // Single-chunk (n <= BWD_CHUNK) and exact-multiple batches.
+    for n in [1, 5, 8, 16] {
+        let reference = grads_with_workers(1, n);
+        for workers in [2, 6] {
+            assert_eq!(
+                grads_with_workers(workers, n),
+                reference,
+                "gradient bits differ at n={n}, {workers} workers"
+            );
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Checkpoint round-trips must be lossless: a restored network produces
+//! bit-identical forward passes and `ExitEvaluation`s, and any damaged
+//! file is rejected (the artifact cache then falls back to recompute).
+
+use adapex_dataset::{DatasetKind, SyntheticConfig};
+use adapex_nn::checkpoint::{
+    checkpoint_bytes, load_checkpoint_bytes, CheckpointError,
+};
+use adapex_nn::cnv::{CnvConfig, ExitsConfig};
+use adapex_nn::eval::{evaluate_exits, evaluate_exits_with, EvalConfig};
+use adapex_nn::layers::Activation;
+use adapex_nn::network::EarlyExitNetwork;
+use adapex_nn::train::{TrainConfig, Trainer};
+use proptest::prelude::*;
+
+fn build_net(seed: u64) -> EarlyExitNetwork {
+    CnvConfig::tiny().build_early_exit(10, &ExitsConfig::paper_default(), seed)
+}
+
+fn trained_net_and_data() -> (EarlyExitNetwork, adapex_dataset::SyntheticDataset) {
+    let data = SyntheticConfig::new(DatasetKind::Cifar10Like)
+        .with_sizes(48, 40)
+        .generate();
+    let mut net = build_net(2);
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 1,
+        ..TrainConfig::fast()
+    });
+    trainer.fit(&mut net, &data, 42);
+    (net, data)
+}
+
+#[test]
+fn restored_network_forwards_and_evaluates_bit_identically() {
+    let (mut src, data) = trained_net_and_data();
+    let bytes = checkpoint_bytes(&src);
+
+    // Rebuild the architecture from config (different init seed) and
+    // restore the trained tensors into it.
+    let mut dst = build_net(777);
+    load_checkpoint_bytes(&mut dst, &bytes).unwrap();
+
+    let (c, h, w) = data.test.dims();
+    let (pixels, _) = data.test.gather(&(0..16).collect::<Vec<_>>());
+    let x = Activation::new(pixels, 16, vec![c, h, w]);
+    let out_src = src.forward(&x, false);
+    let out_dst = dst.forward(&x, false);
+    assert_eq!(out_src.len(), out_dst.len());
+    for (a, b) in out_src.iter().zip(&out_dst) {
+        let bits = |v: &[f32]| v.iter().map(|f| f.to_bits()).collect::<Vec<u32>>();
+        assert_eq!(bits(&a.data), bits(&b.data), "logit bits differ after restore");
+    }
+
+    let eval_src = evaluate_exits(&mut src, &data.test);
+    let eval_dst = evaluate_exits(&mut dst, &data.test);
+    assert_eq!(eval_src, eval_dst);
+}
+
+#[test]
+fn exit_evaluation_is_job_count_invariant() {
+    let (mut net, data) = trained_net_and_data();
+    // Small batch so 40 test samples span several batches per worker.
+    let reference = evaluate_exits_with(&mut net, &data.test, EvalConfig { batch: 8, jobs: 1 });
+    for jobs in [2, 3, 4, 8] {
+        let got = evaluate_exits_with(&mut net, &data.test, EvalConfig { batch: 8, jobs });
+        assert_eq!(got, reference, "ExitEvaluation differs at jobs={jobs}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any per-tensor value pattern survives the round-trip bit-for-bit.
+    #[test]
+    fn roundtrip_is_lossless_for_arbitrary_params(seed in 0u64..10_000) {
+        let mut src = build_net(1);
+        let mut k = seed as f32;
+        src.for_each_param(|p| {
+            for v in &mut p.value {
+                *v = (k * 0.371).sin() * 3.0;
+                k += 1.0;
+            }
+            p.touch();
+        });
+        let bytes = checkpoint_bytes(&src);
+        let mut dst = build_net(9);
+        load_checkpoint_bytes(&mut dst, &bytes).unwrap();
+        let collect = |net: &mut EarlyExitNetwork| {
+            let mut all = Vec::new();
+            net.for_each_param(|p| all.extend(p.value.iter().map(|v| v.to_bits())));
+            all
+        };
+        prop_assert_eq!(collect(&mut src), collect(&mut dst));
+    }
+
+    /// Truncating a checkpoint anywhere must be detected, never applied.
+    #[test]
+    fn truncation_is_always_rejected(cut_frac in 0.0f64..1.0) {
+        let src = build_net(3);
+        let bytes = checkpoint_bytes(&src);
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        let mut dst = build_net(5);
+        let before = dst.clone();
+        prop_assert!(load_checkpoint_bytes(&mut dst, &bytes[..cut]).is_err());
+        prop_assert_eq!(dst, before);
+    }
+
+    /// Flipping any single bit must be detected by the checksum (or the
+    /// header validation), never silently applied.
+    #[test]
+    fn bit_flips_are_always_rejected(pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let src = build_net(4);
+        let mut bytes = checkpoint_bytes(&src);
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+        let mut dst = build_net(6);
+        let before = dst.clone();
+        let err = load_checkpoint_bytes(&mut dst, &bytes);
+        prop_assert!(err.is_err(), "corrupted checkpoint accepted");
+        prop_assert_eq!(dst, before);
+        if let Err(CheckpointError::Io(_)) = err {
+            prop_assert!(false, "in-memory load cannot fail with I/O error");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Determinism and incrementality harness for the content-addressed
+//! artifact cache: cache hits must reproduce a cold run byte-for-byte
+//! (for any job count), a fully-warm re-run must touch no training at
+//! all, corruption must degrade to recompute, and extending the sweep
+//! must reuse every previously-built variant.
+
+use adapex::generator::{Artifacts, GeneratorConfig, LibraryGenerator};
+use adapex::CacheStats;
+use adapex_dataset::DatasetKind;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Self-cleaning scratch directory for one test's cache.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "adapex-cache-test-{}-{name}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create temp cache dir");
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Fast-profile config trimmed to two variants per sweep (mirrors
+/// `parallel_determinism.rs`), optionally cache-backed.
+fn scenario(jobs: usize, rates: &[f64], cache: Option<&Path>) -> GeneratorConfig {
+    let mut cfg = GeneratorConfig::fast(DatasetKind::Cifar10Like);
+    cfg.pruning_rates = rates.to_vec();
+    cfg.jobs = jobs;
+    if let Some(dir) = cache {
+        cfg = cfg.with_cache_dir(dir);
+    }
+    cfg
+}
+
+fn run(cfg: GeneratorConfig) -> (Artifacts, CacheStats, String) {
+    let (artifacts, stats) = LibraryGenerator::new(cfg).generate_with_stats();
+    let json = serde_json::to_string_pretty(&artifacts).expect("artifacts serialize");
+    (artifacts, stats, json)
+}
+
+#[test]
+fn cache_is_byte_identical_incremental_and_corruption_tolerant() {
+    let tmp = TempDir::new("sweep");
+    let rates = [0.0, 0.4];
+
+    // Ground truth: the cache-disabled run this PR must not perturb.
+    let (_, off_stats, baseline) = run(scenario(1, &rates, None));
+    assert_eq!(off_stats, CacheStats::default(), "disabled cache counted probes");
+
+    // Cold run populates the cache and must already match the baseline.
+    let (_, cold_stats, cold) = run(scenario(1, &rates, Some(tmp.path())));
+    assert_eq!(cold, baseline, "cache-enabled cold run diverged from cache-disabled run");
+    assert_eq!(cold_stats.hits(), 0, "cold run cannot hit: {cold_stats:?}");
+    assert_eq!(cold_stats.entry_misses, 4, "{cold_stats:?}");
+
+    // Warm sequential run: pure hits, byte-identical artifacts, and no
+    // training at all (every finished entry short-circuits, so even the
+    // base checkpoints are never probed).
+    let (_, warm_stats, warm) = run(scenario(1, &rates, Some(tmp.path())));
+    assert_eq!(warm, cold, "warm jobs=1 artifacts diverged from cold run");
+    assert!(warm_stats.all_hits(), "warm run missed: {warm_stats:?}");
+    assert_eq!(warm_stats.entry_hits, 4, "{warm_stats:?}");
+    assert_eq!(warm_stats.checkpoint_hits, 0, "{warm_stats:?}");
+
+    // Warm parallel run: concurrent lookups agree byte-for-byte.
+    let (_, par_stats, par) = run(scenario(4, &rates, Some(tmp.path())));
+    assert_eq!(par, cold, "warm jobs=4 artifacts diverged from cold run");
+    assert!(par_stats.all_hits(), "parallel warm run missed: {par_stats:?}");
+
+    // Corrupt one finished entry on disk: the run must log a miss,
+    // rebuild that entry from the finer-grained artifacts, and still
+    // produce byte-identical output.
+    let entry_file = find_artifact(tmp.path(), ".entry.json");
+    fs::write(&entry_file, b"{ definitely not json").unwrap();
+    let (_, hurt_stats, hurt) = run(scenario(1, &rates, Some(tmp.path())));
+    assert_eq!(hurt, cold, "corrupt-entry recompute diverged from cold run");
+    assert_eq!(hurt_stats.entry_misses, 1, "{hurt_stats:?}");
+    assert_eq!(hurt_stats.entry_hits, 3, "{hurt_stats:?}");
+
+    // Extended sweep (one new pruning rate): only the new variants are
+    // built; every old entry and both base checkpoints are reused.
+    let extended_rates = [0.0, 0.4, 0.6];
+    let (ext_art, ext_stats, _) = run(scenario(2, &extended_rates, Some(tmp.path())));
+    assert_eq!(ext_stats.entry_hits, 4, "{ext_stats:?}");
+    assert_eq!(ext_stats.entry_misses, 2, "{ext_stats:?}");
+    assert_eq!(
+        ext_stats.checkpoint_hits, 2,
+        "new variants must reuse both cached base models: {ext_stats:?}"
+    );
+    assert_eq!(
+        ext_stats.checkpoint_misses, 2,
+        "only the two new rate-0.6 variants may train: {ext_stats:?}"
+    );
+
+    // The shared prefix of the extended library is byte-identical to
+    // the original sweep's entries.
+    let (orig_art, _, _) = run(scenario(1, &rates, Some(tmp.path())));
+    for (o, e) in orig_art.adapex.entries.iter().zip(&ext_art.adapex.entries) {
+        assert_eq!(o, e, "extended sweep changed existing adapex entry {}", o.id);
+    }
+    for (o, e) in orig_art.pr_only.entries.iter().zip(&ext_art.pr_only.entries) {
+        assert_eq!(o, e, "extended sweep changed existing pr_only entry {}", o.id);
+    }
+}
+
+#[test]
+fn warm_cache_is_job_count_invariant_for_fresh_populations() {
+    // Populate with a parallel sweep, then read back sequentially: the
+    // hit path must not depend on which job count *wrote* the cache.
+    let tmp = TempDir::new("writer-jobs");
+    let rates = [0.0, 0.3];
+    let (_, _, cold) = run(scenario(4, &rates, Some(tmp.path())));
+    let (_, warm_stats, warm) = run(scenario(1, &rates, Some(tmp.path())));
+    assert_eq!(warm, cold, "jobs=4-written cache read back differently at jobs=1");
+    assert!(warm_stats.all_hits(), "{warm_stats:?}");
+}
+
+/// First file under the cache's epoch directory with the given suffix.
+fn find_artifact(cache_dir: &Path, suffix: &str) -> PathBuf {
+    let epoch_dir = fs::read_dir(cache_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.is_dir())
+        .expect("cache epoch directory exists");
+    let mut files: Vec<PathBuf> = fs::read_dir(&epoch_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.to_string_lossy().ends_with(suffix))
+        .collect();
+    files.sort();
+    files.into_iter().next().unwrap_or_else(|| {
+        panic!("no {suffix} artifact found in {}", epoch_dir.display())
+    })
+}
