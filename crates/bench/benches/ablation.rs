@@ -49,7 +49,7 @@ fn main() {
                 format!("{:.2}", mean_of(&results, |r| r.mean_accuracy * 100.0)),
                 format!("{:.1}", mean_of(&results, |r| r.qoe() * 100.0)),
                 format!("{:.1}", mean_of(&results, |r| r.reconfig_count as f64)),
-                format!("{:.3}", mean_of(&results, |r| r.edp())),
+                format!("{:.3}", mean_of(&results, |r| r.edp().unwrap_or(0.0))),
             ]);
         }
         print_table(

@@ -21,7 +21,7 @@ fn main() {
         for system in System::all() {
             let manager = manager_for(system, &art, 0.10);
             let results = sim.run_many(&manager, reps, 0xDA7E);
-            let edp = mean_of(&results, |r| r.edp());
+            let edp = mean_of(&results, |r| r.edp().unwrap_or(0.0));
             let qoe = mean_of(&results, |r| r.qoe());
             if system == System::Finn {
                 finn_edp = Some(edp);

@@ -12,8 +12,11 @@ mod args;
 
 use adapex::baselines::{manager_for, System};
 use adapex::generator::{Artifacts, GeneratorConfig, LibraryGenerator};
+use adapex::runtime::{MitigationConfig, RuntimeManager};
 use adapex_dataset::DatasetKind;
-use adapex_edge::{mean_of, EdgeSimulation, SimConfig, WorkloadConfig};
+use adapex_edge::{
+    mean_of, EdgeSimulation, FaultPlan, Scenario, SimConfig, SimResult, WorkloadConfig,
+};
 use args::Args;
 use std::error::Error;
 use std::process::ExitCode;
@@ -61,7 +64,17 @@ USAGE:
   adapex-cli report   --artifacts FILE [--out FILE.md]
   adapex-cli simulate --artifacts FILE [--system adapex|pr-only|ct-only|finn|all]
                       [--reps N] [--ips-per-camera F] [--seed N]
+                      [--scenario steady|ramp-up|burst|diurnal]
+                      [--faults PLAN.json] [--no-mitigation]
+                      (--faults replays a deterministic fault plan —
+                       reconfiguration aborts/overruns, camera dropouts,
+                       stale-frame floods, accuracy dips. Defaults to
+                       $ADAPEX_FAULT_PLAN when set. Mitigation —
+                       hysteresis, cooldown, retry backoff — is enabled
+                       with faults unless --no-mitigation.)
   adapex-cli trace    --artifacts FILE [--seed N] [--ips-per-camera F]
+                      [--scenario steady|ramp-up|burst|diurnal]
+                      [--faults PLAN.json] [--no-mitigation]
   adapex-cli synth    [--width N] [--rate F] [--prune-exits] [--classes N]
                       [--target-cycles N]";
 
@@ -191,18 +204,70 @@ fn sim_config(args: &Args, reconfig_ms: f64) -> Result<SimConfig, Box<dyn Error>
     })
 }
 
+/// Resolves the fault plan: `--faults FILE` wins, then
+/// `$ADAPEX_FAULT_PLAN`, then the empty (no-fault) plan.
+fn fault_plan(args: &Args) -> Result<FaultPlan, Box<dyn Error>> {
+    match args.get("faults") {
+        Some(path) => Ok(FaultPlan::load_json(path)?),
+        None => Ok(FaultPlan::from_env()?.unwrap_or_else(FaultPlan::none)),
+    }
+}
+
+/// Parses `--scenario`, if given.
+fn scenario_of(args: &Args) -> Result<Option<Scenario>, Box<dyn Error>> {
+    match args.get("scenario") {
+        None => Ok(None),
+        Some(id) => Scenario::from_id(id)
+            .map(Some)
+            .ok_or_else(|| format!("unknown scenario `{id}` (steady|ramp-up|burst|diurnal)").into()),
+    }
+}
+
+/// Enables graceful-degradation mitigation when a fault plan is active,
+/// unless `--no-mitigation` asks for the paper's bare manager.
+fn apply_mitigation(manager: &mut RuntimeManager, plan: &FaultPlan, args: &Args) {
+    if !plan.is_none() && !args.flag("no-mitigation") {
+        manager.set_mitigation(MitigationConfig::recommended());
+    }
+}
+
+fn print_fault_summary(results: &[SimResult]) {
+    let sum = |f: &dyn Fn(&SimResult) -> usize| -> usize { results.iter().map(f).sum() };
+    println!(
+        "faults: {} failed reconfigs ({} retries), {} overruns, {} frames dropped at source, \
+         {} flood arrivals, {} stale discards, {:.1} s degraded",
+        sum(&|r| r.faults.failed_reconfigs),
+        sum(&|r| r.faults.reconfig_retries),
+        sum(&|r| r.faults.overrun_reconfigs),
+        sum(&|r| r.faults.dropped_by_fault),
+        sum(&|r| r.faults.flood_arrivals),
+        sum(&|r| r.faults.stale_discarded),
+        results.iter().map(|r| r.faults.time_degraded_s).sum::<f64>(),
+    );
+}
+
 fn cmd_simulate(args: &Args) -> Result<(), Box<dyn Error>> {
     let artifacts = Artifacts::load_json(args.require("artifacts")?)?;
     let reps = args.get_or("reps", 20usize)?;
     let seed = args.get_or("seed", 0xDA7Eu64)?;
+    let plan = fault_plan(args)?;
+    let scenario = scenario_of(args)?;
     let sim = EdgeSimulation::new(sim_config(args, artifacts.reconfig_time_ms)?);
     println!(
         "{:>8} {:>9} {:>8} {:>8} {:>9} {:>9} {:>9}",
         "System", "Loss[%]", "Acc[%]", "QoE[%]", "Power[W]", "Lat[ms]", "Reconfigs"
     );
+    let mut all_results = Vec::new();
     for system in systems_of(args.get_or("system", "all".to_string())?.as_str())? {
-        let manager = manager_for(system, &artifacts, 0.10);
-        let results = sim.run_many(&manager, reps, seed);
+        let mut manager = manager_for(system, &artifacts, 0.10);
+        apply_mitigation(&mut manager, &plan, args);
+        let results = match scenario {
+            Some(s) => {
+                let trace = s.trace(sim.config().workload);
+                sim.run_many_shaped_jobs_with_faults(&manager, &trace, reps, seed, 0, &plan)
+            }
+            None => sim.run_many_with_faults(&manager, reps, seed, &plan),
+        };
         println!(
             "{:>8} {:>9.2} {:>8.1} {:>8.1} {:>9.2} {:>9.2} {:>9.1}",
             system.label(),
@@ -213,6 +278,10 @@ fn cmd_simulate(args: &Args) -> Result<(), Box<dyn Error>> {
             mean_of(&results, |r| r.mean_latency_ms),
             mean_of(&results, |r| r.reconfig_count as f64),
         );
+        all_results.extend(results);
+    }
+    if !plan.is_none() {
+        print_fault_summary(&all_results);
     }
     Ok(())
 }
@@ -220,22 +289,33 @@ fn cmd_simulate(args: &Args) -> Result<(), Box<dyn Error>> {
 fn cmd_trace(args: &Args) -> Result<(), Box<dyn Error>> {
     let artifacts = Artifacts::load_json(args.require("artifacts")?)?;
     let seed = args.get_or("seed", 21u64)?;
+    let plan = fault_plan(args)?;
+    let scenario = scenario_of(args)?;
     let mut manager = manager_for(System::AdaPEx, &artifacts, 0.10);
+    apply_mitigation(&mut manager, &plan, args);
     let sim = EdgeSimulation::new(sim_config(args, artifacts.reconfig_time_ms)?);
-    let result = sim.run(&mut manager, seed);
+    let result = match scenario {
+        Some(s) => {
+            let trace = s.trace(sim.config().workload);
+            sim.run_with_shaped_trace_and_faults(&mut manager, &trace, seed, &plan)
+        }
+        None => sim.run_with_faults(&mut manager, seed, &plan),
+    };
     println!(
-        "{:>5} {:>8} {:>8} {:>8} {:>8} {:>6}",
-        "t[s]", "IPS", "P.R.[%]", "C.T.[%]", "Acc[%]", "queue"
+        "{:>5} {:>8} {:>8} {:>8} {:>8} {:>6} {:>5} {:>8}",
+        "t[s]", "IPS", "P.R.[%]", "C.T.[%]", "Acc[%]", "queue", "deg", "backoff"
     );
     for s in &result.trace {
         println!(
-            "{:>5.0} {:>8.0} {:>8.0} {:>8.0} {:>8.1} {:>6}",
+            "{:>5.0} {:>8.0} {:>8.0} {:>8.0} {:>8.1} {:>6} {:>5} {:>8}",
             s.t,
             s.workload_ips,
             s.pruning_rate * 100.0,
             s.confidence_threshold * 100.0,
             s.accuracy * 100.0,
             s.queue_len,
+            if s.degraded { "*" } else { "" },
+            s.backoff_remaining,
         );
     }
     println!(
@@ -245,6 +325,9 @@ fn cmd_trace(args: &Args) -> Result<(), Box<dyn Error>> {
         result.inference_loss_pct(),
         result.qoe() * 100.0
     );
+    if !plan.is_none() {
+        print_fault_summary(std::slice::from_ref(&result));
+    }
     Ok(())
 }
 

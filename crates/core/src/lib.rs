@@ -45,4 +45,4 @@ pub mod runtime;
 pub use cache::{ArtifactCache, CacheStats, CACHE_FORMAT_EPOCH};
 pub use generator::{Artifacts, GeneratorConfig, LibraryGenerator};
 pub use library::{Library, LibraryEntry, OperatingPoint};
-pub use runtime::{Decision, RuntimeManager, SelectionPolicy};
+pub use runtime::{Decision, MitigationConfig, RuntimeManager, SelectionPolicy};

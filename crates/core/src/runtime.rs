@@ -7,6 +7,20 @@
 //! pruning rate means reconfiguring the FPGA (the accelerator is
 //! hard-wired to its CNN), so the default policy tries a free threshold
 //! move inside the current accelerator first.
+//!
+//! Beyond the paper's fault-free model, the manager supports **graceful
+//! degradation** (see DESIGN.md §10): an opt-in [`MitigationConfig`]
+//! adds a workload deadband (decision hysteresis against thrash), a
+//! post-reconfiguration cooldown, and retry-with-backoff after a failed
+//! reconfiguration — while backed off, only the paper's *free* knob
+//! (confidence-threshold retuning inside the current accelerator) is
+//! exercised. Independently of mitigation, the manager tracks
+//! *degraded mode*: it is in degraded mode exactly when no library
+//! entry satisfies the accuracy floor at the observed load, in which
+//! case selection relaxes to the nearest feasible operating point (the
+//! existing fallback tiers of [`Library::select_among`]). All
+//! mitigation defaults are off, so [`RuntimeManager::new`] behaves
+//! bit-identically to the fault-free manager.
 
 use crate::library::{Library, OperatingPoint};
 use serde::{Deserialize, Serialize};
@@ -14,6 +28,73 @@ use serde::{Deserialize, Serialize};
 /// Accuracy gain (absolute) a reconfiguration must buy before the
 /// reconfiguration-aware policy leaves the current accelerator.
 pub const RECONFIG_HYSTERESIS: f64 = 0.01;
+
+/// Graceful-degradation knobs. The default ([`MitigationConfig::off`])
+/// disables every mechanism, reproducing the paper's fault-free
+/// manager bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MitigationConfig {
+    /// Relative workload deadband: an observed load within
+    /// `±ips_deadband` of the last *acted-on* load is treated as
+    /// unchanged and the previous decision is held (no reselection, no
+    /// reconfiguration, no threshold move). 0 disables the deadband.
+    #[serde(default)]
+    pub ips_deadband: f64,
+    /// `decide` periods after a reconfiguration during which further
+    /// reconfigurations are suppressed (threshold-only moves inside the
+    /// new accelerator remain allowed). Prevents reconfiguration
+    /// thrash on workloads oscillating across an entry boundary.
+    #[serde(default)]
+    pub cooldown_periods: u32,
+    /// Backoff after a failed (aborted) reconfiguration: the first
+    /// failure suppresses reconfiguration attempts for this many
+    /// `decide` periods, doubling per consecutive failure. While backed
+    /// off the manager falls back to threshold-only retuning. 0
+    /// disables backoff (failed reconfigurations retry immediately).
+    #[serde(default)]
+    pub backoff_base_periods: u32,
+    /// Upper bound on the (doubling) backoff.
+    #[serde(default)]
+    pub backoff_max_periods: u32,
+}
+
+impl MitigationConfig {
+    /// Everything disabled — the paper's fault-free manager.
+    pub fn off() -> Self {
+        MitigationConfig {
+            ips_deadband: 0.0,
+            cooldown_periods: 0,
+            backoff_base_periods: 0,
+            backoff_max_periods: 0,
+        }
+    }
+
+    /// Tuned defaults for faulty environments: ±10 % deadband, 2-period
+    /// cooldown, 4→16-period doubling backoff (periods are monitor
+    /// periods, 1 s in the paper's scenario). The backoff starts at 4
+    /// because an aborted reconfiguration wastes its full downtime:
+    /// when the fabric is rejecting bitstreams, threshold-only retuning
+    /// for a few extra periods is cheaper than another likely failure.
+    pub fn recommended() -> Self {
+        MitigationConfig {
+            ips_deadband: 0.10,
+            cooldown_periods: 2,
+            backoff_base_periods: 4,
+            backoff_max_periods: 16,
+        }
+    }
+
+    /// Whether any mechanism is enabled.
+    pub fn is_active(&self) -> bool {
+        *self != MitigationConfig::off()
+    }
+}
+
+impl Default for MitigationConfig {
+    fn default() -> Self {
+        MitigationConfig::off()
+    }
+}
 
 /// How the manager searches the library.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -46,6 +127,15 @@ pub struct Decision {
     /// Whether this decision requires an FPGA reconfiguration (the
     /// entry changed).
     pub reconfig: bool,
+    /// Whether the manager is in degraded mode: no library entry met
+    /// the accuracy floor at the observed load, so the selection
+    /// relaxed to the nearest feasible operating point.
+    #[serde(default)]
+    pub degraded: bool,
+    /// The observation fell inside the mitigation deadband and the
+    /// previous decision was held without reselection.
+    #[serde(default)]
+    pub held: bool,
 }
 
 /// The runtime manager: library + accuracy threshold + policy + state.
@@ -59,6 +149,38 @@ pub struct RuntimeManager {
     pub reconfig_count: usize,
     /// Total confidence-threshold-only changes decided so far.
     pub ct_change_count: usize,
+    /// Graceful-degradation configuration (default: everything off).
+    #[serde(default)]
+    mitigation: MitigationConfig,
+    /// The observed load the manager last acted on (deadband anchor).
+    #[serde(default)]
+    last_acted_ips: Option<f64>,
+    /// Remaining post-reconfiguration cooldown periods.
+    #[serde(default)]
+    cooldown_remaining: u32,
+    /// Remaining failure-backoff periods.
+    #[serde(default)]
+    backoff_remaining: u32,
+    /// Consecutive failed reconfigurations (drives backoff doubling).
+    #[serde(default)]
+    consecutive_failures: u32,
+    /// `(entry, point)` active before the in-flight reconfiguration,
+    /// restored if the reconfiguration aborts.
+    #[serde(default)]
+    pre_reconfig: Option<(usize, usize)>,
+    /// Whether the manager is currently in degraded mode.
+    #[serde(default)]
+    degraded: bool,
+    /// Reconfigurations reported as failed via
+    /// [`RuntimeManager::reconfig_aborted`].
+    #[serde(default)]
+    pub failed_reconfig_count: usize,
+    /// Reconfiguration attempts made while recovering from ≥ 1 failure.
+    #[serde(default)]
+    pub retry_count: usize,
+    /// Rising edges into degraded mode.
+    #[serde(default)]
+    pub degraded_enter_count: usize,
 }
 
 impl RuntimeManager {
@@ -81,7 +203,44 @@ impl RuntimeManager {
             current: None,
             reconfig_count: 0,
             ct_change_count: 0,
+            mitigation: MitigationConfig::off(),
+            last_acted_ips: None,
+            cooldown_remaining: 0,
+            backoff_remaining: 0,
+            consecutive_failures: 0,
+            pre_reconfig: None,
+            degraded: false,
+            failed_reconfig_count: 0,
+            retry_count: 0,
+            degraded_enter_count: 0,
         }
+    }
+
+    /// Installs a graceful-degradation configuration (builder form).
+    pub fn with_mitigation(mut self, mitigation: MitigationConfig) -> Self {
+        self.mitigation = mitigation;
+        self
+    }
+
+    /// Installs a graceful-degradation configuration in place.
+    pub fn set_mitigation(&mut self, mitigation: MitigationConfig) {
+        self.mitigation = mitigation;
+    }
+
+    /// The active graceful-degradation configuration.
+    pub fn mitigation(&self) -> &MitigationConfig {
+        &self.mitigation
+    }
+
+    /// Whether the manager is currently in degraded mode (no library
+    /// entry met the accuracy floor at the last observed load).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Remaining failure-backoff periods (0 when not backing off).
+    pub fn backoff_remaining(&self) -> u32 {
+        self.backoff_remaining
     }
 
     /// The library being searched.
@@ -107,9 +266,137 @@ impl RuntimeManager {
 
     /// Reacts to an observed workload (incoming inferences per second):
     /// picks the operating point per the policy, updating internal
-    /// state and counters.
+    /// state and counters. With mitigation enabled, observations inside
+    /// the deadband hold the previous decision, and while cooling down
+    /// or backing off after a failed reconfiguration only the free
+    /// confidence-threshold knob moves.
     pub fn decide(&mut self, observed_ips: f64) -> Decision {
-        let pick = match self.policy {
+        // Deadband hysteresis: small fluctuations around the last
+        // acted-on load change nothing — no reselection, no thrash.
+        if let (Some(anchor), Some((e, p))) = (self.last_acted_ips, self.current) {
+            let db = self.mitigation.ips_deadband;
+            if db > 0.0 && (observed_ips - anchor).abs() <= db * anchor {
+                self.tick_suppressions();
+                return Decision {
+                    entry: e,
+                    point: p,
+                    threshold: self.library.entries[e].points[p].confidence_threshold,
+                    reconfig: false,
+                    degraded: self.degraded,
+                    held: true,
+                };
+            }
+        }
+        // While cooling down after a reconfiguration, or backing off
+        // after a failed one, restrict the search to the current
+        // accelerator: threshold retuning stays free, reconfigurations
+        // are suppressed.
+        let restricted = (self.cooldown_remaining > 0 || self.backoff_remaining > 0)
+            .then_some(self.current)
+            .flatten();
+        self.tick_suppressions();
+        let pick = match restricted {
+            Some((cur, _)) => self
+                .library
+                .select_among(observed_ips, self.min_accuracy, Some(cur)),
+            None => self.policy_pick(observed_ips),
+        }
+        .expect("library is non-empty, a fallback point always exists");
+
+        // Degraded mode: no entry meets the accuracy floor at this
+        // load, so whatever was picked is a relaxation to the nearest
+        // feasible point (select_among's fallback tiers).
+        let degraded_now = self
+            .library
+            .select_strict(observed_ips, self.min_accuracy, None)
+            .is_none();
+        if degraded_now && !self.degraded {
+            self.degraded_enter_count += 1;
+        }
+        self.degraded = degraded_now;
+
+        let reconfig = match self.current {
+            Some((cur_entry, cur_point)) => {
+                if cur_entry != pick.0 {
+                    self.reconfig_count += 1;
+                    if self.consecutive_failures > 0 {
+                        self.retry_count += 1;
+                    }
+                    self.pre_reconfig = Some((cur_entry, cur_point));
+                    self.cooldown_remaining = self.mitigation.cooldown_periods;
+                    true
+                } else {
+                    if cur_point != pick.1 {
+                        self.ct_change_count += 1;
+                    }
+                    false
+                }
+            }
+            None => false, // initial configuration, not a reconfiguration
+        };
+        self.current = Some(pick);
+        // The deadband anchors only on loads the manager could act on
+        // freely: a restricted (cooldown/backoff) selection must not
+        // arm the deadband, or a steady overload would be "held" and
+        // the post-backoff retry would never fire.
+        if restricted.is_none() {
+            self.last_acted_ips = Some(observed_ips);
+        }
+        let threshold = self.library.entries[pick.0].points[pick.1].confidence_threshold;
+        Decision {
+            entry: pick.0,
+            point: pick.1,
+            threshold,
+            reconfig,
+            degraded: degraded_now,
+            held: false,
+        }
+    }
+
+    /// Reports that the in-flight reconfiguration aborted: the old
+    /// bitstream is still loaded, so the manager reverts to the
+    /// pre-reconfiguration operating point, counts the failure, and —
+    /// when backoff is configured — suppresses further reconfiguration
+    /// attempts for a doubling number of periods (threshold-only
+    /// retuning remains available meanwhile).
+    pub fn reconfig_aborted(&mut self) {
+        if let Some(prev) = self.pre_reconfig.take() {
+            self.current = Some(prev);
+        }
+        self.failed_reconfig_count += 1;
+        self.consecutive_failures += 1;
+        // The switch never happened; its cooldown is moot.
+        self.cooldown_remaining = 0;
+        if self.mitigation.backoff_base_periods > 0 {
+            let cap = self
+                .mitigation
+                .backoff_max_periods
+                .max(self.mitigation.backoff_base_periods) as u64;
+            let shift = (self.consecutive_failures - 1).min(16);
+            let backoff = (self.mitigation.backoff_base_periods as u64) << shift;
+            self.backoff_remaining = backoff.min(cap) as u32;
+        }
+        // Re-evaluate on the next observation regardless of deadband.
+        self.last_acted_ips = None;
+    }
+
+    /// Reports that the in-flight reconfiguration completed: the FPGA
+    /// demonstrably reconfigures again, so the failure streak resets
+    /// and any residual backoff is lifted.
+    pub fn reconfig_completed(&mut self) {
+        self.consecutive_failures = 0;
+        self.backoff_remaining = 0;
+        self.pre_reconfig = None;
+    }
+
+    fn tick_suppressions(&mut self) {
+        self.cooldown_remaining = self.cooldown_remaining.saturating_sub(1);
+        self.backoff_remaining = self.backoff_remaining.saturating_sub(1);
+    }
+
+    /// The unrestricted selection for the configured policy.
+    fn policy_pick(&self, observed_ips: f64) -> Option<(usize, usize)> {
+        match self.policy {
             SelectionPolicy::ReconfigAware => {
                 let global = self
                     .library
@@ -137,30 +424,6 @@ impl RuntimeManager {
             SelectionPolicy::Oblivious => self.library.select(observed_ips, self.min_accuracy),
             SelectionPolicy::ThroughputGreedy => self.fastest_qualified(),
             SelectionPolicy::AccuracyGreedy => self.most_accurate_fast_enough(observed_ips),
-        }
-        .expect("library is non-empty, a fallback point always exists");
-
-        let reconfig = match self.current {
-            Some((cur_entry, cur_point)) => {
-                if cur_entry != pick.0 {
-                    self.reconfig_count += 1;
-                    true
-                } else {
-                    if cur_point != pick.1 {
-                        self.ct_change_count += 1;
-                    }
-                    false
-                }
-            }
-            None => false, // initial configuration, not a reconfiguration
-        };
-        self.current = Some(pick);
-        let threshold = self.library.entries[pick.0].points[pick.1].confidence_threshold;
-        Decision {
-            entry: pick.0,
-            point: pick.1,
-            threshold,
-            reconfig,
         }
     }
 
@@ -275,5 +538,124 @@ mod tests {
     #[should_panic(expected = "runtime manager needs a library")]
     fn rejects_empty_library() {
         RuntimeManager::new(Library::new(), 0.5, SelectionPolicy::ReconfigAware);
+    }
+
+    #[test]
+    fn deadband_holds_decisions_within_band() {
+        let mut m = RuntimeManager::new(demo_library(), 0.7, SelectionPolicy::ReconfigAware)
+            .with_mitigation(MitigationConfig {
+                ips_deadband: 0.10,
+                ..MitigationConfig::off()
+            });
+        let d0 = m.decide(500.0);
+        assert!(!d0.held);
+        // ±10 % of 500: everything in [450, 550] is held verbatim.
+        for load in [455.0, 549.0, 500.0, 460.0] {
+            let d = m.decide(load);
+            assert!(d.held, "load {load} should be held");
+            assert_eq!((d.entry, d.point), (d0.entry, d0.point));
+            assert!(!d.reconfig);
+        }
+        assert_eq!(m.reconfig_count, 0);
+        assert_eq!(m.ct_change_count, 0);
+        // Outside the band the manager re-decides (and re-anchors).
+        let d = m.decide(800.0);
+        assert!(!d.held);
+        assert!(d.reconfig);
+    }
+
+    #[test]
+    fn cooldown_suppresses_reconfig_thrash() {
+        let mit = MitigationConfig {
+            cooldown_periods: 3,
+            ..MitigationConfig::off()
+        };
+        let mut m = RuntimeManager::new(demo_library(), 0.7, SelectionPolicy::ReconfigAware)
+            .with_mitigation(mit);
+        m.decide(300.0); // initial: entry 0
+        let d = m.decide(800.0); // forced off entry 0
+        assert!(d.reconfig);
+        // Load falls back: without cooldown this could bounce to entry 0
+        // (a higher-accuracy strict pick). With cooldown, the manager
+        // stays on entry 1 and only retunes the threshold.
+        let d = m.decide(300.0);
+        assert!(!d.reconfig, "cooldown must suppress the bounce-back");
+        assert_eq!(d.entry, 1);
+        assert_eq!(m.reconfig_count, 1);
+    }
+
+    #[test]
+    fn abort_reverts_and_backoff_doubles() {
+        let mit = MitigationConfig {
+            backoff_base_periods: 2,
+            backoff_max_periods: 16,
+            ..MitigationConfig::off()
+        };
+        let mut m = RuntimeManager::new(demo_library(), 0.7, SelectionPolicy::ReconfigAware)
+            .with_mitigation(mit);
+        m.decide(300.0);
+        let d = m.decide(800.0);
+        assert!(d.reconfig);
+        assert_eq!(d.entry, 1);
+        m.reconfig_aborted();
+        assert_eq!(m.current(), Some((0, 0)), "old bitstream restored");
+        assert_eq!(m.failed_reconfig_count, 1);
+        assert_eq!(m.backoff_remaining(), 2);
+        // While backed off (2 periods), the same overload yields only
+        // free moves inside the (old) current entry.
+        for _ in 0..2 {
+            let d = m.decide(800.0);
+            assert!(!d.reconfig);
+            assert_eq!(d.entry, 0);
+        }
+        // Backoff expired; the retry is counted.
+        let d = m.decide(800.0);
+        assert!(d.reconfig);
+        assert_eq!(m.retry_count, 1);
+        // A second consecutive failure doubles the backoff.
+        m.reconfig_aborted();
+        assert_eq!(m.backoff_remaining(), 4);
+        m.reconfig_completed();
+        // A success resets the streak and lifts the backoff: the next
+        // failure starts over at the base backoff.
+        assert_eq!(m.backoff_remaining(), 0);
+        assert!(m.decide(800.0).reconfig);
+        m.reconfig_aborted();
+        assert_eq!(m.backoff_remaining(), 2);
+    }
+
+    #[test]
+    fn backoff_disabled_retries_immediately() {
+        let mut m = RuntimeManager::new(demo_library(), 0.7, SelectionPolicy::ReconfigAware);
+        m.decide(300.0);
+        assert!(m.decide(800.0).reconfig);
+        m.reconfig_aborted();
+        assert_eq!(m.backoff_remaining(), 0);
+        assert!(m.decide(800.0).reconfig, "no backoff configured: retry now");
+        assert_eq!(m.retry_count, 1);
+    }
+
+    #[test]
+    fn degraded_mode_tracks_floor_feasibility() {
+        let mut m = RuntimeManager::new(demo_library(), 0.7, SelectionPolicy::ReconfigAware);
+        let d = m.decide(500.0);
+        assert!(!d.degraded);
+        assert!(!m.is_degraded());
+        // 1800 IPS is unreachable above the 0.7 floor: degraded.
+        let d = m.decide(1800.0);
+        assert!(d.degraded);
+        assert!(m.is_degraded());
+        assert_eq!(m.degraded_enter_count, 1);
+        // Load recovers: degraded mode exits; re-entry counts again.
+        assert!(!m.decide(500.0).degraded);
+        assert!(m.decide(1800.0).degraded);
+        assert_eq!(m.degraded_enter_count, 2);
+    }
+
+    #[test]
+    fn mitigation_off_is_bitwise_default() {
+        assert_eq!(MitigationConfig::default(), MitigationConfig::off());
+        assert!(!MitigationConfig::off().is_active());
+        assert!(MitigationConfig::recommended().is_active());
     }
 }

@@ -25,10 +25,15 @@
 //! println!("loss {:.2}% accuracy {:.3}", result.inference_loss_pct(), result.mean_accuracy);
 //! ```
 
+mod fault;
 mod scenario;
 mod sim;
 mod workload;
 
+pub use fault::{
+    AccuracyFault, CameraDropout, FaultCounters, FaultPlan, FaultState, FaultWindow,
+    ReconfigOutcome, StaleFlood, FAULT_PLAN_ENV,
+};
 pub use scenario::Scenario;
 pub use sim::{mean_of, EdgeSimulation, SimConfig, SimResult, TraceSample};
 pub use workload::{WorkloadConfig, WorkloadTrace};

@@ -46,6 +46,11 @@ impl Scenario {
         }
     }
 
+    /// Parses a scenario from its [`Scenario::id`] string.
+    pub fn from_id(id: &str) -> Option<Scenario> {
+        Scenario::all().into_iter().find(|s| s.id() == id)
+    }
+
     /// Rate multiplier at normalized time `x` in `[0, 1]`.
     fn multiplier(self, x: f64) -> f64 {
         match self {
@@ -93,6 +98,14 @@ mod tests {
             deviation_period_s: 5.0,
             ..WorkloadConfig::paper_default()
         }
+    }
+
+    #[test]
+    fn from_id_roundtrips_and_rejects_unknown() {
+        for s in Scenario::all() {
+            assert_eq!(Scenario::from_id(s.id()), Some(s));
+        }
+        assert_eq!(Scenario::from_id("nope"), None);
     }
 
     #[test]

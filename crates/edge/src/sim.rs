@@ -1,5 +1,6 @@
 //! The edge-server simulation loop.
 
+use crate::fault::{FaultCounters, FaultPlan, FaultState};
 use crate::workload::{WorkloadConfig, WorkloadTrace};
 use adapex::runtime::RuntimeManager;
 use adapex_tensor::parallel::{num_threads, par_map};
@@ -58,6 +59,14 @@ pub struct TraceSample {
     pub accuracy: f64,
     /// Queue occupancy at the sample instant.
     pub queue_len: usize,
+    /// The manager was in degraded mode at this decision (no entry met
+    /// the accuracy floor at the observed load).
+    #[serde(default)]
+    pub degraded: bool,
+    /// Decision periods the manager still suppresses reconfigurations
+    /// after a failed one (0 when not backing off).
+    #[serde(default)]
+    pub backoff_remaining: u32,
 }
 
 /// Aggregate results of one run.
@@ -85,6 +94,10 @@ pub struct SimResult {
     pub ct_change_count: usize,
     /// Run length in seconds.
     pub duration_s: f64,
+    /// Per-event fault accounting (all zeros on a fault-free run), so
+    /// QoE/EDP stay comparable with and without faults.
+    #[serde(default)]
+    pub faults: FaultCounters,
     /// Per-monitor-period trace.
     pub trace: Vec<TraceSample>,
 }
@@ -115,18 +128,25 @@ impl SimResult {
     }
 
     /// Energy per processed inference in millijoules.
-    pub fn energy_per_inference_mj(&self) -> f64 {
+    ///
+    /// Returns `None` when the run processed nothing (an all-drop
+    /// scenario): per-inference energy is undefined there, and the
+    /// previous `f64::INFINITY` sentinel poisoned downstream means and
+    /// turned [`SimResult::edp`] into `inf × 0 = NaN`.
+    pub fn energy_per_inference_mj(&self) -> Option<f64> {
         if self.processed == 0 {
-            f64::INFINITY
+            None
         } else {
-            self.energy_j / self.processed as f64 * 1_000.0
+            Some(self.energy_j / self.processed as f64 * 1_000.0)
         }
     }
 
     /// Energy-delay product per inference (mJ·ms) — the paper's EDP
-    /// metric (reported normalized to FINN).
-    pub fn edp(&self) -> f64 {
-        self.energy_per_inference_mj() * self.mean_latency_ms
+    /// metric (reported normalized to FINN). `None` when the run
+    /// processed nothing (see [`SimResult::energy_per_inference_mj`]).
+    pub fn edp(&self) -> Option<f64> {
+        self.energy_per_inference_mj()
+            .map(|e| e * self.mean_latency_ms)
     }
 }
 
@@ -161,10 +181,24 @@ impl EdgeSimulation {
     /// The manager keeps its library but its selection state resets so
     /// repeated runs are independent.
     pub fn run(&self, manager: &mut RuntimeManager, seed: u64) -> SimResult {
+        self.run_with_faults(manager, seed, &FaultPlan::none())
+    }
+
+    /// [`EdgeSimulation::run`] under a fault plan. With
+    /// [`FaultPlan::none`] this is bit-identical to [`EdgeSimulation::run`]:
+    /// faults draw from a dedicated RNG stream, so the workload draws
+    /// are untouched either way.
+    pub fn run_with_faults(
+        &self,
+        manager: &mut RuntimeManager,
+        seed: u64,
+        plan: &FaultPlan,
+    ) -> SimResult {
         let cfg = &self.config;
         let trace = cfg.workload.sample(seed);
         let mut rng = rng_from_seed(seed ^ 0xE06E);
-        self.run_with_trace(manager, &trace, &mut rng)
+        let mut faults = FaultState::new(plan, seed);
+        self.run_with_trace(manager, &trace, &mut rng, &mut faults)
     }
 
     /// Runs one episode against a caller-supplied (e.g. shaped) workload
@@ -175,8 +209,20 @@ impl EdgeSimulation {
         trace: &WorkloadTrace,
         seed: u64,
     ) -> SimResult {
+        self.run_with_shaped_trace_and_faults(manager, trace, seed, &FaultPlan::none())
+    }
+
+    /// [`EdgeSimulation::run_with_shaped_trace`] under a fault plan.
+    pub fn run_with_shaped_trace_and_faults(
+        &self,
+        manager: &mut RuntimeManager,
+        trace: &WorkloadTrace,
+        seed: u64,
+        plan: &FaultPlan,
+    ) -> SimResult {
         let mut rng = rng_from_seed(seed ^ 0x5A9E);
-        self.run_with_trace(manager, trace, &mut rng)
+        let mut faults = FaultState::new(plan, seed);
+        self.run_with_trace(manager, trace, &mut rng, &mut faults)
     }
 
     /// Runs `repetitions` seeded episodes (the paper averages 100),
@@ -191,6 +237,18 @@ impl EdgeSimulation {
         self.run_many_jobs(manager, repetitions, seed, num_threads())
     }
 
+    /// [`EdgeSimulation::run_many`] under a fault plan, on the default
+    /// worker pool.
+    pub fn run_many_with_faults(
+        &self,
+        manager: &RuntimeManager,
+        repetitions: usize,
+        seed: u64,
+        plan: &FaultPlan,
+    ) -> Vec<SimResult> {
+        self.run_many_jobs_with_faults(manager, repetitions, seed, num_threads(), plan)
+    }
+
     /// [`EdgeSimulation::run_many`] with an explicit worker count.
     /// `jobs == 1` runs the episodes inline on the calling thread; any
     /// job count produces the same results in the same order.
@@ -201,9 +259,42 @@ impl EdgeSimulation {
         seed: u64,
         jobs: usize,
     ) -> Vec<SimResult> {
+        self.run_many_jobs_with_faults(manager, repetitions, seed, jobs, &FaultPlan::none())
+    }
+
+    /// [`EdgeSimulation::run_many_jobs`] under a fault plan. Each
+    /// repetition derives its fault stream from `(plan.seed, seed + i)`,
+    /// so results are job-count-invariant exactly like the fault-free
+    /// path.
+    pub fn run_many_jobs_with_faults(
+        &self,
+        manager: &RuntimeManager,
+        repetitions: usize,
+        seed: u64,
+        jobs: usize,
+        plan: &FaultPlan,
+    ) -> Vec<SimResult> {
         par_map(repetitions, jobs, |i| {
             let mut m = manager.clone();
-            self.run(&mut m, seed.wrapping_add(i as u64))
+            self.run_with_faults(&mut m, seed.wrapping_add(i as u64), plan)
+        })
+    }
+
+    /// Repeated shaped-trace episodes under a fault plan (the fault
+    /// bench's entry point); job-count-invariant like
+    /// [`EdgeSimulation::run_many_jobs_with_faults`].
+    pub fn run_many_shaped_jobs_with_faults(
+        &self,
+        manager: &RuntimeManager,
+        trace: &WorkloadTrace,
+        repetitions: usize,
+        seed: u64,
+        jobs: usize,
+        plan: &FaultPlan,
+    ) -> Vec<SimResult> {
+        par_map(repetitions, jobs, |i| {
+            let mut m = manager.clone();
+            self.run_with_shaped_trace_and_faults(&mut m, trace, seed.wrapping_add(i as u64), plan)
         })
     }
 
@@ -212,6 +303,7 @@ impl EdgeSimulation {
         manager: &mut RuntimeManager,
         trace: &WorkloadTrace,
         rng: &mut rand::rngs::StdRng,
+        faults: &mut FaultState,
     ) -> SimResult {
         let cfg = &self.config;
         let dt = cfg.tick_s;
@@ -222,6 +314,8 @@ impl EdgeSimulation {
         manager.decide(cfg.workload.nominal_ips());
         let initial_reconfigs = manager.reconfig_count;
         let initial_ct_changes = manager.ct_change_count;
+        let initial_failed = manager.failed_reconfig_count;
+        let initial_retries = manager.retry_count;
 
         let mut offered = 0usize;
         let mut processed = 0usize;
@@ -232,6 +326,9 @@ impl EdgeSimulation {
         let mut energy_j = 0.0f64;
         let mut service_credit = 0.0f64;
         let mut reconfig_remaining_s = 0.0f64;
+        // The in-flight reconfiguration will abort (fault-injected):
+        // when its downtime elapses the old bitstream is still loaded.
+        let mut reconfig_aborting = false;
         let mut monitor_arrivals = 0usize;
         let mut monitor_elapsed = 0.0f64;
         let mut samples = Vec::new();
@@ -239,7 +336,12 @@ impl EdgeSimulation {
         let mut t = 0.0f64;
         while t < duration {
             // --- Arrivals. -------------------------------------------
-            let arrivals = trace.arrivals(t, dt, rng);
+            // Camera dropouts lose frames at the source (never offered);
+            // stale-frame floods add arrivals beyond the ±30 % envelope.
+            // Both hooks are no-ops (no RNG draw) on an empty plan.
+            let produced = trace.arrivals(t, dt, rng);
+            let arrivals = produced - faults.dropped_at_source(t, produced)
+                + faults.flood_arrivals(t, dt, trace.rate_at(t));
             offered += arrivals;
             monitor_arrivals += arrivals;
             for _ in 0..arrivals {
@@ -259,6 +361,15 @@ impl EdgeSimulation {
                 reconfig_remaining_s -= dt;
                 energy_j += cfg.reconfig_power_w * dt;
                 service_credit = 0.0;
+                if reconfig_remaining_s <= 0.0 {
+                    // Downtime just elapsed: settle the attempt.
+                    if reconfig_aborting {
+                        manager.reconfig_aborted();
+                        reconfig_aborting = false;
+                    } else {
+                        manager.reconfig_completed();
+                    }
+                }
             } else {
                 energy_j += point.power_w * dt;
                 service_credit += point.ips * dt;
@@ -269,9 +380,16 @@ impl EdgeSimulation {
                         service_credit = service_credit.min(point.ips * dt + 1.0);
                         break;
                     };
+                    if faults.is_stale(t, arrived_at) {
+                        // Stale-frame admission control: discard without
+                        // spending a service slot.
+                        lost += 1;
+                        faults.counters.stale_discarded += 1;
+                        continue;
+                    }
                     service_credit -= 1.0;
                     processed += 1;
-                    accuracy_sum += point.accuracy;
+                    accuracy_sum += faults.delivered_accuracy(t, point.accuracy);
                     latency_sum_ms += (t - arrived_at) * 1_000.0 + point.avg_latency_ms;
                     service_sum_ms += point.avg_latency_ms;
                 }
@@ -283,7 +401,13 @@ impl EdgeSimulation {
                 let observed_ips = monitor_arrivals as f64 / monitor_elapsed;
                 let decision = manager.decide(observed_ips);
                 if decision.reconfig {
-                    reconfig_remaining_s += cfg.reconfig_time_ms / 1_000.0;
+                    let outcome = faults.reconfig_outcome(cfg.reconfig_time_ms / 1_000.0);
+                    reconfig_remaining_s += outcome.downtime_s;
+                    reconfig_aborting = outcome.aborted;
+                }
+                if decision.degraded {
+                    faults.counters.degraded_periods += 1;
+                    faults.counters.time_degraded_s += monitor_elapsed;
                 }
                 let entry = &manager.library().entries[decision.entry];
                 samples.push(TraceSample {
@@ -293,6 +417,8 @@ impl EdgeSimulation {
                     confidence_threshold: decision.threshold,
                     accuracy: entry.points[decision.point].accuracy,
                     queue_len: queue.len(),
+                    degraded: decision.degraded,
+                    backoff_remaining: manager.backoff_remaining(),
                 });
                 monitor_arrivals = 0;
                 monitor_elapsed = 0.0;
@@ -305,6 +431,10 @@ impl EdgeSimulation {
         // lost; with a 25 s horizon they are a negligible sliver and are
         // counted as lost (they missed the episode).
         lost += queue.len();
+
+        let mut counters = faults.counters.clone();
+        counters.failed_reconfigs = manager.failed_reconfig_count - initial_failed;
+        counters.reconfig_retries = manager.retry_count - initial_retries;
 
         SimResult {
             offered,
@@ -330,6 +460,7 @@ impl EdgeSimulation {
             reconfig_count: manager.reconfig_count - initial_reconfigs,
             ct_change_count: manager.ct_change_count - initial_ct_changes,
             duration_s: duration,
+            faults: counters,
             trace: samples,
         }
     }
@@ -521,8 +652,165 @@ mod tests {
     fn edp_and_energy_metrics_are_consistent() {
         let sim = EdgeSimulation::new(SimConfig::paper_default(145.0));
         let r = sim.run(&mut static_manager(2000.0), 1);
-        let e_mj = r.energy_per_inference_mj();
+        let e_mj = r.energy_per_inference_mj().expect("processed > 0");
         assert!(e_mj > 0.0 && e_mj.is_finite());
-        assert!((r.edp() - e_mj * r.mean_latency_ms).abs() < 1e-9);
+        let edp = r.edp().expect("processed > 0");
+        assert!((edp - e_mj * r.mean_latency_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edp_is_none_when_nothing_processed() {
+        // A zero-throughput run used to yield inf energy-per-inference
+        // and NaN EDP; both must now be None.
+        let r = SimResult {
+            offered: 100,
+            processed: 0,
+            lost: 100,
+            mean_accuracy: 0.0,
+            mean_power_w: 1.0,
+            mean_latency_ms: 0.0,
+            mean_service_latency_ms: 0.0,
+            energy_j: 25.0,
+            reconfig_count: 0,
+            ct_change_count: 0,
+            duration_s: 25.0,
+            faults: FaultCounters::default(),
+            trace: Vec::new(),
+        };
+        assert_eq!(r.energy_per_inference_mj(), None);
+        assert_eq!(r.edp(), None);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_plain_run() {
+        let sim = EdgeSimulation::new(SimConfig::paper_default(145.0));
+        let plain = sim.run(&mut adaptive_manager(), 7);
+        let faulted = sim.run_with_faults(&mut adaptive_manager(), 7, &FaultPlan::none());
+        assert_eq!(plain, faulted);
+        assert!(faulted.faults.is_clean());
+    }
+
+    #[test]
+    fn camera_dropout_reduces_offered_load() {
+        use crate::fault::{CameraDropout, FaultWindow};
+        let sim = EdgeSimulation::new(SimConfig::paper_default(145.0));
+        let clean = sim.run(&mut static_manager(2000.0), 3);
+        let plan = FaultPlan {
+            dropouts: vec![CameraDropout {
+                window: FaultWindow { start_s: 5.0, end_s: 15.0 },
+                fraction: 0.5,
+            }],
+            ..FaultPlan::none()
+        };
+        let faulted = sim.run_with_faults(&mut static_manager(2000.0), 3, &plan);
+        assert!(
+            faulted.offered < clean.offered,
+            "dropout should lose frames at the source: {} vs {}",
+            faulted.offered,
+            clean.offered
+        );
+        assert!(faulted.faults.dropped_by_fault > 1000);
+        // Dropped-at-source frames are neither offered nor lost, so
+        // conservation still holds on what was offered.
+        assert_eq!(faulted.offered, faulted.processed + faulted.lost);
+    }
+
+    #[test]
+    fn stale_flood_overloads_the_server() {
+        use crate::fault::{FaultWindow, StaleFlood};
+        let sim = EdgeSimulation::new(SimConfig::paper_default(145.0));
+        let clean = sim.run(&mut static_manager(700.0), 3);
+        let plan = FaultPlan {
+            floods: vec![StaleFlood {
+                window: FaultWindow { start_s: 5.0, end_s: 15.0 },
+                multiplier: 2.0,
+            }],
+            ..FaultPlan::none()
+        };
+        let faulted = sim.run_with_faults(&mut static_manager(700.0), 3, &plan);
+        assert!(faulted.offered > clean.offered, "flood adds arrivals");
+        assert!(faulted.faults.flood_arrivals > 1000);
+        assert!(
+            faulted.inference_loss_pct() > clean.inference_loss_pct(),
+            "flood {} vs clean {}",
+            faulted.inference_loss_pct(),
+            clean.inference_loss_pct()
+        );
+    }
+
+    #[test]
+    fn accuracy_fault_degrades_delivered_accuracy() {
+        use crate::fault::{AccuracyFault, FaultWindow};
+        let sim = EdgeSimulation::new(SimConfig::paper_default(145.0));
+        let clean = sim.run(&mut static_manager(2000.0), 3);
+        let plan = FaultPlan {
+            accuracy_faults: vec![AccuracyFault {
+                window: FaultWindow { start_s: 0.0, end_s: 25.0 },
+                delta: 0.10,
+            }],
+            ..FaultPlan::none()
+        };
+        let faulted = sim.run_with_faults(&mut static_manager(2000.0), 3, &plan);
+        assert!(
+            (clean.mean_accuracy - faulted.mean_accuracy - 0.10).abs() < 1e-6,
+            "full-episode delta should shift mean accuracy by 0.10: {} vs {}",
+            clean.mean_accuracy,
+            faulted.mean_accuracy
+        );
+        // Throughput accounting is untouched by an accuracy fault.
+        assert_eq!(clean.offered, faulted.offered);
+        assert_eq!(clean.processed, faulted.processed);
+    }
+
+    #[test]
+    fn failed_reconfigs_are_counted_and_reverted() {
+        // Every reconfiguration aborts: the manager must end the episode
+        // on its original entry, with failures in the counters.
+        let sim = EdgeSimulation::new(SimConfig::paper_default(145.0));
+        let seed = seed_with_peak_above(700.0);
+        let plan = FaultPlan {
+            reconfig_failure_prob: 1.0,
+            reconfig_abort_fraction: 1.0,
+            ..FaultPlan::none()
+        };
+        let mut m = adaptive_manager();
+        let r = sim.run_with_faults(&mut m, seed, &plan);
+        assert!(
+            r.faults.failed_reconfigs >= 1,
+            "peaked workload must attempt (and fail) a reconfig"
+        );
+        // The abort left the old bitstream: the manager's current entry
+        // is still the initial one.
+        assert_eq!(m.current().map(|(e, _)| e), Some(0));
+    }
+
+    #[test]
+    fn reconfig_overrun_extends_downtime_and_loss() {
+        let sim = EdgeSimulation::new(SimConfig::paper_default(145.0));
+        let seed = seed_with_peak_above(700.0);
+        let clean = sim.run(&mut adaptive_manager(), seed);
+        let plan = FaultPlan {
+            reconfig_overrun_prob: 1.0,
+            reconfig_overrun_factor: 8.0,
+            ..FaultPlan::none()
+        };
+        let faulted = sim.run_with_faults(&mut adaptive_manager(), seed, &plan);
+        assert!(faulted.faults.overrun_reconfigs >= 1);
+        assert!(
+            faulted.lost > clean.lost,
+            "8x downtime must cost inferences: {} vs {}",
+            faulted.lost,
+            clean.lost
+        );
+    }
+
+    #[test]
+    fn fault_runs_are_job_count_invariant() {
+        let sim = EdgeSimulation::new(SimConfig::paper_default(145.0));
+        let m = adaptive_manager();
+        let plan = FaultPlan::canned();
+        let serial = sim.run_many_jobs_with_faults(&m, 6, 42, 1, &plan);
+        let parallel = sim.run_many_jobs_with_faults(&m, 6, 42, 4, &plan);
+        assert_eq!(serial, parallel);
     }
 }

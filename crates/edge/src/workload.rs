@@ -97,7 +97,7 @@ impl WorkloadTrace {
 }
 
 /// Knuth's Poisson sampler (fine for the per-tick λ ≈ 6 used here).
-fn poisson(lambda: f64, rng: &mut StdRng) -> usize {
+pub(crate) fn poisson(lambda: f64, rng: &mut StdRng) -> usize {
     if lambda <= 0.0 {
         return 0;
     }

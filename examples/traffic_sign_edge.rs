@@ -54,7 +54,7 @@ fn main() {
         "energy {:.2} J over {:.0} s -> {:.3} mJ per inference, EDP {:.3} mJ*ms",
         result.energy_j,
         result.duration_s,
-        result.energy_per_inference_mj(),
-        result.edp(),
+        result.energy_per_inference_mj().unwrap_or(0.0),
+        result.edp().unwrap_or(0.0),
     );
 }

@@ -79,7 +79,9 @@ fn adapex_beats_static_finn_under_overload() {
     );
 
     // EDP: AdaPEx at or below FINN (the paper reports 2.0-2.55x better).
-    let edp = |rs: &[adapex_edge::SimResult]| mean_of(rs, |r| r.edp());
+    let edp = |rs: &[adapex_edge::SimResult]| {
+        mean_of(rs, |r| r.edp().expect("episodes process inferences"))
+    };
     assert!(
         edp(&adapex) < edp(&finn),
         "AdaPEx EDP {:.3} must beat FINN {:.3}",

@@ -1,0 +1,253 @@
+//! Determinism guarantees of the fault-injection layer.
+//!
+//! Three claims are pinned here:
+//!
+//! 1. **Pre-PR bit-identity** — a fault-free cold simulation is
+//!    byte-identical to the simulator as it behaved *before* the fault
+//!    layer existed. The constants below are `f64::to_bits`
+//!    fingerprints captured on the pre-fault-layer revision; any change
+//!    to an RNG draw, accounting order, or float expression on the
+//!    fault-free path shows up here.
+//! 2. **Fault-free plan ≡ plain run** — `run_with_faults(…,
+//!    FaultPlan::none())` equals `run(…)` exactly, because an empty plan
+//!    performs zero draws on its dedicated stream.
+//! 3. **Job-count invariance under faults** — identical seeds and
+//!    fault plan produce byte-identical `SimResult`s at any worker
+//!    count; each repetition's fault stream is a pure function of
+//!    `(plan.seed, seed + i)`.
+
+use adapex::library::{Library, LibraryEntry, OperatingPoint};
+use adapex::runtime::{MitigationConfig, RuntimeManager, SelectionPolicy};
+use adapex_edge::{EdgeSimulation, FaultPlan, Scenario, SimConfig, SimResult, WorkloadConfig};
+use finn_dataflow::ResourceUsage;
+
+fn entry(id: usize, rate: f64, acc: f64, ips: f64) -> LibraryEntry {
+    LibraryEntry {
+        id,
+        pruning_rate: rate,
+        achieved_rate: rate,
+        prune_exits: false,
+        mean_exit_accuracy: acc,
+        final_exit_accuracy: acc,
+        resources: ResourceUsage::zero(),
+        exit_resources: ResourceUsage::zero(),
+        utilization: (0.1, 0.1, 0.1, 0.0),
+        static_ips: ips,
+        latency_to_exit_ms: vec![1.0],
+        points: vec![OperatingPoint {
+            confidence_threshold: 1.0,
+            accuracy: acc,
+            exit_fractions: vec![1.0],
+            ips,
+            avg_latency_ms: 2.0,
+            power_w: 1.2,
+            energy_per_inference_mj: 1.2 / ips * 1000.0,
+        }],
+    }
+}
+
+/// The exact manager the pre-PR fingerprints were captured with.
+fn adaptive_manager() -> RuntimeManager {
+    RuntimeManager::new(
+        Library {
+            entries: vec![entry(0, 0.0, 0.9, 650.0), entry(1, 0.5, 0.8, 1200.0)],
+        },
+        0.5,
+        SelectionPolicy::ReconfigAware,
+    )
+}
+
+fn sim() -> EdgeSimulation {
+    EdgeSimulation::new(SimConfig::paper_default(145.0))
+}
+
+/// `(offered, processed, lost, reconfigs, acc_bits, power_bits,
+/// lat_bits, energy_bits)` — captured on the pre-fault-layer revision.
+type Fingerprint = (usize, usize, usize, usize, u64, u64, u64, u64);
+
+fn fingerprint(r: &SimResult) -> Fingerprint {
+    (
+        r.offered,
+        r.processed,
+        r.lost,
+        r.reconfig_count,
+        r.mean_accuracy.to_bits(),
+        r.mean_power_w.to_bits(),
+        r.mean_latency_ms.to_bits(),
+        r.energy_j.to_bits(),
+    )
+}
+
+#[test]
+fn fault_free_runs_match_pre_fault_layer_fingerprints() {
+    let sim = sim();
+    let expected: [(u64, Fingerprint); 3] = [
+        (
+            7,
+            (
+                14656,
+                14169,
+                487,
+                3,
+                0x3feb653d7486712e,
+                0x3ff30870110a1c5a,
+                0x400d3d56ec5c52f4,
+                0x403dbd2f1a9fcc4c,
+            ),
+        ),
+        (
+            9,
+            (
+                14445,
+                13934,
+                511,
+                4,
+                0x3febe9b04b22a3a7,
+                0x3ff2fa2f05a711bc,
+                0x4010fabeda0af388,
+                0x403da6e978d50bb5,
+            ),
+        ),
+        (
+            21,
+            (
+                16508,
+                15744,
+                764,
+                5,
+                0x3feae6167a616064,
+                0x3ff2ebedfa44072c,
+                0x40108c8d8748dc6f,
+                0x403d90a3d70a4b35,
+            ),
+        ),
+    ];
+    for (seed, want) in expected {
+        let r = sim.run(&mut adaptive_manager(), seed);
+        assert_eq!(fingerprint(&r), want, "fault-free run drifted at seed {seed}");
+        assert_eq!(r.trace.len(), 25);
+        assert!(r.faults.is_clean());
+    }
+}
+
+#[test]
+fn shaped_fault_free_runs_match_pre_fault_layer_fingerprints() {
+    let sim = sim();
+    let cases: [(Scenario, Fingerprint); 2] = [
+        (
+            Scenario::Burst,
+            (
+                17897,
+                16659,
+                1238,
+                2,
+                0x3febd738d1758d92,
+                0x3ff316b11c6d2723,
+                0x4016151d46365352,
+                0x403dd374bc6a8d27,
+            ),
+        ),
+        (
+            Scenario::Steady,
+            (
+                14959,
+                14613,
+                346,
+                0,
+                0x3fecccccccccc4b1,
+                0x3ff3333333333c88,
+                0x4015f99692a193c8,
+                0x403e000000000e95,
+            ),
+        ),
+    ];
+    for (scenario, want) in cases {
+        let trace = scenario.trace(WorkloadConfig::paper_default());
+        let r = sim.run_with_shaped_trace(&mut adaptive_manager(), &trace, 11);
+        assert_eq!(
+            fingerprint(&r),
+            want,
+            "shaped {scenario} run drifted at seed 11"
+        );
+    }
+}
+
+#[test]
+fn run_many_matches_pre_fault_layer_fingerprints() {
+    let sim = sim();
+    let results = sim.run_many_jobs(&adaptive_manager(), 4, 42, 1);
+    let counts: Vec<(usize, usize, usize, usize)> = results
+        .iter()
+        .map(|r| (r.offered, r.processed, r.lost, r.reconfig_count))
+        .collect();
+    assert_eq!(
+        counts,
+        vec![
+            (17122, 16289, 833, 5),
+            (15995, 15613, 382, 2),
+            (15482, 14958, 524, 4),
+            (14037, 13811, 226, 0),
+        ]
+    );
+}
+
+#[test]
+fn empty_plan_is_byte_identical_to_plain_runs() {
+    let sim = sim();
+    for seed in [7u64, 21, 1234] {
+        let plain = sim.run(&mut adaptive_manager(), seed);
+        let faulted = sim.run_with_faults(&mut adaptive_manager(), seed, &FaultPlan::none());
+        assert_eq!(plain, faulted, "empty plan perturbed seed {seed}");
+    }
+    let trace = Scenario::Burst.trace(WorkloadConfig::paper_default());
+    let plain = sim.run_with_shaped_trace(&mut adaptive_manager(), &trace, 11);
+    let faulted =
+        sim.run_with_shaped_trace_and_faults(&mut adaptive_manager(), &trace, 11, &FaultPlan::none());
+    assert_eq!(plain, faulted);
+}
+
+#[test]
+fn faulted_runs_are_job_count_invariant() {
+    let sim = sim();
+    let plan = FaultPlan::canned();
+    for mitigation in [MitigationConfig::off(), MitigationConfig::recommended()] {
+        let mut manager = adaptive_manager();
+        manager.set_mitigation(mitigation);
+        let serial = sim.run_many_jobs_with_faults(&manager, 6, 42, 1, &plan);
+        let parallel = sim.run_many_jobs_with_faults(&manager, 6, 42, 4, &plan);
+        assert_eq!(serial, parallel, "jobs=4 diverged from jobs=1");
+        // And re-running is reproducible outright.
+        assert_eq!(serial, sim.run_many_jobs_with_faults(&manager, 6, 42, 1, &plan));
+    }
+}
+
+#[test]
+fn faulted_shaped_runs_are_job_count_invariant() {
+    let sim = sim();
+    let plan = FaultPlan::canned();
+    let trace = Scenario::Burst.trace(WorkloadConfig::paper_default());
+    let manager = adaptive_manager();
+    let serial = sim.run_many_shaped_jobs_with_faults(&manager, &trace, 5, 7, 1, &plan);
+    let parallel = sim.run_many_shaped_jobs_with_faults(&manager, &trace, 5, 7, 4, &plan);
+    assert_eq!(serial, parallel);
+    assert!(
+        serial.iter().any(|r| !r.faults.is_clean()),
+        "the canned plan must actually inject faults"
+    );
+}
+
+#[test]
+fn fault_plan_env_round_trip_is_honoured() {
+    // The env var is read through FaultPlan::from_env (the CLI and the
+    // golden scenario suite go through it); the core simulator API
+    // never consults it.
+    let dir = std::env::temp_dir().join("adapex-fault-env-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("plan.json");
+    FaultPlan::canned().save_json(&path).unwrap();
+    std::env::set_var(adapex_edge::FAULT_PLAN_ENV, &path);
+    let loaded = FaultPlan::from_env().unwrap().expect("env var is set");
+    std::env::remove_var(adapex_edge::FAULT_PLAN_ENV);
+    assert_eq!(loaded, FaultPlan::canned());
+    assert_eq!(FaultPlan::from_env().unwrap(), None);
+}
