@@ -15,7 +15,15 @@
 //! shapes and the elementwise hot loops, joining the previous revision's
 //! scalar numbers from the compiled-in baseline where the names match.
 //! Both backends produce bit-identical results, so the delta is pure
-//! throughput.
+//! throughput. The bit-packed int2 GEMM (`gemm_int2_*` rows) is measured
+//! at the same CNV shapes, and the report's
+//! `int2_speedup_vs_f32_gemm_full` field records how much the popcount
+//! engine buys over the dispatched f32 GEMM at the largest shape — on
+//! AVX2 hosts the run **asserts** that factor is at least 1.5×, so a
+//! regression in the engine fails the bench instead of shipping.
+//!
+//! `--simd-only` runs just the `BENCH_simd.json` section (including the
+//! int2 gate) and skips the epoch/cache benchmarks — the CI artifact leg.
 //!
 //! `BENCH_cache.json` measures the generator's content-addressed
 //! artifact cache: one cold sweep populating a scratch cache, then warm
@@ -35,6 +43,7 @@ use adapex_nn::train::{TrainConfig, Trainer};
 use adapex_tensor::conv::{im2col, ConvGeometry};
 use adapex_tensor::gemm::{gemm, gemm_bias};
 use adapex_tensor::parallel::num_threads;
+use adapex_tensor::int2::{self, OutMajor};
 use adapex_tensor::rng::{normal_tensor, rng_from_seed};
 use adapex_tensor::simd::{self, Backend};
 use serde::{Deserialize, Serialize};
@@ -83,6 +92,9 @@ struct SimdReport {
     threads: usize,
     avx2_available: bool,
     dispatched_backend: String,
+    /// Dispatched f32 GEMM ns / dispatched int2 GEMM ns at the largest
+    /// CNV shape (`gemm_conv2_full`). Asserted >= 1.5 on AVX2 hosts.
+    int2_speedup_vs_f32_gemm_full: f64,
     kernels: Vec<SimdKernelReport>,
 }
 
@@ -92,6 +104,16 @@ fn time_both_backends(mut f: impl FnMut(), samples: usize, iters: usize) -> (f64
     simd::override_backend(Some(Backend::Portable));
     let scalar = time_ns(&mut f, samples, iters);
     simd::override_backend(None);
+    let dispatched = time_ns(&mut f, samples, iters);
+    (dispatched, scalar)
+}
+
+/// Same, but flipping the int2 engine's backend (the int2 dispatcher is
+/// separate from the f32 SIMD dispatcher).
+fn time_both_int2_backends(mut f: impl FnMut(), samples: usize, iters: usize) -> (f64, f64) {
+    int2::override_backend(Some(Backend::Portable));
+    let scalar = time_ns(&mut f, samples, iters);
+    int2::override_backend(None);
     let dispatched = time_ns(&mut f, samples, iters);
     (dispatched, scalar)
 }
@@ -116,6 +138,9 @@ fn time_ns(mut f: impl FnMut(), samples: usize, iters: usize) -> f64 {
 }
 
 fn main() {
+    // `--simd-only`: skip the f32 micro/epoch/cache benchmarks and emit
+    // only BENCH_simd.json (with the int2 gate) — the fast CI leg.
+    let simd_only = std::env::args().any(|a| a == "--simd-only");
     let mut kernels: Vec<(String, f64)> = Vec::new();
     let mut push = |name: &str, ns: f64| {
         eprintln!("{name:36} {:>12.0} ns/op", ns);
@@ -125,33 +150,37 @@ fn main() {
     let mut rng = rng_from_seed(1);
 
     // im2col at the generator-scale (width 8) and full CNV conv2 shapes.
-    for (name, c, hw) in [("im2col_conv2_w8", 8usize, 30usize), ("im2col_conv2_full", 64, 30)] {
-        let img = normal_tensor(&[c * hw * hw], 0.0, 1.0, &mut rng).into_vec();
-        let geom = ConvGeometry::new(3);
-        let ns = time_ns(|| drop(black_box(im2col(black_box(&img), c, hw, hw, geom))), 7, 20);
-        push(name, ns);
-    }
+    if !simd_only {
+        for (name, c, hw) in [("im2col_conv2_w8", 8usize, 30usize), ("im2col_conv2_full", 64, 30)]
+        {
+            let img = normal_tensor(&[c * hw * hw], 0.0, 1.0, &mut rng).into_vec();
+            let geom = ConvGeometry::new(3);
+            let ns =
+                time_ns(|| drop(black_box(im2col(black_box(&img), c, hw, hw, geom))), 7, 20);
+            push(name, ns);
+        }
 
-    // GEMM at CNV conv shapes: [c_out, c_in*k*k] x [c_in*k*k, pixels].
-    for (name, m, k, n) in [
-        ("gemm_conv2_w8", 8usize, 72usize, 784usize),
-        ("gemm_conv5_w8", 32, 144, 9),
-        ("gemm_conv2_full", 64, 576, 784),
-    ] {
-        let a = normal_tensor(&[m * k], 0.0, 1.0, &mut rng).into_vec();
-        let b = normal_tensor(&[k * n], 0.0, 1.0, &mut rng).into_vec();
-        let mut c_buf = vec![0.0f32; m * n];
-        let ns = time_ns(
-            || gemm(m, k, n, black_box(&a), black_box(&b), black_box(&mut c_buf)),
-            7,
-            20,
-        );
-        push(name, ns);
+        // GEMM at CNV conv shapes: [c_out, c_in*k*k] x [c_in*k*k, pixels].
+        for (name, m, k, n) in [
+            ("gemm_conv2_w8", 8usize, 72usize, 784usize),
+            ("gemm_conv5_w8", 32, 144, 9),
+            ("gemm_conv2_full", 64, 576, 784),
+        ] {
+            let a = normal_tensor(&[m * k], 0.0, 1.0, &mut rng).into_vec();
+            let b = normal_tensor(&[k * n], 0.0, 1.0, &mut rng).into_vec();
+            let mut c_buf = vec![0.0f32; m * n];
+            let ns = time_ns(
+                || gemm(m, k, n, black_box(&a), black_box(&b), black_box(&mut c_buf)),
+                7,
+                20,
+            );
+            push(name, ns);
+        }
     }
 
     // GEMM + fused bias epilogue at the conv2 shape (the conv forward's
     // exact inner step: one matmul plus a per-row bias add).
-    {
+    if !simd_only {
         let (m, k, n) = (8usize, 72usize, 784usize);
         let a = normal_tensor(&[m * k], 0.0, 1.0, &mut rng).into_vec();
         let b = normal_tensor(&[k * n], 0.0, 1.0, &mut rng).into_vec();
@@ -177,7 +206,7 @@ fn main() {
     }
 
     // Quantized conv forward (eval), generator width, CNV conv2 geometry.
-    {
+    if !simd_only {
         let mut conv =
             QuantConv2d::new(8, 8, ConvGeometry::new(3), QuantSpec::signed(2), &mut rng_from_seed(3));
         let x = Activation::new(
@@ -205,7 +234,7 @@ fn main() {
     }
 
     // Full-width conv forward (eval): the paper-scale CNV conv2.
-    {
+    if !simd_only {
         let mut conv = QuantConv2d::new(
             64,
             64,
@@ -223,7 +252,7 @@ fn main() {
     }
 
     // Quantized linear forward (eval), generator-scale classifier shape.
-    {
+    if !simd_only {
         let mut lin = QuantLinear::new(64, 64, QuantSpec::signed(2), &mut rng_from_seed(5));
         let x = Activation::new(
             normal_tensor(&[64 * 64], 0.0, 1.0, &mut rng).into_vec(),
@@ -235,7 +264,7 @@ fn main() {
     }
 
     // End-to-end: one training epoch at the ADAPEX_PROFILE=fast scale.
-    {
+    if !simd_only {
         let data = SyntheticConfig::new(DatasetKind::Cifar10Like)
             .with_sizes(240, 120)
             .with_seed(42)
@@ -282,6 +311,7 @@ fn main() {
             });
         };
 
+        let mut f32_gemm_full_ns = f64::NAN;
         for (name, m, k, n) in [
             ("gemm_conv2_w8", 8usize, 72usize, 784usize),
             ("gemm_conv5_w8", 32, 144, 9),
@@ -295,6 +325,50 @@ fn main() {
                 7,
                 20,
             );
+            if name == "gemm_conv2_full" {
+                f32_gemm_full_ns = times.0;
+            }
+            push_simd(name, times);
+        }
+
+        // Bit-packed int2 GEMM at the same CNV shapes: dispatched
+        // (vpshufb popcount) vs forced-portable (`count_ones`), over
+        // pre-packed bit planes — the steady-state eval inner step,
+        // where packing is amortized across output rows.
+        let mut int2_gemm_full_ns = f64::NAN;
+        for (name, m, k, n) in [
+            ("gemm_int2_conv2_w8", 8usize, 72usize, 784usize),
+            ("gemm_int2_conv5_w8", 32, 144, 9),
+            ("gemm_int2_conv2_full", 64, 576, 784),
+        ] {
+            let w: Vec<f32> = (0..m * k).map(|i| ((i * 7 + 3) % 4) as f32 - 2.0).collect();
+            let a: Vec<f32> = (0..n * k).map(|i| ((i * 5 + 1) % 4) as f32).collect();
+            let cs: Vec<f32> = (0..m).map(|i| 0.01 + i as f32 * 0.003).collect();
+            let bias: Vec<f32> = (0..m).map(|i| i as f32 * 0.1 - 0.4).collect();
+            let (mut pw, mut pa) = (Vec::new(), Vec::new());
+            int2::pack_weights_int2(&w, m, k, &mut pw);
+            int2::pack_acts_int2(&a, n, k, &mut pa);
+            let mut c_buf = vec![0.0f32; m * n];
+            let times = time_both_int2_backends(
+                || {
+                    int2::gemm_int2(
+                        m,
+                        k,
+                        n,
+                        black_box(&pw),
+                        black_box(&pa),
+                        black_box(&cs),
+                        black_box(&bias),
+                        black_box(&mut c_buf),
+                        OutMajor::Row,
+                    )
+                },
+                7,
+                20,
+            );
+            if name == "gemm_int2_conv2_full" {
+                int2_gemm_full_ns = times.0;
+            }
             push_simd(name, times);
         }
 
@@ -347,17 +421,40 @@ fn main() {
         );
         push_simd("fold_max_abs_16k", times);
 
+        let avx2_available = cfg!(target_arch = "x86_64")
+            && std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("popcnt");
+        let int2_speedup = f32_gemm_full_ns / int2_gemm_full_ns;
+        eprintln!(
+            "int2 vs f32 GEMM (conv2_full)        {int2_speedup:>11.2}x (gate: >= 1.5x on AVX2)"
+        );
+        // The headline promise of the bit-packed engine: on AVX2 hosts
+        // the dispatched int2 GEMM must beat the dispatched f32 GEMM by
+        // at least 1.5x at the largest CNV shape. A regression here
+        // fails the bench run (and the CI leg that invokes it).
+        if avx2_available {
+            assert!(
+                int2_speedup >= 1.5,
+                "int2 GEMM regression: only {int2_speedup:.2}x over f32 at conv2_full \
+                 ({int2_gemm_full_ns:.0} ns vs {f32_gemm_full_ns:.0} ns)"
+            );
+        }
+
         let simd_report = SimdReport {
             threads: num_threads(),
-            avx2_available: cfg!(target_arch = "x86_64")
-                && std::arch::is_x86_feature_detected!("avx2"),
+            avx2_available,
             dispatched_backend: format!("{:?}", simd::active_backend()),
+            int2_speedup_vs_f32_gemm_full: int2_speedup,
             kernels: simd_kernels,
         };
         let json = serde_json::to_string_pretty(&simd_report).expect("simd report serializes");
         std::fs::write("BENCH_simd.json", &json).expect("write BENCH_simd.json");
         println!("{json}");
         eprintln!("wrote BENCH_simd.json");
+    }
+
+    if simd_only {
+        return;
     }
 
     // Join with the compiled-in seed baseline and emit the report.

@@ -107,6 +107,35 @@ impl IrOp {
     pub fn is_matrix_op(&self) -> bool {
         matches!(self, IrOp::Conv { .. } | IrOp::Fc { .. })
     }
+
+    /// Popcount word-operations per inference when this op runs on the
+    /// software int2 engine (`adapex_tensor::int2`): each output element
+    /// costs 4 AND+popcount streams over `ceil(k/64)` packed words,
+    /// where `k` is the reduction depth. The padding words make this an
+    /// over-count of `macs() / 16` by exactly the word-granularity
+    /// rounding (equality when `k % 64 == 0`); the cross-check test pins
+    /// both counters so the cycle model and the engine can't silently
+    /// diverge.
+    pub fn int2_popcount_ops(&self) -> u64 {
+        match self {
+            IrOp::Conv {
+                c_in,
+                c_out,
+                kernel,
+                out_hw,
+                ..
+            } => {
+                let k = c_in * kernel * kernel;
+                (4 * k.div_ceil(64) * c_out * out_hw.0 * out_hw.1) as u64
+            }
+            IrOp::Fc {
+                in_features,
+                out_features,
+                ..
+            } => (4 * in_features.div_ceil(64) * out_features) as u64,
+            IrOp::MaxPool { .. } => 0,
+        }
+    }
 }
 
 /// A named IR node.
@@ -190,6 +219,24 @@ impl ModelIr {
             .chain(self.exits.iter().flat_map(|e| e.nodes.iter()))
             .map(|n| n.op.weight_storage_bits())
             .sum()
+    }
+
+    /// Expected per-sample `(MACs, popcount word-ops)` from the software
+    /// int2 engine's `op_counters` when a full all-exits inference runs
+    /// in eval mode: every matrix node **except the first backbone node**
+    /// (the stem consumes the raw, unquantized image, so it stays on the
+    /// f32 path) executes on the engine.
+    pub fn int2_engine_profile(&self) -> (u64, u64) {
+        let mut macs = 0u64;
+        let mut pops = 0u64;
+        for (idx, node) in self.matrix_nodes().into_iter().enumerate() {
+            if idx == 0 {
+                continue;
+            }
+            macs += node.op.macs();
+            pops += node.op.int2_popcount_ops();
+        }
+        (macs, pops)
     }
 
     /// All matrix nodes (the ones that need folding), backbone first,

@@ -1,0 +1,118 @@
+//! Cycle-model ↔ engine cross-check: the MAC counts the `finn` IR
+//! predicts must match the operations the int2 engine actually executes.
+//!
+//! The IR's `macs()` counts logical multiply-accumulates; the engine
+//! counts both logical MACs and executed popcount word-operations. The
+//! two MAC counters must agree **exactly** (per sample, stem conv
+//! excluded — it consumes the raw image and stays on the f32 path). The
+//! popcount counter relates to MACs by a documented constant factor:
+//! each popcount word covers 64 packed codes across 4 plane streams, so
+//! `popcount_ops * 16 >= macs`, with equality exactly when every
+//! reduction depth is a multiple of 64 — the gap is the zero-padded tail
+//! words, which the word-granularity model also counts, not a
+//! divergence.
+
+use adapex_nn::cnv::{CnvConfig, ExitsConfig};
+use adapex_nn::layers::{Activation, QuantConv2d, QuantReLU};
+use adapex_nn::quant::QuantSpec;
+use adapex_tensor::conv::ConvGeometry;
+use adapex_tensor::int2;
+use adapex_tensor::rng::{normal_tensor, rng_from_seed};
+use finn_dataflow::{IrOp, ModelIr};
+
+/// Runs `f` with the popcount engine forced on (so the cross-check also
+/// holds on the `ADAPEX_NO_INT2=1` CI leg), restoring env routing after.
+fn with_engine_forced_on<T>(f: impl FnOnce() -> T) -> T {
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            int2::override_enabled(None);
+        }
+    }
+    let _restore = Restore;
+    int2::override_enabled(Some(true));
+    f()
+}
+
+/// One conv layer with a 2-bit-quantized input: engine counters ==
+/// the IR node's predictions, hand-checkable (4×6 ch, 3×3 kernel,
+/// 10×10 → 8×8; k = 36, so popcounts cover one padded word per output).
+#[test]
+fn single_conv_counters_match_ir_prediction() {
+    let mut conv = QuantConv2d::new(
+        4,
+        6,
+        ConvGeometry::new(3),
+        QuantSpec::signed(2),
+        &mut rng_from_seed(5),
+    );
+    let batch = 3;
+    let raw: Vec<f32> = (0..batch * 4 * 10 * 10)
+        .map(|i| (i as f32 * 0.311).sin() * 2.0)
+        .collect();
+    let x = QuantReLU::a2().forward(&Activation::new(raw, batch, vec![4, 10, 10]), false);
+
+    let (macs, pops) = with_engine_forced_on(|| {
+        int2::reset_op_counters();
+        conv.forward(&x, false);
+        int2::op_counters()
+    });
+    let node = IrOp::Conv {
+        c_in: 4,
+        c_out: 6,
+        kernel: 3,
+        stride: 1,
+        padding: 0,
+        in_hw: (10, 10),
+        out_hw: (8, 8),
+        weight_bits: 2,
+        act_bits: Some(2),
+        thresholds: true,
+    };
+    assert_eq!(node.macs(), 4 * 6 * 9 * 8 * 8);
+    assert_eq!(node.int2_popcount_ops(), 4 * 6 * 8 * 8); // ceil(36/64) = 1 word
+    assert_eq!(macs, batch as u64 * node.macs());
+    assert_eq!(pops, batch as u64 * node.int2_popcount_ops());
+    // Constant-factor relation: 64 codes / 4 plane streams per word =>
+    // up to 16 MACs per popcount op; k = 36 < 64 makes it strict here.
+    assert!(pops * 16 >= macs);
+}
+
+/// Full early-exit network: per-sample engine counters == the IR's
+/// `int2_engine_profile` (all matrix nodes minus the stem), for both
+/// MACs (exact) and popcount word-ops (exact, padding included on both
+/// sides). A constant-factor drift in either the cycle model or the
+/// engine instrumentation fails this immediately.
+#[test]
+fn full_network_engine_counters_match_ir_profile() {
+    let mut net = CnvConfig::tiny().build_early_exit(43, &ExitsConfig::paper_default(), 9);
+    let ir = ModelIr::from_summary(&net.summarize());
+    let (macs_per_sample, pops_per_sample) = ir.int2_engine_profile();
+    assert!(macs_per_sample > 0);
+    assert!(pops_per_sample * 16 >= macs_per_sample);
+
+    let batch = 5;
+    let numel: usize = ir.input_dims.iter().product();
+    let mut rng = rng_from_seed(21);
+    let x = Activation::new(
+        normal_tensor(&[batch * numel], 0.0, 1.0, &mut rng).into_vec(),
+        batch,
+        ir.input_dims.clone(),
+    );
+
+    let (macs, pops) = with_engine_forced_on(|| {
+        int2::reset_op_counters();
+        net.forward(&x, false);
+        int2::op_counters()
+    });
+    assert_eq!(
+        macs,
+        batch as u64 * macs_per_sample,
+        "engine MACs diverge from the cycle model's matrix-node count"
+    );
+    assert_eq!(
+        pops,
+        batch as u64 * pops_per_sample,
+        "engine popcount ops diverge from the word-granularity model"
+    );
+}

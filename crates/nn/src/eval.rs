@@ -6,6 +6,13 @@
 //! post-processing step via [`ExitEvaluation::at_threshold`]. This is how
 //! the library generator characterizes one pruned model at every
 //! threshold without re-running inference.
+//!
+//! Eval forwards here run `train = false`, so every 2-bit matrix layer
+//! whose input carries a 2-bit quantization grid dispatches to the
+//! bit-packed popcount engine (`adapex_tensor::int2`, DESIGN.md §11).
+//! `ADAPEX_NO_INT2=1` routes those layers to a bit-identical
+//! f32-over-codes fallback instead; evaluations agree exactly either way
+//! (pinned by `tests/int2_agreement.rs`).
 
 use crate::layers::Activation;
 use crate::loss::{confidence, softmax_into};

@@ -1,4 +1,4 @@
-use super::Activation;
+use super::{ActQuant, Activation};
 use crate::quant::QuantSpec;
 use adapex_tensor::simd;
 use serde::{Deserialize, Serialize};
@@ -68,6 +68,13 @@ impl QuantReLU {
             *o = v.clamp(0.0, self.clip);
         }
         simd::fake_quant_slice(&mut out.data, scale, 0.0, self.spec.q_max() as f32);
+        // Stamp the grid the output now lies on (in train mode too, so
+        // train/eval forwards stay exactly equal); downstream quantized
+        // matrix layers use it to recover exact integer codes in eval.
+        out.quant = Some(ActQuant {
+            scale,
+            bits: self.spec.bits,
+        });
         if train {
             let mask = &mut self.cache.mask;
             mask.clear();

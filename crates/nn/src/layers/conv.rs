@@ -1,10 +1,13 @@
 use super::{Activation, LayerInfo, Param};
 use crate::quant::{self, QuantSpec};
 use adapex_tensor::conv::{col2im_into, im2col_into, ConvGeometry};
-use adapex_tensor::gemm::{gemm_a_bt_st, gemm_at_b_st, gemm_bias_st};
+use adapex_tensor::gemm::{gemm_a_bt_st, gemm_at_b_st, gemm_bias_st, gemm_st};
+use adapex_tensor::int2::{self, OutMajor};
 use adapex_tensor::parallel::{num_threads, parallel_for_chunks};
 use adapex_tensor::rng::kaiming_tensor;
-use adapex_tensor::workspace::{recycle_f32, recycle_usize, take_f32_from, with_workspace, Workspace};
+use adapex_tensor::workspace::{
+    recycle_f32, recycle_usize, take_f32_from, take_f32_uninit, with_workspace, Workspace,
+};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
@@ -69,6 +72,14 @@ struct QCache {
     version: u64,
     qweight: Vec<f32>,
     scales: Vec<f32>,
+    /// Exact integer weight codes (`qweight / scale`, each in
+    /// `{-2..1}`), derived lazily for the int2 eval path only.
+    wcodes: Vec<f32>,
+    /// Bit-plane packed `wcodes` for the popcount engine.
+    planes: Vec<u64>,
+    /// Weight version `wcodes`/`planes` were derived at (`None` until
+    /// the first int2 eval forward, so training never pays for them).
+    int2_version: Option<u64>,
 }
 
 impl QuantConv2d {
@@ -155,14 +166,49 @@ impl QuantConv2d {
         self.qcache = Some(qc);
     }
 
-    /// The GEMM core shared by both forward entry points.
-    fn run_forward(&mut self, x: &Activation) -> Activation {
+    /// Extends the quantized-weight view with the int2 engine's derived
+    /// forms (integer codes + packed bit planes).
+    fn ensure_int2(&mut self) {
+        self.ensure_qweights();
+        let version = self.weight.version();
+        let kk = self.geom.kernel * self.geom.kernel * self.c_in;
+        let qc = self.qcache.as_mut().expect("qcache just ensured");
+        if qc.int2_version == Some(version) {
+            return;
+        }
+        int2::weight_codes_into(&qc.qweight, &qc.scales, kk, &mut qc.wcodes);
+        int2::pack_weights_int2(&qc.wcodes, self.c_out, kk, &mut qc.planes);
+        qc.int2_version = Some(version);
+    }
+
+    /// The activation grid step when this eval forward can take the
+    /// code-domain int2 path: signed 2-bit weights and an input stamped
+    /// as 2-bit quantized.
+    fn int2_act_scale(&self, x: &Activation) -> Option<f32> {
+        if !self.weight_spec.is_int2_weight() {
+            return None;
+        }
+        let q = x.quant?;
+        (q.bits == 2 && q.scale > 0.0).then_some(q.scale)
+    }
+
+    /// The GEMM core shared by both forward entry points. With
+    /// `int2_scale` set (eval over a 2-bit-quantized input), each image
+    /// runs the code-domain path: im2col columns are rounded to exact
+    /// integer codes, then either the popcount engine or — behind
+    /// `ADAPEX_NO_INT2` — the f32 GEMM over code values computes the
+    /// same integer sums, finished by one fused requantize+bias
+    /// epilogue. Bit-identical across backends and escape hatches.
+    fn run_forward(&mut self, x: &Activation, int2_scale: Option<f32>) -> Activation {
         let (oh, ow) = self.out_hw(&x.dims);
         let out_dims = [self.c_out, oh, ow];
         let (h, w) = (x.dims[1], x.dims[2]);
         let pixels = oh * ow;
         let kk = self.geom.kernel * self.geom.kernel * self.c_in;
-        self.ensure_qweights();
+        match int2_scale {
+            Some(_) => self.ensure_int2(),
+            None => self.ensure_qweights(),
+        }
         let qc = self.qcache.as_ref().expect("qcache just ensured");
 
         let mut out = Activation::zeros(x.n, &out_dims);
@@ -173,16 +219,53 @@ impl QuantConv2d {
         let bias = &self.bias.value;
         let input = &x.data;
         let qw = &qc.qweight;
+        let (wcodes, planes) = (&qc.wcodes, &qc.planes);
+        // Combined per-filter requantize scale (cs = wscale * ascale),
+        // shared read-only by all workers; pooled, computed once per call.
+        let cs_buf = int2_scale.map(|ascale| {
+            let mut v = take_f32_uninit(c_out);
+            for (dst, &s) in v.iter_mut().zip(&qc.scales) {
+                *dst = s * ascale;
+            }
+            v
+        });
+        let cs_ref = cs_buf.as_deref();
+        let use_engine = int2::enabled();
         parallel_for_chunks(x.n, sample_out, &mut out.data, 1, |range, chunk| {
             with_workspace(|ws| {
                 for (local, i) in range.enumerate() {
                     let img = &input[i * sample_in..(i + 1) * sample_in];
                     im2col_into(img, c_in, h, w, geom, &mut ws.cols);
                     let y = &mut chunk[local * sample_out..(local + 1) * sample_out];
-                    gemm_bias_st(c_out, kk, pixels, qw, &ws.cols, bias, y);
+                    match (int2_scale, cs_ref) {
+                        (Some(ascale), Some(cs)) => {
+                            int2::act_codes_in_place(&mut ws.cols, ascale);
+                            if use_engine {
+                                int2::pack_acts_cols_int2(&ws.cols, pixels, kk, &mut ws.bits);
+                                int2::gemm_int2(
+                                    c_out,
+                                    kk,
+                                    pixels,
+                                    planes,
+                                    &ws.bits,
+                                    cs,
+                                    bias,
+                                    y,
+                                    OutMajor::Row,
+                                );
+                            } else {
+                                gemm_st(c_out, kk, pixels, wcodes, &ws.cols, y);
+                                int2::requantize_rows(y, pixels, cs, bias);
+                            }
+                        }
+                        _ => gemm_bias_st(c_out, kk, pixels, qw, &ws.cols, bias, y),
+                    }
                 }
             });
         });
+        if let Some(v) = cs_buf {
+            recycle_f32(v);
+        }
         out
     }
 
@@ -205,7 +288,8 @@ impl QuantConv2d {
     ///
     /// Panics on an input shape mismatch.
     pub fn forward(&mut self, x: &Activation, train: bool) -> Activation {
-        let out = self.run_forward(x);
+        let int2_scale = if train { None } else { self.int2_act_scale(x) };
+        let out = self.run_forward(x, int2_scale);
         if train {
             self.cache.input.clear();
             self.cache.input.extend_from_slice(&x.data);
@@ -223,7 +307,7 @@ impl QuantConv2d {
         if !train {
             return self.forward(&x, false);
         }
-        let out = self.run_forward(&x);
+        let out = self.run_forward(&x, None);
         let (n, hw) = (x.n, (x.dims[1], x.dims[2]));
         let (data, _, dims) = x.into_parts();
         recycle_usize(dims);

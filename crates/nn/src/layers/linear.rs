@@ -1,6 +1,7 @@
 use super::{Activation, Param};
 use crate::quant::{self, QuantSpec};
 use adapex_tensor::gemm::{gemm, gemm_a_bt, gemm_at_b};
+use adapex_tensor::int2::{self, OutMajor};
 use adapex_tensor::rng::kaiming_tensor;
 use adapex_tensor::workspace::with_workspace;
 use rand::rngs::StdRng;
@@ -59,6 +60,14 @@ struct QCache {
     version: u64,
     qweight: Vec<f32>,
     scales: Vec<f32>,
+    /// Exact integer weight codes (`qweight / scale`, each in
+    /// `{-2..1}`), derived lazily for the int2 eval path only.
+    wcodes: Vec<f32>,
+    /// Bit-plane packed `wcodes` for the popcount engine.
+    planes: Vec<u64>,
+    /// Weight version `wcodes`/`planes` were derived at (`None` until
+    /// the first int2 eval forward, so training never pays for them).
+    int2_version: Option<u64>,
 }
 
 impl QuantLinear {
@@ -101,6 +110,74 @@ impl QuantLinear {
         self.qcache = Some(qc);
     }
 
+    /// Extends the quantized-weight view with the int2 engine's derived
+    /// forms (integer codes + packed bit planes).
+    fn ensure_int2(&mut self) {
+        self.ensure_qweights();
+        let version = self.weight.version();
+        let qc = self.qcache.as_mut().expect("qcache just ensured");
+        if qc.int2_version == Some(version) {
+            return;
+        }
+        int2::weight_codes_into(&qc.qweight, &qc.scales, self.in_features, &mut qc.wcodes);
+        int2::pack_weights_int2(&qc.wcodes, self.out_features, self.in_features, &mut qc.planes);
+        qc.int2_version = Some(version);
+    }
+
+    /// The activation grid step when this eval forward can take the
+    /// code-domain int2 path: signed 2-bit weights and an input stamped
+    /// as 2-bit quantized.
+    fn int2_act_scale(&self, x: &Activation) -> Option<f32> {
+        if !self.weight_spec.is_int2_weight() {
+            return None;
+        }
+        let q = x.quant?;
+        (q.bits == 2 && q.scale > 0.0).then_some(q.scale)
+    }
+
+    /// Code-domain eval forward (layer ↦ MVTU): exact integer dot
+    /// products over the 2-bit codes, then one fused requantize+bias
+    /// epilogue. The popcount engine and the `ADAPEX_NO_INT2` f32
+    /// fallback compute the same integers, so this is bit-identical
+    /// across backends and escape hatches.
+    fn forward_eval_int2(&mut self, x: &Activation, ascale: f32) -> Activation {
+        self.ensure_int2();
+        let qc = self.qcache.as_ref().expect("qcache just ensured");
+        let (m, k, n) = (self.out_features, self.in_features, x.n);
+        let mut out = Activation::zeros(n, &[m]);
+        with_workspace(|ws| {
+            // Combined per-row requantize scale: cs = wscale * ascale.
+            ws.scratch2.clear();
+            ws.scratch2.extend(qc.scales.iter().map(|&s| s * ascale));
+            // Exact integer activation codes.
+            ws.scratch.clear();
+            ws.scratch.extend_from_slice(&x.data);
+            int2::act_codes_in_place(&mut ws.scratch, ascale);
+            if int2::enabled() {
+                int2::pack_acts_int2(&ws.scratch, n, k, &mut ws.bits);
+                int2::gemm_int2(
+                    m,
+                    k,
+                    n,
+                    &qc.planes,
+                    &ws.bits,
+                    &ws.scratch2,
+                    &self.bias.value,
+                    &mut out.data,
+                    OutMajor::Col,
+                );
+            } else {
+                // Escape hatch: the f32 GEMM over code values computes
+                // the same integer sums exactly (all partials < 2^24,
+                // no FMA), then the identical epilogue.
+                gemm_a_bt(n, k, m, &ws.scratch, &qc.wcodes, &mut out.data);
+                int2::requantize_cols(&mut out.data, &ws.scratch2, &self.bias.value);
+            }
+        });
+        self.cache_valid = false;
+        out
+    }
+
     /// Forward pass: `y = x W^T + b`.
     ///
     /// # Panics
@@ -113,6 +190,11 @@ impl QuantLinear {
             "linear input features (got {:?})",
             x.dims
         );
+        if !train {
+            if let Some(ascale) = self.int2_act_scale(x) {
+                return self.forward_eval_int2(x, ascale);
+            }
+        }
         self.ensure_qweights();
         let qc = self.qcache.as_ref().expect("qcache just ensured");
         let mut out = Activation::zeros(x.n, &[self.out_features]);

@@ -22,6 +22,22 @@ use adapex_tensor::simd;
 use adapex_tensor::workspace::{recycle_f32, recycle_usize, take_f32, take_f32_from, take_usize_from};
 use serde::{Deserialize, Serialize};
 
+/// Quantization-grid metadata attached to an [`Activation`] by the layer
+/// that produced it.
+///
+/// [`QuantReLU`] stamps its output with the grid it snapped values to;
+/// shape-preserving layers (pooling, flatten) propagate the stamp, and
+/// every value-producing layer clears it. Downstream quantized matrix
+/// layers use the stamp to recover exact integer activation codes
+/// (`code = round(v / scale)`) for the bit-packed int2 eval engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActQuant {
+    /// Grid step: values lie on `{0, scale, ..., (2^bits - 1) * scale}`.
+    pub scale: f32,
+    /// Bit width of the unsigned code range.
+    pub bits: u32,
+}
+
 /// A mini-batch activation: `n` samples, each with per-sample shape
 /// `dims` (e.g. `[C, H, W]` after a conv, `[F]` after a flatten).
 ///
@@ -37,6 +53,9 @@ pub struct Activation {
     pub n: usize,
     /// Per-sample shape.
     pub dims: Vec<usize>,
+    /// Quantization grid the values are known to lie on, if any.
+    #[serde(default)]
+    pub quant: Option<ActQuant>,
 }
 
 impl Activation {
@@ -48,7 +67,12 @@ impl Activation {
     pub fn new(data: Vec<f32>, n: usize, dims: Vec<usize>) -> Self {
         let per: usize = dims.iter().product();
         assert_eq!(data.len(), n * per, "activation buffer length");
-        Activation { data, n, dims }
+        Activation {
+            data,
+            n,
+            dims,
+            quant: None,
+        }
     }
 
     /// Zero-filled activation, backed by a pooled buffer.
@@ -58,6 +82,7 @@ impl Activation {
             data: take_f32(n * per),
             n,
             dims: take_usize_from(dims),
+            quant: None,
         }
     }
 
@@ -93,6 +118,7 @@ impl Clone for Activation {
             data: take_f32_from(&self.data),
             n: self.n,
             dims: take_usize_from(&self.dims),
+            quant: self.quant,
         }
     }
 }
@@ -275,7 +301,15 @@ impl Layer {
             Layer::Norm(l) => l.forward(x, train),
             Layer::Act(l) => l.forward(x, train),
             Layer::Flatten => {
-                Activation::new(take_f32_from(&x.data), x.n, take_usize_from(&[x.sample_len()]))
+                // A reshape keeps values on whatever quantization grid
+                // they were already on.
+                let mut out = Activation::new(
+                    take_f32_from(&x.data),
+                    x.n,
+                    take_usize_from(&[x.sample_len()]),
+                );
+                out.quant = x.quant;
+                out
             }
         }
     }
@@ -290,9 +324,12 @@ impl Layer {
             Layer::Conv(l) => l.forward_owned(x, train),
             Layer::Flatten => {
                 let per = x.sample_len();
+                let quant = x.quant;
                 let (data, n, dims) = x.into_parts();
                 recycle_usize(dims);
-                Activation::new(data, n, take_usize_from(&[per]))
+                let mut out = Activation::new(data, n, take_usize_from(&[per]));
+                out.quant = quant;
+                out
             }
             _ => self.forward(&x, train),
         }

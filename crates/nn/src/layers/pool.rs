@@ -92,6 +92,8 @@ impl MaxPool2d {
         let (c, h, w) = (x.dims[0], x.dims[1], x.dims[2]);
         let k = self.kernel;
         let mut out = Activation::zeros(x.n, &out_dims);
+        // A max over grid values stays on the grid.
+        out.quant = x.quant;
         let sample_in = x.sample_len();
         let argmax = &mut self.cache.argmax;
         if train {

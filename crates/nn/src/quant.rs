@@ -73,6 +73,14 @@ impl QuantSpec {
             (1 << self.bits) - 1
         }
     }
+
+    /// `true` for the signed 2-bit weight quantizer that the bit-packed
+    /// integer eval engine ([`adapex_tensor::int2`]) executes; matrix
+    /// layers consult this (plus the input's activation-grid stamp) when
+    /// routing their eval forward.
+    pub fn is_int2_weight(self) -> bool {
+        self.signed && self.bits == 2
+    }
 }
 
 /// Symmetric per-tensor scale so that `max_abs` maps onto the largest

@@ -151,6 +151,67 @@ fn steady_state_training_step_does_not_allocate() {
     );
 }
 
+/// A stack whose second conv and the classifier are fed 2-bit-quantized
+/// inputs, so the eval forward routes through the int2 code-domain path
+/// for both QuantConv2d and QuantLinear (packing buffers and combined
+/// scales must come from the pooled workspaces — zero allocs/batch).
+fn build_int2_stack() -> Vec<Layer> {
+    let mut rng = rng_from_seed(17);
+    let spec = QuantSpec::signed(2);
+    vec![
+        Layer::Conv(QuantConv2d::new(3, 8, ConvGeometry::new(3), spec, &mut rng)),
+        Layer::Norm(BatchNorm::new(8)),
+        Layer::Act(QuantReLU::a2()),
+        Layer::Conv(QuantConv2d::new(8, 8, ConvGeometry::new(3), spec, &mut rng)),
+        Layer::Norm(BatchNorm::new(8)),
+        Layer::Act(QuantReLU::a2()),
+        Layer::Pool(MaxPool2d::new(2)),
+        Layer::Flatten,
+        Layer::Linear(QuantLinear::new(8 * 6 * 6, 10, spec, &mut rng)),
+    ]
+}
+
+#[test]
+fn steady_state_int2_eval_forward_does_not_allocate() {
+    let _guard = POOLS.lock().unwrap_or_else(|e| e.into_inner());
+    std::env::set_var("ADAPEX_THREADS", "1");
+
+    let mut layers = build_int2_stack();
+    let batch = 4;
+    let mut rng = rng_from_seed(19);
+    let x = Activation::new(
+        normal_tensor(&[batch * 3 * 16 * 16], 0.0, 1.0, &mut rng).into_vec(),
+        batch,
+        vec![3, 16, 16],
+    );
+
+    // Warmup: workspace pools, quantized-weight caches AND the derived
+    // int2 views (codes + packed planes) all materialize here.
+    for _ in 0..3 {
+        eval_step(&mut layers, &x);
+    }
+
+    adapex_tensor::int2::reset_op_counters();
+    let before = thread_allocs();
+    for _ in 0..5 {
+        eval_step(&mut layers, &x);
+    }
+    let after = thread_allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state int2 eval forwards allocated {} times",
+        after - before
+    );
+    // Under default routing the popcount engine must actually have run
+    // (the ADAPEX_NO_INT2 CI leg exercises the fallback, which shares
+    // this zero-alloc contract).
+    if adapex_tensor::int2::enabled() {
+        let (macs, _) = adapex_tensor::int2::op_counters();
+        assert!(macs > 0, "int2 engine never engaged in eval");
+    }
+}
+
 #[test]
 fn steady_state_eval_forward_does_not_allocate() {
     let _guard = POOLS.lock().unwrap_or_else(|e| e.into_inner());

@@ -1,0 +1,240 @@
+//! Differential f32↔int2 agreement harness.
+//!
+//! The eval path of every 2-bit matrix layer is computed two materially
+//! different ways — the bit-packed popcount engine and, behind
+//! `ADAPEX_NO_INT2`, the f32 GEMM over the same integer code values —
+//! and the two must agree on every output **bit**, not just the argmax
+//! (see DESIGN.md §11 for the exactness argument). These tests pin that
+//! agreement for QuantLinear and QuantConv2d through the real
+//! quantizers, for a full early-exit network under `evaluate_exits`,
+//! and against an independent f64 reference of the fake-quant
+//! arithmetic so both implementations can't drift together.
+
+use adapex_nn::cnv::{CnvConfig, ExitsConfig};
+use adapex_nn::eval::evaluate_exits;
+use adapex_nn::layers::{Activation, QuantConv2d, QuantLinear, QuantReLU};
+use adapex_nn::quant::QuantSpec;
+use adapex_dataset::{DatasetKind, SyntheticConfig};
+use adapex_tensor::conv::ConvGeometry;
+use adapex_tensor::int2;
+use adapex_tensor::rng::rng_from_seed;
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard};
+
+/// `int2::override_enabled` is process-global; every test here flips it,
+/// so they serialize on one lock (poison-tolerant: a failed test must
+/// not cascade).
+static INT2_LOCK: Mutex<()> = Mutex::new(());
+
+fn int2_lock() -> MutexGuard<'static, ()> {
+    INT2_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` once with the popcount engine forced on and once forced
+/// off, restoring env-based routing afterwards even on panic.
+fn with_both_modes<T>(mut f: impl FnMut() -> T) -> (T, T) {
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            int2::override_enabled(None);
+        }
+    }
+    let _restore = Restore;
+    int2::override_enabled(Some(true));
+    let on = f();
+    int2::override_enabled(Some(false));
+    let off = f();
+    (on, off)
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn argmax(v: &[f32]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap()
+}
+
+/// Raw pre-activation inputs pushed through the real activation
+/// quantizer (stamping the 2-bit grid metadata the router needs).
+fn quantized_input(raw: Vec<f32>, n: usize, dims: Vec<usize>) -> Activation {
+    let x = Activation::new(raw, n, dims);
+    QuantReLU::a2().forward(&x, false)
+}
+
+/// Independent reference for one linear output in f64: the fake-quant
+/// formulation `Σ qw·xq + b`. The code-domain result may differ from
+/// this only by its two f32 epilogue roundings and the combined-scale
+/// rounding, so agreement within a few ulps pins both implementations
+/// to the quantized semantics (a shared code-recovery bug would slip
+/// past the bitwise int2↔f32 comparison alone).
+fn close_to_fake_quant_ref(got: f32, qw_row: &[f32], xq: &[f32], bias: f32) -> bool {
+    let want: f64 = qw_row
+        .iter()
+        .zip(xq)
+        .map(|(&w, &x)| w as f64 * x as f64)
+        .sum::<f64>()
+        + bias as f64;
+    (got as f64 - want).abs() <= 1e-4 * (1.0 + want.abs())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// QuantLinear eval: popcount engine == f32-over-codes fallback,
+    /// bit for bit, and both track the fake-quant reference.
+    #[test]
+    fn linear_int2_and_f32_paths_agree_exactly(
+        in_features in 1usize..96,
+        out_features in 1usize..24,
+        n in 1usize..5,
+        seed in 0u64..1_000,
+        wseed in 0u64..1_000,
+    ) {
+        let _guard = int2_lock();
+        let mut lin = QuantLinear::new(
+            in_features,
+            out_features,
+            QuantSpec::signed(2),
+            &mut rng_from_seed(wseed),
+        );
+        // Deterministic pseudo-random bias so the epilogue is exercised.
+        for (i, b) in lin.bias.value.iter_mut().enumerate() {
+            *b = ((i as f32 * 0.37 + 0.1).sin()) * 0.5;
+        }
+        let raw: Vec<f32> = (0..n * in_features)
+            .map(|i| ((i as f32 + seed as f32) * 0.713).sin() * 2.5)
+            .collect();
+        let x = quantized_input(raw, n, vec![in_features]);
+
+        int2::reset_op_counters();
+        let (y_on, y_off) = with_both_modes(|| lin.forward(&x, false));
+        let (macs, _) = int2::op_counters();
+        // The engine must actually have run in the forced-on pass.
+        prop_assert_eq!(macs, (n * in_features * out_features) as u64);
+        prop_assert_eq!(bits(&y_on.data), bits(&y_off.data));
+        // Independent reference: re-derive the fake-quantized weights
+        // exactly as the layer does and check every logit against the
+        // f64 fake-quant dot product.
+        let (mut qw, mut scales) = (Vec::new(), Vec::new());
+        adapex_nn::quant::quantize_weights_per_row_into(
+            &lin.weight.value,
+            in_features,
+            lin.weight_spec,
+            &mut qw,
+            &mut scales,
+        );
+        for s in 0..n {
+            prop_assert_eq!(
+                argmax(y_on.sample(s)),
+                argmax(y_off.sample(s))
+            );
+            for o in 0..out_features {
+                prop_assert!(close_to_fake_quant_ref(
+                    y_on.sample(s)[o],
+                    &qw[o * in_features..(o + 1) * in_features],
+                    x.sample(s),
+                    lin.bias.value[o],
+                ));
+            }
+        }
+    }
+
+    /// QuantConv2d eval at CNV-like shapes: bitwise path agreement plus
+    /// the engine-ran MAC check.
+    #[test]
+    fn conv_int2_and_f32_paths_agree_exactly(
+        c_in in 1usize..5,
+        c_out in 1usize..9,
+        hw in 4usize..9,
+        n in 1usize..3,
+        seed in 0u64..1_000,
+        wseed in 0u64..1_000,
+    ) {
+        let _guard = int2_lock();
+        let mut conv = QuantConv2d::new(
+            c_in,
+            c_out,
+            ConvGeometry::new(3),
+            QuantSpec::signed(2),
+            &mut rng_from_seed(wseed),
+        );
+        for (i, b) in conv.bias.value.iter_mut().enumerate() {
+            *b = ((i as f32 * 0.71 - 0.2).cos()) * 0.3;
+        }
+        let raw: Vec<f32> = (0..n * c_in * hw * hw)
+            .map(|i| ((i as f32 * 0.917 + seed as f32) * 0.531).sin() * 2.5)
+            .collect();
+        let x = quantized_input(raw, n, vec![c_in, hw, hw]);
+
+        int2::reset_op_counters();
+        let (y_on, y_off) = with_both_modes(|| conv.forward(&x, false));
+        let (macs, _) = int2::op_counters();
+        let pixels = (hw - 2) * (hw - 2);
+        prop_assert_eq!(macs, (n * c_out * c_in * 9 * pixels) as u64);
+        prop_assert_eq!(bits(&y_on.data), bits(&y_off.data));
+    }
+}
+
+/// Fixed CNV-scale shapes (the proptests stay small for CI time).
+#[test]
+fn cnv_shape_linear_agrees_exactly() {
+    let _guard = int2_lock();
+    let mut lin = QuantLinear::new(576, 64, QuantSpec::signed(2), &mut rng_from_seed(7));
+    let raw: Vec<f32> = (0..33 * 576).map(|i| (i as f32 * 0.0137).sin() * 3.0).collect();
+    let x = quantized_input(raw, 33, vec![576]);
+    let (y_on, y_off) = with_both_modes(|| lin.forward(&x, false));
+    assert_eq!(bits(&y_on.data), bits(&y_off.data));
+}
+
+#[test]
+fn cnv_shape_conv_agrees_exactly() {
+    let _guard = int2_lock();
+    let mut conv = QuantConv2d::new(
+        8,
+        16,
+        ConvGeometry::new(3),
+        QuantSpec::signed(2),
+        &mut rng_from_seed(11),
+    );
+    let raw: Vec<f32> = (0..2 * 8 * 16 * 16).map(|i| (i as f32 * 0.0731).cos() * 2.2).collect();
+    let x = quantized_input(raw, 2, vec![8, 16, 16]);
+    let (y_on, y_off) = with_both_modes(|| conv.forward(&x, false));
+    assert_eq!(bits(&y_on.data), bits(&y_off.data));
+}
+
+/// Full-network differential test: a trained-ish (seeded, untrained
+/// weights are fine — they still quantize) early-exit CNV evaluated on
+/// a seeded GTSRB-like batch must produce identical exit decisions,
+/// confidences and correctness masks with the popcount engine on and
+/// off. This is the end-to-end pin for "evaluate_exits routes through
+/// int2 without changing a single bit".
+#[test]
+fn evaluate_exits_is_bit_identical_across_int2_modes() {
+    let _guard = int2_lock();
+    let data = SyntheticConfig::new(DatasetKind::GtsrbLike)
+        .with_sizes(4, 24)
+        .generate();
+    let mut net = CnvConfig::tiny().build_early_exit(
+        data.num_classes(),
+        &ExitsConfig::paper_default(),
+        3,
+    );
+
+    int2::reset_op_counters();
+    let (eval_on, eval_off) = with_both_modes(|| evaluate_exits(&mut net, &data.test));
+    let (macs, popcnts) = int2::op_counters();
+    assert!(macs > 0, "popcount engine never engaged during eval");
+    assert!(popcnts > 0);
+
+    assert_eq!(eval_on.samples, eval_off.samples);
+    assert_eq!(eval_on.correct, eval_off.correct);
+    assert_eq!(eval_on.confidence.len(), eval_off.confidence.len());
+    for (a, b) in eval_on.confidence.iter().zip(&eval_off.confidence) {
+        assert_eq!(bits(a), bits(b));
+    }
+}

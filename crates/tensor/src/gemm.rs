@@ -23,6 +23,13 @@
 //! the plain/`_st`/bias variants and independent of the thread count — and,
 //! because the SIMD layer forbids FMA contraction and keeps lane operations
 //! exactly rounded, independent of the dispatch path as well.
+//!
+//! Those same two properties (no FMA, exact per-step rounding) make this
+//! kernel an *exact integer* machine whenever its inputs are small-integer
+//! code values: every partial sum stays below 2^24 and each add rounds to
+//! itself. [`crate::int2::gemm_int2`] leans on that — the f32 GEMM over
+//! 2-bit code values is the bit-identical `ADAPEX_NO_INT2` fallback for
+//! the popcount engine.
 
 use crate::parallel::parallel_for_chunks;
 use crate::simd::gemm_panel;

@@ -1,0 +1,645 @@
+//! Bit-packed 2-bit integer GEMM: the MVU popcount inner product in software.
+//!
+//! CNVW2A2 eval runs every matrix layer (except the raw-image stem conv)
+//! on signed 2-bit weights × unsigned 2-bit activations. This module
+//! executes those layers the way the FINN MVTU RTL does: operands are
+//! packed into `u64` bit-plane words and the inner product becomes four
+//! AND+popcount streams combined with small shifts.
+//!
+//! # Bit-plane packing
+//!
+//! A signed 2-bit weight code `w ∈ {-2,-1,0,1}` is stored as its two's
+//! complement bits `(w1, w0)` so that `w = w0 - 2*w1`:
+//!
+//! ```text
+//! -2 = (1,0)   -1 = (1,1)   0 = (0,0)   1 = (0,1)
+//! ```
+//!
+//! An unsigned 2-bit activation code `a ∈ {0..3}` is `a = a0 + 2*a1`.
+//! Plane `p` of item `i` packs bit `p` of 64 consecutive codes per word,
+//! `k` codes into `W = ceil(k/64)` words, laid out `[plane0 | plane1]`
+//! per item (tail bits zero, so padding contributes nothing). The dot
+//! product over `k` codes is then exactly
+//!
+//! ```text
+//! S = Σ w·a = pc(w0&a0) + 2·pc(w0&a1) - 2·pc(w1&a0) - 4·pc(w1&a1)
+//! ```
+//!
+//! where `pc` is population count — pure integer arithmetic, so the AVX2
+//! backend (Muła `vpshufb` nibble-LUT popcount) and the portable backend
+//! (`u64::count_ones`) are bit-identical by construction, with none of
+//! the FMA/ordering care the f32 kernels in [`crate::simd`] need.
+//!
+//! # Requantize epilogue and exact agreement
+//!
+//! [`gemm_int2`] fuses the MVTU-style epilogue `y = (S as f32)*cs + bias`
+//! (two exactly-rounded f32 steps; `cs` is the combined weight×activation
+//! scale). `|S| ≤ 6k < 2^24` for every shape in play, so `S as f32` is
+//! exact — which means an f32 GEMM over the *code values* computes the
+//! same integer `S` exactly (every partial sum is an integer below 2^24
+//! and the f32 GEMM never contracts to FMA). That f32-over-codes route is
+//! the `ADAPEX_NO_INT2=1` escape hatch; the differential suites pin the
+//! two implementations against each other bit-for-bit.
+//!
+//! # Dispatch and escape hatches
+//!
+//! * `ADAPEX_NO_SIMD=1` (or [`override_backend`]) — portable popcount
+//!   instead of AVX2, same bits.
+//! * `ADAPEX_NO_INT2=1` (or [`override_enabled`]) — callers consult
+//!   [`enabled`] and fall back to the f32 GEMM over code values, same
+//!   bits again.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+pub use crate::simd::Backend;
+
+/// Largest supported reduction depth: `6*k` must stay below 2^24 so the
+/// integer accumulator converts to `f32` exactly (and so the f32-over-
+/// codes fallback accumulates exactly). CNV shapes peak at `k = 4608`.
+pub const MAX_K: usize = (1 << 24) / 6;
+
+// Cached backend decision: 0 = undecided, 1 = AVX2, 2 = portable,
+// 3/4 = explicit override (AVX2/portable) from `override_backend`.
+static BACKEND: AtomicU8 = AtomicU8::new(0);
+
+// Cached routing decision: 0 = undecided, 1 = on, 2 = off (env),
+// 3/4 = explicit override (on/off) from `override_enabled`.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+// Logical multiply-accumulate count (m*n*k per GEMM call) and executed
+// popcount word-ops (4 per plane-pair word per dot product). The finn
+// cycle-model cross-check reads these; eval serving never does, so a
+// relaxed atomic per GEMM call is free.
+static MAC_OPS: AtomicU64 = AtomicU64::new(0);
+static POPCNT_OPS: AtomicU64 = AtomicU64::new(0);
+
+fn detect_backend() -> u8 {
+    if std::env::var_os("ADAPEX_NO_SIMD").is_some_and(|v| v == "1") {
+        return 2;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Unlike the f32 kernels, the remainder loop leans on a scalar
+        // POPCNT; every AVX2 part ships it, but check anyway.
+        if std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("popcnt")
+        {
+            return 1;
+        }
+    }
+    2
+}
+
+/// The backend [`gemm_int2`] currently dispatches to.
+pub fn active_backend() -> Backend {
+    match BACKEND.load(Ordering::Relaxed) {
+        1 | 3 => Backend::Avx2,
+        2 | 4 => Backend::Portable,
+        _ => {
+            let b = detect_backend();
+            let _ = BACKEND.compare_exchange(0, b, Ordering::Relaxed, Ordering::Relaxed);
+            active_backend()
+        }
+    }
+}
+
+/// Pins the popcount dispatch to one backend (`Some`) or restores
+/// runtime detection (`None`). Integer arithmetic makes both backends
+/// bit-identical, so flipping this never changes results.
+///
+/// # Panics
+///
+/// Panics when asked to force AVX2 on a host without AVX2+POPCNT.
+pub fn override_backend(backend: Option<Backend>) {
+    let v = match backend {
+        Some(Backend::Avx2) => {
+            assert!(
+                detect_backend() == 1,
+                "AVX2 int2 backend unavailable on this host"
+            );
+            3
+        }
+        Some(Backend::Portable) => 4,
+        None => detect_backend(),
+    };
+    BACKEND.store(v, Ordering::Relaxed);
+}
+
+fn detect_enabled() -> u8 {
+    if std::env::var_os("ADAPEX_NO_INT2").is_some_and(|v| v == "1") {
+        2
+    } else {
+        1
+    }
+}
+
+/// Whether eval layers should route through the bit-packed engine.
+///
+/// `ADAPEX_NO_INT2=1` turns routing off; the layers then run the same
+/// code-domain computation on the f32 GEMM, which is bit-identical, so
+/// this is purely an escape hatch / differential-testing axis.
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        1 | 3 => true,
+        2 | 4 => false,
+        _ => {
+            let e = detect_enabled();
+            let _ = ENABLED.compare_exchange(0, e, Ordering::Relaxed, Ordering::Relaxed);
+            enabled()
+        }
+    }
+}
+
+/// Forces int2 routing on/off (`Some`) or restores the `ADAPEX_NO_INT2`
+/// environment decision (`None`). Test hook for the differential suites.
+pub fn override_enabled(on: Option<bool>) {
+    let v = match on {
+        Some(true) => 3,
+        Some(false) => 4,
+        None => detect_enabled(),
+    };
+    ENABLED.store(v, Ordering::Relaxed);
+}
+
+/// `(logical MACs, popcount word-ops)` executed by [`gemm_int2`] since
+/// the last [`reset_op_counters`]. One dot product over `k` codes counts
+/// `k` MACs and `4*ceil(k/64)` popcount ops (padding words included —
+/// the constant-factor gap between the two is exactly the cycle model's
+/// word-granularity rounding).
+pub fn op_counters() -> (u64, u64) {
+    (
+        MAC_OPS.load(Ordering::Relaxed),
+        POPCNT_OPS.load(Ordering::Relaxed),
+    )
+}
+
+/// Zeroes the [`op_counters`]. Not synchronized against concurrent GEMM
+/// calls; callers (tests) quiesce the engine first.
+pub fn reset_op_counters() {
+    MAC_OPS.store(0, Ordering::Relaxed);
+    POPCNT_OPS.store(0, Ordering::Relaxed);
+}
+
+/// Words per plane for a `k`-deep operand.
+#[inline]
+pub fn plane_words(k: usize) -> usize {
+    k.div_ceil(64)
+}
+
+/// Packed `u64` words per item (`2` planes of [`plane_words`]).
+#[inline]
+pub fn words_per_item(k: usize) -> usize {
+    2 * plane_words(k)
+}
+
+/// Output orientation of [`gemm_int2`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutMajor {
+    /// `out[i*n + j]`: weight-item-major (conv layout `[c_out, pixels]`).
+    Row,
+    /// `out[j*m + i]`: act-item-major (linear layout `[batch, out]`).
+    Col,
+}
+
+/// Packs rows of signed 2-bit weight *codes* (each an exact integer in
+/// `{-2,-1,0,1}` stored as `f32`) into two's-complement bit planes.
+/// Row `r` reads `codes[r*k..(r+1)*k]` and lands at
+/// `out[r*words_per_item(k)..]` as `[plane0 | plane1]`.
+pub fn pack_weights_int2(codes: &[f32], items: usize, k: usize, out: &mut Vec<u64>) {
+    debug_assert_eq!(codes.len(), items * k);
+    debug_assert!(codes
+        .iter()
+        .all(|&c| (-2.0..=1.0).contains(&c) && c == c.trunc()));
+    pack_strided(codes, items, k, k, 1, out);
+}
+
+/// Packs rows of unsigned 2-bit activation codes (`{0..3}` as `f32`,
+/// row `r` at `codes[r*k..]`) into bit planes, same layout as
+/// [`pack_weights_int2`].
+pub fn pack_acts_int2(codes: &[f32], items: usize, k: usize, out: &mut Vec<u64>) {
+    debug_assert_eq!(codes.len(), items * k);
+    debug_assert!(codes
+        .iter()
+        .all(|&c| (0.0..=3.0).contains(&c) && c == c.trunc()));
+    pack_strided(codes, items, k, k, 1, out);
+}
+
+/// Packs unsigned 2-bit activation codes from an im2col column buffer:
+/// element `(kk, j)` of item `j` lives at `codes[kk*items + j]`
+/// (`[k, items]` row-major, i.e. items are columns).
+pub fn pack_acts_cols_int2(codes: &[f32], items: usize, k: usize, out: &mut Vec<u64>) {
+    debug_assert_eq!(codes.len(), items * k);
+    pack_strided(codes, items, k, 1, items, out);
+}
+
+/// Shared packer: item `i`, depth index `kk` reads
+/// `codes[i*item_stride + kk*depth_stride]`. Codes are two's-complement
+/// masked to their low 2 bits, which maps both the signed weight range
+/// and the unsigned act range onto the plane identities above.
+fn pack_strided(
+    codes: &[f32],
+    items: usize,
+    k: usize,
+    item_stride: usize,
+    depth_stride: usize,
+    out: &mut Vec<u64>,
+) {
+    let wpp = plane_words(k);
+    out.clear();
+    out.resize(items * 2 * wpp, 0);
+    for i in 0..items {
+        let dst = &mut out[i * 2 * wpp..(i + 1) * 2 * wpp];
+        let (p0, p1) = dst.split_at_mut(wpp);
+        let base = i * item_stride;
+        for kk in 0..k {
+            let bits = (codes[base + kk * depth_stride] as i32 & 3) as u64;
+            let (word, bit) = (kk / 64, kk % 64);
+            p0[word] |= (bits & 1) << bit;
+            p1[word] |= (bits >> 1) << bit;
+        }
+    }
+}
+
+/// Rounds a quantized activation slice to its integer codes in place:
+/// `v = clamp(round(v / scale), 0, 3)`. Inputs lie on (or within float
+/// error of) the quantization grid `{0, s, 2s, 3s}`, so round-to-nearest
+/// recovers the code exactly. Plain scalar ops — deterministic, no
+/// dispatch needed.
+pub fn act_codes_in_place(v: &mut [f32], scale: f32) {
+    debug_assert!(scale > 0.0);
+    for x in v {
+        *x = (*x / scale).round().clamp(0.0, 3.0);
+    }
+}
+
+/// Recovers signed weight codes from a per-row-scaled quantized weight
+/// matrix: `out[r*k + i] = clamp(round(q[r*k + i] / scales[r]), -2, 1)`.
+/// Quantized weights are exactly `code * scale` with `code` in
+/// `{-2,-1,0,1}` (codes are 0 or ±powers of two), so the division
+/// recovers the code exactly.
+pub fn weight_codes_into(q: &[f32], scales: &[f32], k: usize, out: &mut Vec<f32>) {
+    debug_assert_eq!(q.len(), scales.len() * k);
+    out.clear();
+    out.reserve(q.len());
+    for (row, &s) in q.chunks_exact(k).zip(scales) {
+        debug_assert!(s > 0.0);
+        out.extend(row.iter().map(|&w| (w / s).round().clamp(-2.0, 1.0)));
+    }
+}
+
+/// The fused requantize step shared (textually and numerically) by the
+/// int2 epilogue and the f32-fallback epilogues: two exactly-rounded f32
+/// operations, never contracted to FMA (`-Cllvm-args` fast-math is never
+/// enabled in this workspace).
+#[inline(always)]
+fn requant(acc: f32, cs: f32, bias: f32) -> f32 {
+    (acc * cs) + bias
+}
+
+/// Requantizes a weight-item-major (`[m, n]`) f32-fallback accumulator
+/// in place: row `i` becomes `acc*cs[i] + bias[i]` — the exact epilogue
+/// [`gemm_int2`] fuses for [`OutMajor::Row`].
+pub fn requantize_rows(out: &mut [f32], n: usize, cs: &[f32], bias: &[f32]) {
+    debug_assert_eq!(out.len(), cs.len() * n);
+    debug_assert_eq!(cs.len(), bias.len());
+    for ((row, &c), &b) in out.chunks_exact_mut(n).zip(cs).zip(bias) {
+        for v in row {
+            *v = requant(*v, c, b);
+        }
+    }
+}
+
+/// Requantizes an act-item-major (`[n, m]`) f32-fallback accumulator in
+/// place: element `i` of every item becomes `acc*cs[i] + bias[i]` — the
+/// exact epilogue [`gemm_int2`] fuses for [`OutMajor::Col`].
+pub fn requantize_cols(out: &mut [f32], cs: &[f32], bias: &[f32]) {
+    debug_assert_eq!(out.len() % cs.len().max(1), 0);
+    debug_assert_eq!(cs.len(), bias.len());
+    for item in out.chunks_exact_mut(cs.len()) {
+        for ((v, &c), &b) in item.iter_mut().zip(cs).zip(bias) {
+            *v = requant(*v, c, b);
+        }
+    }
+}
+
+/// Bit-packed integer GEMM with fused requantize epilogue.
+///
+/// `a` holds `m` packed weight items and `b` holds `n` packed activation
+/// items (both `words_per_item(k)` words each, from the packers above).
+/// For every pair the popcount dot product `S` is computed exactly and
+/// written as `(S as f32)*cs[i] + bias[i]` at `out[i*n + j]`
+/// ([`OutMajor::Row`]) or `out[j*m + i]` ([`OutMajor::Col`]).
+///
+/// Mirrors the f32 GEMM's panel shape loosely: activation items are
+/// walked in blocks of [`crate::gemm`]'s `NC=32` so a weight row streams
+/// against a cache-resident B panel. No threading — conv calls this
+/// per image inside its own parallel loop, and linear batches are small.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_int2(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[u64],
+    b: &[u64],
+    cs: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    major: OutMajor,
+) {
+    assert!(k <= MAX_K, "gemm_int2: k={k} overflows the exact-f32 bound");
+    let wpi = words_per_item(k);
+    assert_eq!(a.len(), m * wpi, "gemm_int2: packed A length mismatch");
+    assert_eq!(b.len(), n * wpi, "gemm_int2: packed B length mismatch");
+    assert_eq!(cs.len(), m, "gemm_int2: scale length mismatch");
+    assert_eq!(bias.len(), m, "gemm_int2: bias length mismatch");
+    assert_eq!(out.len(), m * n, "gemm_int2: output length mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    MAC_OPS.fetch_add((m * n * k) as u64, Ordering::Relaxed);
+    POPCNT_OPS.fetch_add((m * n * 4 * plane_words(k)) as u64, Ordering::Relaxed);
+    match active_backend() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `active_backend` only reports Avx2 after runtime
+        // detection of AVX2+POPCNT (or an override that re-checked it).
+        Backend::Avx2 => unsafe { avx2::gemm_int2(m, k, n, a, b, cs, bias, out, major) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2 => portable::gemm_int2(m, k, n, a, b, cs, bias, out, major),
+        Backend::Portable => portable::gemm_int2(m, k, n, a, b, cs, bias, out, major),
+    }
+}
+
+/// The shared blocked loop nest: only the dot-product kernel differs per
+/// backend, and it must be called inside the backend's `target_feature`
+/// region to inline, hence a macro rather than a generic.
+macro_rules! gemm_int2_body {
+    ($dot:path, $m:expr, $k:expr, $n:expr, $a:expr, $b:expr,
+     $cs:expr, $bias:expr, $out:expr, $major:expr) => {{
+        // Same B-panel width as the f32 GEMM's NC: a 32-item panel of
+        // packed CNV operands is a few KiB and stays L1-resident while
+        // every weight row streams over it.
+        const BN: usize = 32;
+        let wpi = words_per_item($k);
+        let mut j0 = 0;
+        while j0 < $n {
+            let jn = ($n - j0).min(BN);
+            for i in 0..$m {
+                let wa = &$a[i * wpi..(i + 1) * wpi];
+                let (c, bi) = ($cs[i], $bias[i]);
+                for j in j0..j0 + jn {
+                    let acc = $dot(wa, &$b[j * wpi..(j + 1) * wpi]);
+                    let y = requant(acc as f32, c, bi);
+                    match $major {
+                        OutMajor::Row => $out[i * $n + j] = y,
+                        OutMajor::Col => $out[j * $m + i] = y,
+                    }
+                }
+            }
+            j0 += jn;
+        }
+    }};
+}
+
+/// The scalar backend, public (like [`crate::simd::portable`]) so the
+/// bit-identity suite can pin it against AVX2 directly.
+pub mod portable {
+    use super::{requant, words_per_item, OutMajor};
+
+    /// `S = pc(w0&a0) + 2·pc(w0&a1) - 2·pc(w1&a0) - 4·pc(w1&a1)` over
+    /// `[plane0 | plane1]` packed items.
+    #[inline(always)]
+    pub fn dot(w: &[u64], a: &[u64]) -> i32 {
+        let wpp = w.len() / 2;
+        let (w0, w1) = w.split_at(wpp);
+        let (a0, a1) = a.split_at(wpp);
+        let (mut c00, mut c01, mut c10, mut c11) = (0u32, 0u32, 0u32, 0u32);
+        for i in 0..wpp {
+            c00 += (w0[i] & a0[i]).count_ones();
+            c01 += (w0[i] & a1[i]).count_ones();
+            c10 += (w1[i] & a0[i]).count_ones();
+            c11 += (w1[i] & a1[i]).count_ones();
+        }
+        c00 as i32 + 2 * c01 as i32 - 2 * c10 as i32 - 4 * c11 as i32
+    }
+
+    /// Single-backend entry with the same contract as
+    /// [`super::gemm_int2`] (counters excluded).
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm_int2(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[u64],
+        b: &[u64],
+        cs: &[f32],
+        bias: &[f32],
+        out: &mut [f32],
+        major: OutMajor,
+    ) {
+        gemm_int2_body!(dot, m, k, n, a, b, cs, bias, out, major);
+    }
+}
+
+/// The AVX2 backend, public (like [`crate::simd::avx2`]) for the
+/// bit-identity suite. All functions require AVX2+POPCNT.
+#[cfg(target_arch = "x86_64")]
+pub mod avx2 {
+    use super::{requant, words_per_item, OutMajor};
+    use std::arch::x86_64::*;
+
+    /// Byte-wise popcount of a 256-bit vector via the Muła `vpshufb`
+    /// nibble-LUT method, reduced to four u64 lane sums with `vpsadbw`.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[inline(always)]
+    unsafe fn popcnt256(v: __m256i) -> __m256i {
+        let lut = _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, //
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        );
+        let low = _mm256_set1_epi8(0x0f);
+        let lo = _mm256_and_si256(v, low);
+        let hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low);
+        let cnt = _mm256_add_epi8(
+            _mm256_shuffle_epi8(lut, lo),
+            _mm256_shuffle_epi8(lut, hi),
+        );
+        _mm256_sad_epu8(cnt, _mm256_setzero_si256())
+    }
+
+    /// Same contract as `portable::dot`; processes 4 plane words per
+    /// backend pair per iteration, hardware-POPCNT remainder.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 and POPCNT (runtime-checked by the dispatcher).
+    #[target_feature(enable = "avx2,popcnt")]
+    #[inline]
+    pub unsafe fn dot(w: &[u64], a: &[u64]) -> i32 {
+        let wpp = w.len() / 2;
+        let (w0, w1) = w.split_at(wpp);
+        let (a0, a1) = a.split_at(wpp);
+        let mut acc00 = _mm256_setzero_si256();
+        let mut acc01 = _mm256_setzero_si256();
+        let mut acc10 = _mm256_setzero_si256();
+        let mut acc11 = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + 4 <= wpp {
+            let vw0 = _mm256_loadu_si256(w0.as_ptr().add(i) as *const __m256i);
+            let vw1 = _mm256_loadu_si256(w1.as_ptr().add(i) as *const __m256i);
+            let va0 = _mm256_loadu_si256(a0.as_ptr().add(i) as *const __m256i);
+            let va1 = _mm256_loadu_si256(a1.as_ptr().add(i) as *const __m256i);
+            acc00 = _mm256_add_epi64(acc00, popcnt256(_mm256_and_si256(vw0, va0)));
+            acc01 = _mm256_add_epi64(acc01, popcnt256(_mm256_and_si256(vw0, va1)));
+            acc10 = _mm256_add_epi64(acc10, popcnt256(_mm256_and_si256(vw1, va0)));
+            acc11 = _mm256_add_epi64(acc11, popcnt256(_mm256_and_si256(vw1, va1)));
+            i += 4;
+        }
+        #[inline(always)]
+        unsafe fn hsum(v: __m256i) -> i64 {
+            let mut lanes = [0i64; 4];
+            _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, v);
+            lanes[0] + lanes[1] + lanes[2] + lanes[3]
+        }
+        let (mut c00, mut c01, mut c10, mut c11) =
+            (hsum(acc00), hsum(acc01), hsum(acc10), hsum(acc11));
+        while i < wpp {
+            c00 += (w0[i] & a0[i]).count_ones() as i64;
+            c01 += (w0[i] & a1[i]).count_ones() as i64;
+            c10 += (w1[i] & a0[i]).count_ones() as i64;
+            c11 += (w1[i] & a1[i]).count_ones() as i64;
+            i += 1;
+        }
+        (c00 + 2 * c01 - 2 * c10 - 4 * c11) as i32
+    }
+
+    /// Single-backend entry with the same contract as
+    /// [`super::gemm_int2`] (counters excluded).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 and POPCNT.
+    #[target_feature(enable = "avx2,popcnt")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn gemm_int2(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[u64],
+        b: &[u64],
+        cs: &[f32],
+        bias: &[f32],
+        out: &mut [f32],
+        major: OutMajor,
+    ) {
+        gemm_int2_body!(dot, m, k, n, a, b, cs, bias, out, major);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dot(w: &[f32], a: &[f32]) -> i32 {
+        w.iter().zip(a).map(|(&x, &y)| (x as i32) * (y as i32)).sum()
+    }
+
+    fn codes(seed: u64, n: usize, lo: i32, hi: i32) -> Vec<f32> {
+        let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15).max(1);
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (lo + (s % (hi - lo + 1) as u64) as i32) as f32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn packed_dot_matches_naive_across_depths() {
+        for k in [0, 1, 5, 63, 64, 65, 128, 200, 256, 300] {
+            let w = codes(k as u64 + 1, k, -2, 1);
+            let a = codes(k as u64 + 99, k, 0, 3);
+            let (mut pw, mut pa) = (Vec::new(), Vec::new());
+            pack_weights_int2(&w, 1, k, &mut pw);
+            pack_acts_int2(&a, 1, k, &mut pa);
+            assert_eq!(portable::dot(&pw, &pa), naive_dot(&w, &a), "k={k}");
+        }
+    }
+
+    #[test]
+    fn strided_pack_matches_contiguous_pack() {
+        let (items, k) = (5, 70);
+        let cols = codes(7, items * k, 0, 3); // [k, items] layout
+        let mut rows = vec![0.0; items * k]; // [items, k] layout
+        for kk in 0..k {
+            for j in 0..items {
+                rows[j * k + kk] = cols[kk * items + j];
+            }
+        }
+        let (mut pc, mut pr) = (Vec::new(), Vec::new());
+        pack_acts_cols_int2(&cols, items, k, &mut pc);
+        pack_acts_int2(&rows, items, k, &mut pr);
+        assert_eq!(pc, pr);
+    }
+
+    #[test]
+    fn gemm_int2_matches_naive_reference_in_both_layouts() {
+        let (m, k, n) = (5, 70, 9);
+        let w = codes(1, m * k, -2, 1);
+        let a = codes(2, n * k, 0, 3);
+        let cs: Vec<f32> = (0..m).map(|i| 0.25 + i as f32 * 0.125).collect();
+        let bias: Vec<f32> = (0..m).map(|i| i as f32 - 2.0).collect();
+        let (mut pw, mut pa) = (Vec::new(), Vec::new());
+        pack_weights_int2(&w, m, k, &mut pw);
+        pack_acts_int2(&a, n, k, &mut pa);
+        let mut row = vec![0.0; m * n];
+        let mut col = vec![0.0; m * n];
+        gemm_int2(m, k, n, &pw, &pa, &cs, &bias, &mut row, OutMajor::Row);
+        gemm_int2(m, k, n, &pw, &pa, &cs, &bias, &mut col, OutMajor::Col);
+        for i in 0..m {
+            for j in 0..n {
+                let s = naive_dot(&w[i * k..(i + 1) * k], &a[j * k..(j + 1) * k]);
+                let want = (s as f32) * cs[i] + bias[i];
+                assert_eq!(row[i * n + j], want);
+                assert_eq!(col[j * m + i], want);
+            }
+        }
+    }
+
+    #[test]
+    fn op_counters_track_gemm_calls() {
+        let (m, k, n) = (3, 130, 4);
+        let (mut pw, mut pa) = (Vec::new(), Vec::new());
+        pack_weights_int2(&codes(3, m * k, -2, 1), m, k, &mut pw);
+        pack_acts_int2(&codes(4, n * k, 0, 3), n, k, &mut pa);
+        let mut out = vec![0.0; m * n];
+        let (mac0, pc0) = op_counters();
+        gemm_int2(m, k, n, &pw, &pa, &[1.0; 3], &[0.0; 3], &mut out, OutMajor::Row);
+        let (mac1, pc1) = op_counters();
+        assert_eq!(mac1 - mac0, (m * n * k) as u64);
+        assert_eq!(pc1 - pc0, (m * n * 4 * plane_words(k)) as u64);
+    }
+
+    #[test]
+    fn code_recovery_is_exact_on_the_quant_grid() {
+        // Acts: every grid point of a few scales round-trips.
+        for scale in [2.0f32 / 3.0, 0.013, 1.0, 7.3e-3] {
+            let mut v: Vec<f32> = (0..4).map(|c| c as f32 * scale).collect();
+            act_codes_in_place(&mut v, scale);
+            assert_eq!(v, [0.0, 1.0, 2.0, 3.0]);
+        }
+        // Weights: code*scale recovers the code for every signed code.
+        let scales = [0.5f32, 0.037, 1.25];
+        let q: Vec<f32> = scales
+            .iter()
+            .flat_map(|&s| [-2.0 * s, -s, 0.0, s])
+            .collect();
+        let mut out = Vec::new();
+        weight_codes_into(&q, &scales, 4, &mut out);
+        assert_eq!(out, [-2.0, -1.0, 0.0, 1.0].repeat(3));
+    }
+}

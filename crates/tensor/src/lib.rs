@@ -17,6 +17,9 @@
 //! * [`simd`] — 8-lane `f32` kernels (AVX2 with a bit-identical portable
 //!   fallback, runtime-dispatched) behind the GEMM SAXPYs and the
 //!   engine's elementwise hot loops.
+//! * [`int2`] — the bit-packed 2-bit integer GEMM (bit-plane packing +
+//!   popcount inner product, FINN-MVTU style) that eval-mode quantized
+//!   layers dispatch to, with the same AVX2/portable split.
 //!
 //! # Example
 //!
@@ -34,6 +37,7 @@
 
 pub mod conv;
 pub mod gemm;
+pub mod int2;
 pub mod parallel;
 pub mod rng;
 pub mod simd;

@@ -34,6 +34,11 @@
 //! Dispatch is resolved once and cached. Setting `ADAPEX_NO_SIMD=1`
 //! forces the portable backend (CI exercises the fallback this way), and
 //! [`override_backend`] lets benches/tests pin a path explicitly.
+//!
+//! The integer sibling of this module is [`crate::int2`]: the bit-packed
+//! popcount GEMM reuses the same [`Backend`]/override/`ADAPEX_NO_SIMD`
+//! dispatch scheme, but gets cross-backend bit-identity for free from
+//! integer arithmetic instead of the rules above.
 
 use std::sync::atomic::{AtomicU8, Ordering};
 

@@ -64,6 +64,8 @@ pub struct Workspace {
     pub scratch: Vec<f32>,
     /// Second general scratch for kernels that need two.
     pub scratch2: Vec<f32>,
+    /// Bit-plane word buffer for the int2 engine's packed activations.
+    pub bits: Vec<u64>,
 }
 
 /// Runs `f` with a pooled [`Workspace`], returning the workspace (and

@@ -1,0 +1,223 @@
+//! Bit-identity proptests for the bit-packed int2 engine, mirroring
+//! `simd_identity.rs`.
+//!
+//! Every kernel is pinned three ways: a naive integer reference over the
+//! raw codes (inlined here), the portable `count_ones` backend, and — on
+//! hosts with AVX2 — the `vpshufb`-popcount backend called directly.
+//! Coverage includes unaligned (offset) item views, remainder lanes
+//! (depths that are not multiples of 64 or 256 packed bits), all-zero
+//! planes, and sign-plane edge cases (operands dense in −2, the only
+//! code with a set high plane and a clear low plane). CI re-runs this
+//! suite under `ADAPEX_NO_INT2=1` and `ADAPEX_NO_SIMD=1`.
+
+use adapex_tensor::int2::{self, portable, Backend, OutMajor};
+use proptest::prelude::*;
+
+#[cfg(target_arch = "x86_64")]
+use adapex_tensor::int2::avx2;
+
+fn has_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("popcnt")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Weight codes skewed towards the edge cases: `tag` 4 floods −2 (high
+/// plane set, low plane clear) and 5 floods 0 (all-zero planes).
+fn wcodes(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(
+        (0u8..6, -2i32..2).prop_map(|(tag, v)| match tag {
+            4 => -2.0,
+            5 => 0.0,
+            _ => v as f32,
+        }),
+        len..=len,
+    )
+}
+
+/// Activation codes with the same zero-flooding skew.
+fn acodes(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(
+        (0u8..6, 0i32..4).prop_map(|(tag, v)| if tag == 5 { 0.0 } else { v as f32 }),
+        len..=len,
+    )
+}
+
+fn naive_dot(w: &[f32], a: &[f32]) -> i32 {
+    w.iter().zip(a).map(|(&x, &y)| (x as i32) * (y as i32)).sum()
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Packed popcount dot product == naive integer dot over the codes,
+    /// on both backends, across remainder depths (`k` spans 0..300, so
+    /// it crosses the 64-bit word and the AVX2 256-bit block boundary)
+    /// and offset (unaligned) item views.
+    #[test]
+    fn packed_dot_bit_identity(
+        k in 0usize..300,
+        item in 0usize..3,
+        w0 in wcodes(3 * 300),
+        a0 in acodes(3 * 300),
+    ) {
+        // Pack three items and probe a non-zero offset one: the packed
+        // view starts mid-buffer, which on AVX2 means unaligned loads.
+        let w = &w0[..3 * k];
+        let a = &a0[..3 * k];
+        let (mut pw, mut pa) = (Vec::new(), Vec::new());
+        int2::pack_weights_int2(w, 3, k, &mut pw);
+        int2::pack_acts_int2(a, 3, k, &mut pa);
+        let wpi = int2::words_per_item(k);
+        let pw_item = &pw[item * wpi..(item + 1) * wpi];
+        let pa_item = &pa[item * wpi..(item + 1) * wpi];
+        let want = naive_dot(&w[item * k..(item + 1) * k], &a[item * k..(item + 1) * k]);
+        prop_assert_eq!(portable::dot(pw_item, pa_item), want, "portable k={}", k);
+        #[cfg(target_arch = "x86_64")]
+        if has_avx2() {
+            prop_assert_eq!(
+                unsafe { avx2::dot(pw_item, pa_item) },
+                want,
+                "avx2 k={}", k
+            );
+        }
+    }
+
+    /// Full `gemm_int2` (portable vs AVX2, both output layouts) against
+    /// a naive reference that applies the identical fused epilogue.
+    #[test]
+    fn gemm_int2_backends_agree_bitwise(
+        m in 1usize..7,
+        k in 1usize..200,
+        n in 1usize..12,
+        col_major in any::<bool>(),
+        w0 in wcodes(6 * 200),
+        a0 in acodes(11 * 200),
+    ) {
+        let w = &w0[..m * k];
+        let a = &a0[..n * k];
+        let cs: Vec<f32> = (0..m).map(|i| 0.031 + i as f32 * 0.17).collect();
+        let bias: Vec<f32> = (0..m).map(|i| i as f32 * 0.4 - 1.1).collect();
+        let (mut pw, mut pa) = (Vec::new(), Vec::new());
+        int2::pack_weights_int2(w, m, k, &mut pw);
+        int2::pack_acts_int2(a, n, k, &mut pa);
+        let major = if col_major { OutMajor::Col } else { OutMajor::Row };
+
+        let mut want = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let s = naive_dot(&w[i * k..(i + 1) * k], &a[j * k..(j + 1) * k]);
+                let y = (s as f32) * cs[i] + bias[i];
+                match major {
+                    OutMajor::Row => want[i * n + j] = y,
+                    OutMajor::Col => want[j * m + i] = y,
+                }
+            }
+        }
+        let mut got = vec![0.0f32; m * n];
+        portable::gemm_int2(m, k, n, &pw, &pa, &cs, &bias, &mut got, major);
+        prop_assert_eq!(bits(&got), bits(&want), "portable gemm_int2");
+        #[cfg(target_arch = "x86_64")]
+        if has_avx2() {
+            let mut got = vec![0.0f32; m * n];
+            unsafe { avx2::gemm_int2(m, k, n, &pw, &pa, &cs, &bias, &mut got, major) };
+            prop_assert_eq!(bits(&got), bits(&want), "avx2 gemm_int2");
+        }
+    }
+
+    /// The strided (im2col-column) packer produces exactly the packing
+    /// of the transposed contiguous rows.
+    #[test]
+    fn strided_and_contiguous_packers_agree(
+        items in 1usize..9,
+        k in 1usize..130,
+        cols in acodes(8 * 130),
+    ) {
+        let cols = &cols[..items * k]; // [k, items] layout
+        let mut rows = vec![0.0f32; items * k];
+        for kk in 0..k {
+            for j in 0..items {
+                rows[j * k + kk] = cols[kk * items + j];
+            }
+        }
+        let (mut pc, mut pr) = (Vec::new(), Vec::new());
+        int2::pack_acts_cols_int2(cols, items, k, &mut pc);
+        int2::pack_acts_int2(&rows, items, k, &mut pr);
+        prop_assert_eq!(pc, pr);
+    }
+}
+
+/// All-zero planes and dense sign planes, pinned deterministically at
+/// word-boundary depths on both backends (the proptests above reach
+/// these through the flooding strategies; this nails the exact edges).
+#[test]
+fn zero_and_sign_plane_edges() {
+    for k in [1usize, 63, 64, 65, 128, 192, 256, 257] {
+        let zeros = vec![0.0f32; k];
+        let neg2 = vec![-2.0f32; k];
+        let threes = vec![3.0f32; k];
+        let (mut pw, mut pa) = (Vec::new(), Vec::new());
+
+        // all-zero weights x max acts -> 0
+        int2::pack_weights_int2(&zeros, 1, k, &mut pw);
+        int2::pack_acts_int2(&threes, 1, k, &mut pa);
+        assert_eq!(portable::dot(&pw, &pa), 0, "zero planes k={k}");
+
+        // all -2 weights x all 3 acts -> -6k (sign plane fully set)
+        int2::pack_weights_int2(&neg2, 1, k, &mut pw);
+        assert_eq!(portable::dot(&pw, &pa), -6 * k as i32, "sign plane k={k}");
+        #[cfg(target_arch = "x86_64")]
+        if has_avx2() {
+            assert_eq!(unsafe { avx2::dot(&pw, &pa) }, -6 * k as i32);
+        }
+
+        // Padding tail bits must be clear (they'd otherwise corrupt
+        // every popcount): check the last word of each plane of the
+        // densest operands packed above.
+        let wpp = int2::plane_words(k);
+        let tail = k % 64;
+        if tail != 0 {
+            let mask = !0u64 << tail;
+            for plane in 0..2 {
+                assert_eq!(pw[plane * wpp + wpp - 1] & mask, 0, "weight tail k={k}");
+                assert_eq!(pa[plane * wpp + wpp - 1] & mask, 0, "act tail k={k}");
+            }
+        }
+    }
+}
+
+/// The public dispatched `gemm_int2` equals the forced-portable backend
+/// bit for bit. Serialized because `override_backend` is process-global
+/// state (mirrors `simd_identity::dispatched_equals_forced_portable`).
+#[test]
+fn dispatched_equals_forced_portable() {
+    let (m, k, n) = (8, 150, 17);
+    let w: Vec<f32> = (0..m * k).map(|i| ((i * 7) % 4) as f32 - 2.0).collect();
+    let a: Vec<f32> = (0..n * k).map(|i| ((i * 5) % 4) as f32).collect();
+    let cs: Vec<f32> = (0..m).map(|i| 0.01 + i as f32 * 0.05).collect();
+    let bias: Vec<f32> = (0..m).map(|i| i as f32 * 0.2 - 0.7).collect();
+    let (mut pw, mut pa) = (Vec::new(), Vec::new());
+    int2::pack_weights_int2(&w, m, k, &mut pw);
+    int2::pack_acts_int2(&a, n, k, &mut pa);
+
+    let run = || {
+        let mut c = vec![0.0f32; m * n];
+        int2::gemm_int2(m, k, n, &pw, &pa, &cs, &bias, &mut c, OutMajor::Row);
+        c
+    };
+    let dispatched = run();
+    int2::override_backend(Some(Backend::Portable));
+    let forced = run();
+    int2::override_backend(None);
+    assert_eq!(bits(&dispatched), bits(&forced));
+}
