@@ -124,6 +124,7 @@ fn arm(name: &'static str, mitigated: bool, faulted: bool, results: &[SimResult]
 
 #[derive(Debug, Serialize)]
 struct Report {
+    schema_version: u32,
     scenario: &'static str,
     reps: usize,
     seed: u64,
@@ -158,6 +159,7 @@ fn main() {
     let qoe_retention = arms[1].qoe / arms[0].qoe;
     let mitigation_gain = arms[1].qoe - arms[2].qoe;
     let report = Report {
+        schema_version: adapex_bench::BENCH_SCHEMA_VERSION,
         scenario: "burst",
         reps: REPS,
         seed: SEED,

@@ -66,6 +66,11 @@ struct KernelReport {
 
 #[derive(Debug, Serialize, Deserialize)]
 struct Report {
+    /// `adapex_bench::BENCH_SCHEMA_VERSION` (`default` so the
+    /// compiled-in seed baseline, captured before the field existed,
+    /// still parses).
+    #[serde(default)]
+    schema_version: u32,
     threads: usize,
     profile: String,
     kernels: Vec<KernelReport>,
@@ -89,6 +94,7 @@ struct SimdKernelReport {
 
 #[derive(Debug, Serialize)]
 struct SimdReport {
+    schema_version: u32,
     threads: usize,
     avx2_available: bool,
     dispatched_backend: String,
@@ -441,6 +447,7 @@ fn main() {
         }
 
         let simd_report = SimdReport {
+            schema_version: adapex_bench::BENCH_SCHEMA_VERSION,
             threads: num_threads(),
             avx2_available,
             dispatched_backend: format!("{:?}", simd::active_backend()),
@@ -459,6 +466,7 @@ fn main() {
 
     // Join with the compiled-in seed baseline and emit the report.
     let report = Report {
+        schema_version: adapex_bench::BENCH_SCHEMA_VERSION,
         threads: num_threads(),
         profile: std::env::var("ADAPEX_PROFILE").unwrap_or_else(|_| "fast".into()),
         kernels: kernels
@@ -494,6 +502,7 @@ struct CacheRunReport {
 
 #[derive(Debug, Serialize)]
 struct CacheReport {
+    schema_version: u32,
     threads: usize,
     runs: Vec<CacheRunReport>,
     /// cold seconds / warm (jobs=1) seconds.
@@ -545,6 +554,7 @@ fn bench_artifact_cache() {
     );
 
     let report = CacheReport {
+        schema_version: adapex_bench::BENCH_SCHEMA_VERSION,
         threads: num_threads(),
         warm_speedup: cold.2 / warm.2,
         runs,

@@ -24,6 +24,11 @@ use adapex::generator::{Artifacts, GeneratorConfig, LibraryGenerator};
 use adapex_dataset::DatasetKind;
 use std::path::PathBuf;
 
+/// Schema revision shared by every `BENCH_*.json` report. Consumers
+/// (CI artifact diffing, plotting scripts) key on this to detect
+/// layout changes; bump it when renaming or re-typing report fields.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Profile {

@@ -15,8 +15,10 @@ use adapex::generator::{Artifacts, GeneratorConfig, LibraryGenerator};
 use adapex::runtime::{MitigationConfig, RuntimeManager};
 use adapex_dataset::DatasetKind;
 use adapex_edge::{
-    mean_of, EdgeSimulation, FaultPlan, Scenario, SimConfig, SimResult, WorkloadConfig,
+    mean_of, EdgeSimulation, FaultPlan, Fleet, FleetConfig, PlacementPolicy, Scenario, SimConfig,
+    SimResult, WorkloadConfig,
 };
+use adapex_tensor::parallel::num_threads;
 use args::Args;
 use std::error::Error;
 use std::process::ExitCode;
@@ -66,15 +68,23 @@ USAGE:
                       [--reps N] [--ips-per-camera F] [--seed N]
                       [--scenario steady|ramp-up|burst|diurnal]
                       [--faults PLAN.json] [--no-mitigation]
+                      [--servers N] [--cameras N] [--jobs N]
                       (--faults replays a deterministic fault plan —
                        reconfiguration aborts/overruns, camera dropouts,
                        stale-frame floods, accuracy dips. Defaults to
                        $ADAPEX_FAULT_PLAN when set. Mitigation —
                        hysteresis, cooldown, retry backoff — is enabled
-                       with faults unless --no-mitigation.)
+                       with faults unless --no-mitigation.
+                       --servers N > 1 simulates a fleet of N edge
+                       servers with --cameras streams each, sharded over
+                       --jobs cores; 0 = auto. Results are byte-identical
+                       for any --jobs.)
   adapex-cli trace    --artifacts FILE [--seed N] [--ips-per-camera F]
                       [--scenario steady|ramp-up|burst|diurnal]
                       [--faults PLAN.json] [--no-mitigation]
+                      [--servers N] [--cameras N] [--jobs N]
+                      (--servers N > 1 prints one row per server instead
+                       of the single-server time trace)
   adapex-cli synth    [--width N] [--rate F] [--prune-exits] [--classes N]
                       [--target-cycles N]";
 
@@ -194,14 +204,43 @@ fn systems_of(name: &str) -> Result<Vec<System>, Box<dyn Error>> {
 }
 
 fn sim_config(args: &Args, reconfig_ms: f64) -> Result<SimConfig, Box<dyn Error>> {
+    let defaults = WorkloadConfig::paper_default();
     let ips = args.get_or("ips-per-camera", 30.0f64)?;
+    let cameras = args.get_or("cameras", defaults.cameras)?;
     Ok(SimConfig {
         workload: WorkloadConfig {
             ips_per_camera: ips,
-            ..WorkloadConfig::paper_default()
+            cameras,
+            ..defaults
         },
         ..SimConfig::paper_default(reconfig_ms)
     })
+}
+
+/// `--jobs N` with `0` (the default) meaning one worker per core.
+fn jobs_of(args: &Args) -> Result<usize, Box<dyn Error>> {
+    Ok(match args.get_or("jobs", 0usize)? {
+        0 => num_threads(),
+        n => n,
+    })
+}
+
+/// Builds the fleet for `--servers N` (N > 1): each server gets the
+/// `--cameras` stream count and the shared simulation template.
+fn fleet_of(args: &Args, sim: SimConfig, servers: usize) -> Result<Fleet, Box<dyn Error>> {
+    if args.get("scenario").is_some() {
+        return Err("--scenario applies to single-server runs; fleets draw \
+                    per-camera workloads from the seed"
+            .into());
+    }
+    let cameras_per_server = sim.workload.cameras;
+    Ok(Fleet::new(FleetConfig {
+        servers,
+        cameras_per_server,
+        camera_spread: 0.2,
+        placement: PlacementPolicy::LeastLoaded,
+        sim,
+    }))
 }
 
 /// Resolves the fault plan: `--faults FILE` wins, then
@@ -250,7 +289,12 @@ fn cmd_simulate(args: &Args) -> Result<(), Box<dyn Error>> {
     let artifacts = Artifacts::load_json(args.require("artifacts")?)?;
     let reps = args.get_or("reps", 20usize)?;
     let seed = args.get_or("seed", 0xDA7Eu64)?;
+    let servers = args.get_or("servers", 1usize)?;
+    let jobs = jobs_of(args)?;
     let plan = fault_plan(args)?;
+    if servers > 1 {
+        return simulate_fleet(args, &artifacts, servers, seed, jobs, &plan);
+    }
     let scenario = scenario_of(args)?;
     let sim = EdgeSimulation::new(sim_config(args, artifacts.reconfig_time_ms)?);
     println!(
@@ -264,9 +308,9 @@ fn cmd_simulate(args: &Args) -> Result<(), Box<dyn Error>> {
         let results = match scenario {
             Some(s) => {
                 let trace = s.trace(sim.config().workload);
-                sim.run_many_shaped_jobs_with_faults(&manager, &trace, reps, seed, 0, &plan)
+                sim.run_many_shaped_jobs_with_faults(&manager, &trace, reps, seed, jobs, &plan)
             }
-            None => sim.run_many_with_faults(&manager, reps, seed, &plan),
+            None => sim.run_many_jobs_with_faults(&manager, reps, seed, jobs, &plan),
         };
         println!(
             "{:>8} {:>9.2} {:>8.1} {:>8.1} {:>9.2} {:>9.2} {:>9.1}",
@@ -286,10 +330,106 @@ fn cmd_simulate(args: &Args) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// Fleet-mode `simulate`: one row per system with fleet-level
+/// aggregates over `servers × cameras` streams.
+fn simulate_fleet(
+    args: &Args,
+    artifacts: &Artifacts,
+    servers: usize,
+    seed: u64,
+    jobs: usize,
+    plan: &FaultPlan,
+) -> Result<(), Box<dyn Error>> {
+    let fleet = fleet_of(args, sim_config(args, artifacts.reconfig_time_ms)?, servers)?;
+    println!(
+        "fleet: {} servers x {} cameras = {} streams, {} jobs",
+        servers,
+        fleet.config().cameras_per_server,
+        fleet.config().streams(),
+        jobs
+    );
+    println!(
+        "{:>8} {:>9} {:>8} {:>8} {:>9} {:>10} {:>9}",
+        "System", "Loss[%]", "Acc[%]", "QoE[%]", "Power[W]", "Energy[J]", "Reconfigs"
+    );
+    for system in systems_of(args.get_or("system", "all".to_string())?.as_str())? {
+        let mut manager = manager_for(system, artifacts, 0.10);
+        apply_mitigation(&mut manager, plan, args);
+        let result = fleet.run_jobs_with_faults(&manager, seed, jobs, plan);
+        let s = &result.summary;
+        println!(
+            "{:>8} {:>9.2} {:>8.1} {:>8.1} {:>9.2} {:>10.1} {:>9}",
+            system.label(),
+            s.inference_loss_pct,
+            s.mean_accuracy * 100.0,
+            s.qoe * 100.0,
+            s.mean_power_w,
+            s.energy_j,
+            s.reconfig_count,
+        );
+        if !plan.is_none() {
+            print_fault_summary(&result.servers);
+        }
+    }
+    Ok(())
+}
+
+/// Fleet-mode `trace`: one row per server instead of the time trace.
+fn trace_fleet(
+    args: &Args,
+    artifacts: &Artifacts,
+    servers: usize,
+    seed: u64,
+    jobs: usize,
+    plan: &FaultPlan,
+) -> Result<(), Box<dyn Error>> {
+    let fleet = fleet_of(args, sim_config(args, artifacts.reconfig_time_ms)?, servers)?;
+    let mut manager = manager_for(System::AdaPEx, artifacts, 0.10);
+    apply_mitigation(&mut manager, plan, args);
+    let result = fleet.run_jobs_with_faults(&manager, seed, jobs, plan);
+    let placement = fleet.placement(seed);
+    println!(
+        "{:>6} {:>7} {:>9} {:>9} {:>8} {:>8} {:>9}",
+        "server", "cams", "offered", "Loss[%]", "Acc[%]", "QoE[%]", "Reconfigs"
+    );
+    for (i, (r, a)) in result.servers.iter().zip(&placement).enumerate() {
+        println!(
+            "{:>6} {:>7} {:>9} {:>9.2} {:>8.1} {:>8.1} {:>9}",
+            i,
+            a.cameras.len(),
+            r.offered,
+            r.inference_loss_pct(),
+            r.mean_accuracy * 100.0,
+            r.qoe() * 100.0,
+            r.reconfig_count,
+        );
+    }
+    let s = &result.summary;
+    println!(
+        "fleet: {} streams, {:.2}% loss, QoE {:.1}%, {:.1} J, {} reconfigurations \
+         ({} events over {} ticks)",
+        s.streams,
+        s.inference_loss_pct,
+        s.qoe * 100.0,
+        s.energy_j,
+        s.reconfig_count,
+        s.events,
+        s.ticks,
+    );
+    if !plan.is_none() {
+        print_fault_summary(&result.servers);
+    }
+    Ok(())
+}
+
 fn cmd_trace(args: &Args) -> Result<(), Box<dyn Error>> {
     let artifacts = Artifacts::load_json(args.require("artifacts")?)?;
     let seed = args.get_or("seed", 21u64)?;
+    let servers = args.get_or("servers", 1usize)?;
     let plan = fault_plan(args)?;
+    if servers > 1 {
+        return trace_fleet(args, &artifacts, servers, seed, jobs_of(args)?, &plan);
+    }
     let scenario = scenario_of(args)?;
     let mut manager = manager_for(System::AdaPEx, &artifacts, 0.10);
     apply_mitigation(&mut manager, &plan, args);

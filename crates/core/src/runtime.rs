@@ -115,6 +115,24 @@ pub enum SelectionPolicy {
     AccuracyGreedy,
 }
 
+/// The scalar fields of an operating point that drive a service model
+/// (rate, power, quality, latency) — `Copy`, so simulation hot loops
+/// can cache them without touching the heap. See
+/// [`RuntimeManager::current_point_scalars`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointScalars {
+    /// Sustained throughput, inferences/second.
+    pub ips: f64,
+    /// Board power, watts.
+    pub power_w: f64,
+    /// Expected accuracy.
+    pub accuracy: f64,
+    /// Mean pipeline latency, milliseconds.
+    pub avg_latency_ms: f64,
+    /// The point's confidence threshold.
+    pub confidence_threshold: f64,
+}
+
 /// One adaptation decision.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Decision {
@@ -262,6 +280,23 @@ impl RuntimeManager {
     pub fn current_point(&self) -> Option<&OperatingPoint> {
         self.current
             .map(|(e, p)| &self.library.entries[e].points[p])
+    }
+
+    /// Scalar parameters of the currently selected operating point.
+    ///
+    /// Event-driven simulation engines hoist these into their inner
+    /// loop at every decision/settle boundary (the only places the
+    /// selection can change) instead of cloning the full
+    /// [`OperatingPoint`] — whose `exit_fractions` vector makes a clone
+    /// a per-call heap allocation — on every tick.
+    pub fn current_point_scalars(&self) -> Option<PointScalars> {
+        self.current_point().map(|p| PointScalars {
+            ips: p.ips,
+            power_w: p.power_w,
+            accuracy: p.accuracy,
+            avg_latency_ms: p.avg_latency_ms,
+            confidence_threshold: p.confidence_threshold,
+        })
     }
 
     /// Reacts to an observed workload (incoming inferences per second):

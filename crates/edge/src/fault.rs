@@ -20,7 +20,7 @@
 //! by `tests/fault_injection_determinism.rs`).
 
 use crate::workload::poisson;
-use adapex_tensor::rng::rng_from_seed;
+use adapex_tensor::rng::{derive_stream, rng_from_seed};
 use rand::rngs::StdRng;
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
@@ -32,6 +32,12 @@ use std::path::Path;
 /// and by the fault-scenario regression tests, so CI can re-run the
 /// suite under a canned plan. The core simulator API never reads it.
 pub const FAULT_PLAN_ENV: &str = "ADAPEX_FAULT_PLAN";
+
+/// Stream salt for the per-episode fault RNG (see
+/// `adapex_tensor::rng::derive_stream`); the derived seed is
+/// bit-identical to the original PR 5 longhand recipe, which the golden
+/// fault scenarios pin.
+pub const FAULT_STREAM_SALT: u64 = 0xFA17_AB1E;
 
 /// A half-open time window `[start_s, end_s)` in episode seconds.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -299,9 +305,7 @@ impl FaultState {
     pub fn new(plan: &FaultPlan, episode_seed: u64) -> Self {
         FaultState {
             plan: plan.clone(),
-            rng: rng_from_seed(
-                plan.seed ^ episode_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xFA17_AB1E,
-            ),
+            rng: rng_from_seed(derive_stream(plan.seed, episode_seed, FAULT_STREAM_SALT)),
             counters: FaultCounters::default(),
         }
     }
@@ -332,8 +336,16 @@ impl FaultState {
         else {
             return 0;
         };
+        self.dropped_frames(d.fraction, produced)
+    }
+
+    /// Window-resolved variant of [`FaultState::dropped_at_source`] for
+    /// the event-driven engine: the active dropout has already been
+    /// located by a scheduled window-toggle event, so only the draws
+    /// remain. Draw-for-draw identical to the polling hook.
+    pub(crate) fn dropped_frames(&mut self, fraction: f64, produced: usize) -> usize {
         let dropped = (0..produced)
-            .filter(|_| self.rng.random_bool(d.fraction))
+            .filter(|_| self.rng.random_bool(fraction))
             .count();
         self.counters.dropped_by_fault += dropped;
         dropped
@@ -352,7 +364,15 @@ impl FaultState {
         else {
             return 0;
         };
-        let extra = poisson((f.multiplier - 1.0) * rate * dt, &mut self.rng);
+        self.flood_extra((f.multiplier - 1.0) * rate * dt)
+    }
+
+    /// Window-resolved variant of [`FaultState::flood_arrivals`]: the
+    /// active flood's `λ = (multiplier − 1) × rate × dt` is supplied by
+    /// the engine's window-toggle bookkeeping. Draw-for-draw identical
+    /// to the polling hook.
+    pub(crate) fn flood_extra(&mut self, lambda: f64) -> usize {
+        let extra = poisson(lambda, &mut self.rng);
         self.counters.flood_arrivals += extra;
         extra
     }

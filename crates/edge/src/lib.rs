@@ -25,14 +25,21 @@
 //! println!("loss {:.2}% accuracy {:.3}", result.inference_loss_pct(), result.mean_accuracy);
 //! ```
 
+pub mod des;
+mod engine;
 mod fault;
+mod fleet;
 mod scenario;
 mod sim;
 mod workload;
 
+pub use engine::DesStats;
 pub use fault::{
     AccuracyFault, CameraDropout, FaultCounters, FaultPlan, FaultState, FaultWindow,
-    ReconfigOutcome, StaleFlood, FAULT_PLAN_ENV,
+    ReconfigOutcome, StaleFlood, FAULT_PLAN_ENV, FAULT_STREAM_SALT,
+};
+pub use fleet::{
+    Fleet, FleetConfig, FleetResult, FleetSummary, PlacementPolicy, ServerAssignment, FLEET_SALT,
 };
 pub use scenario::Scenario;
 pub use sim::{mean_of, EdgeSimulation, SimConfig, SimResult, TraceSample};

@@ -1,12 +1,26 @@
-//! The edge-server simulation loop.
+//! The edge-server simulation: configuration, results, and the
+//! event-driven run loop (see `engine.rs` for the DES engine; the old
+//! fixed-step tick loop is retained as a reference implementation for
+//! differential tests and benchmarks).
 
+use crate::engine::{self, DesStats};
 use crate::fault::{FaultCounters, FaultPlan, FaultState};
 use crate::workload::{WorkloadConfig, WorkloadTrace};
 use adapex::runtime::RuntimeManager;
 use adapex_tensor::parallel::{num_threads, par_map};
-use adapex_tensor::rng::rng_from_seed;
+use adapex_tensor::rng::{derive_sequential, derive_stream, rng_from_seed};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+
+/// Stream salt for the Poisson arrival noise of seeded episodes
+/// (`run`/`run_with_faults`); `derive_stream(seed, 0, salt)` reduces to
+/// the historical `seed ^ salt` tag these streams were born with.
+const ARRIVAL_SALT: u64 = 0xE06E;
+
+/// Stream salt for shaped-trace episodes, decorrelated from
+/// [`ARRIVAL_SALT`] so a shaped run at seed `s` never replays the
+/// synthetic run's noise.
+const SHAPED_SALT: u64 = 0x5A9E;
 
 /// Simulation parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -194,11 +208,23 @@ impl EdgeSimulation {
         seed: u64,
         plan: &FaultPlan,
     ) -> SimResult {
+        self.run_with_faults_stats(manager, seed, plan).0
+    }
+
+    /// [`EdgeSimulation::run_with_faults`] plus the engine's event and
+    /// tick counts (for throughput benchmarks; `SimResult` itself stays
+    /// byte-compatible with the tick loop).
+    pub fn run_with_faults_stats(
+        &self,
+        manager: &mut RuntimeManager,
+        seed: u64,
+        plan: &FaultPlan,
+    ) -> (SimResult, DesStats) {
         let cfg = &self.config;
         let trace = cfg.workload.sample(seed);
-        let mut rng = rng_from_seed(seed ^ 0xE06E);
+        let mut rng = rng_from_seed(derive_stream(seed, 0, ARRIVAL_SALT));
         let mut faults = FaultState::new(plan, seed);
-        self.run_with_trace(manager, &trace, &mut rng, &mut faults)
+        engine::run(cfg, manager, &trace, &mut rng, &mut faults)
     }
 
     /// Runs one episode against a caller-supplied (e.g. shaped) workload
@@ -220,9 +246,46 @@ impl EdgeSimulation {
         seed: u64,
         plan: &FaultPlan,
     ) -> SimResult {
-        let mut rng = rng_from_seed(seed ^ 0x5A9E);
+        let mut rng = rng_from_seed(derive_stream(seed, 0, SHAPED_SALT));
         let mut faults = FaultState::new(plan, seed);
-        self.run_with_trace(manager, trace, &mut rng, &mut faults)
+        engine::run(&self.config, manager, trace, &mut rng, &mut faults).0
+    }
+
+    /// Reference fixed-step implementation of
+    /// [`EdgeSimulation::run_with_faults`]: the pre-DES 1 ms tick loop,
+    /// polling every condition on every tick.
+    ///
+    /// Retained — not as a fallback, the engine *is* the simulator —
+    /// but as the executable specification the engine is differentially
+    /// tested against (`tests/des_equivalence.rs` pins bit-identity)
+    /// and as the throughput baseline `bench_fleet` measures speedup
+    /// over.
+    pub fn run_tick_reference_with_faults(
+        &self,
+        manager: &mut RuntimeManager,
+        seed: u64,
+        plan: &FaultPlan,
+    ) -> SimResult {
+        let cfg = &self.config;
+        let trace = cfg.workload.sample(seed);
+        let mut rng = rng_from_seed(derive_stream(seed, 0, ARRIVAL_SALT));
+        let mut faults = FaultState::new(plan, seed);
+        self.run_with_trace_tick(manager, &trace, &mut rng, &mut faults)
+    }
+
+    /// Reference fixed-step implementation of
+    /// [`EdgeSimulation::run_with_shaped_trace_and_faults`]; see
+    /// [`EdgeSimulation::run_tick_reference_with_faults`].
+    pub fn run_shaped_tick_reference_with_faults(
+        &self,
+        manager: &mut RuntimeManager,
+        trace: &WorkloadTrace,
+        seed: u64,
+        plan: &FaultPlan,
+    ) -> SimResult {
+        let mut rng = rng_from_seed(derive_stream(seed, 0, SHAPED_SALT));
+        let mut faults = FaultState::new(plan, seed);
+        self.run_with_trace_tick(manager, trace, &mut rng, &mut faults)
     }
 
     /// Runs `repetitions` seeded episodes (the paper averages 100),
@@ -276,7 +339,7 @@ impl EdgeSimulation {
     ) -> Vec<SimResult> {
         par_map(repetitions, jobs, |i| {
             let mut m = manager.clone();
-            self.run_with_faults(&mut m, seed.wrapping_add(i as u64), plan)
+            self.run_with_faults(&mut m, derive_sequential(seed, i as u64), plan)
         })
     }
 
@@ -294,11 +357,14 @@ impl EdgeSimulation {
     ) -> Vec<SimResult> {
         par_map(repetitions, jobs, |i| {
             let mut m = manager.clone();
-            self.run_with_shaped_trace_and_faults(&mut m, trace, seed.wrapping_add(i as u64), plan)
+            self.run_with_shaped_trace_and_faults(&mut m, trace, derive_sequential(seed, i as u64), plan)
         })
     }
 
-    fn run_with_trace(
+    /// The pre-DES tick loop, kept verbatim as the engine's executable
+    /// specification (see
+    /// [`EdgeSimulation::run_tick_reference_with_faults`]).
+    fn run_with_trace_tick(
         &self,
         manager: &mut RuntimeManager,
         trace: &WorkloadTrace,

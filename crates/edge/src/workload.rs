@@ -101,7 +101,15 @@ pub(crate) fn poisson(lambda: f64, rng: &mut StdRng) -> usize {
     if lambda <= 0.0 {
         return 0;
     }
-    let limit = (-lambda).exp();
+    poisson_with_limit((-lambda).exp(), rng)
+}
+
+/// [`poisson`] with the `exp(-λ)` acceptance limit precomputed by the
+/// caller: the event engine caches it per rate segment instead of
+/// paying the `exp` on every tick. For `limit == (-λ).exp()` the draw
+/// sequence is identical to [`poisson`]. The caller owns the `λ ≤ 0`
+/// short-circuit (which must draw nothing).
+pub(crate) fn poisson_with_limit(limit: f64, rng: &mut StdRng) -> usize {
     let mut product: f64 = rng.random();
     let mut count = 0usize;
     while product > limit {

@@ -1,0 +1,186 @@
+//! Tick-loop ↔ event-engine equivalence suite.
+//!
+//! The event-driven engine (`crates/edge/src/engine.rs`) replaced the
+//! 1 ms tick loop as the default simulation path; the legacy loop is
+//! kept as `run_*_tick_reference_*`. This suite pins the refactor's
+//! core contract: **bit-identical `SimResult`s** — same counters, same
+//! float bit patterns, same per-period trace — across seeds, shaped
+//! scenarios, fault plans and off-default configs. Results are compared
+//! both structurally and as serialized JSON bytes.
+//!
+//! It also pins the fleet layer's sharding contract: a fleet run is
+//! byte-identical at any `--jobs` value, and each shard equals a
+//! standalone single-server simulation.
+
+use adapex::library::{Library, LibraryEntry, OperatingPoint};
+use adapex::runtime::{MitigationConfig, RuntimeManager, SelectionPolicy};
+use adapex_edge::{
+    EdgeSimulation, FaultPlan, Fleet, FleetConfig, PlacementPolicy, Scenario, SimConfig, SimResult,
+    WorkloadConfig,
+};
+use finn_dataflow::ResourceUsage;
+
+fn entry(id: usize, rate: f64, points: &[(f64, f64, f64)]) -> LibraryEntry {
+    let points: Vec<OperatingPoint> = points
+        .iter()
+        .map(|&(ct, acc, ips)| OperatingPoint {
+            confidence_threshold: ct,
+            accuracy: acc,
+            exit_fractions: vec![1.0],
+            ips,
+            avg_latency_ms: 2.0,
+            power_w: 1.2,
+            energy_per_inference_mj: 1.2 / ips * 1000.0,
+        })
+        .collect();
+    let acc = points[0].accuracy;
+    LibraryEntry {
+        id,
+        pruning_rate: rate,
+        achieved_rate: rate,
+        prune_exits: false,
+        mean_exit_accuracy: acc,
+        final_exit_accuracy: acc,
+        resources: ResourceUsage::zero(),
+        exit_resources: ResourceUsage::zero(),
+        utilization: (0.1, 0.1, 0.1, 0.0),
+        static_ips: points[0].ips,
+        latency_to_exit_ms: vec![1.0],
+        points,
+    }
+}
+
+/// Same three-entry library as the golden suite: reconfigurations and
+/// threshold changes both fire on the paper workload.
+fn manager(mitigation: MitigationConfig) -> RuntimeManager {
+    let library = Library {
+        entries: vec![
+            entry(0, 0.0, &[(0.9, 0.88, 700.0), (0.3, 0.82, 1150.0)]),
+            entry(1, 0.5, &[(0.9, 0.80, 1400.0), (0.3, 0.76, 1900.0)]),
+            entry(2, 0.8, &[(0.9, 0.70, 2500.0)]),
+        ],
+    };
+    let mut m = RuntimeManager::new(library, 0.75, SelectionPolicy::ReconfigAware);
+    m.set_mitigation(mitigation);
+    m
+}
+
+/// Asserts structural equality *and* byte-identical JSON so the claim
+/// "bit-identical" is literal: every f64 serializes from the same bits.
+fn assert_bit_identical(des: &SimResult, tick: &SimResult, what: &str) {
+    assert_eq!(des, tick, "{what}: DES result differs from tick loop");
+    let a = serde_json::to_string(des).expect("serialize DES result");
+    let b = serde_json::to_string(tick).expect("serialize tick result");
+    assert_eq!(a, b, "{what}: serialized bytes differ");
+}
+
+#[test]
+fn des_matches_tick_loop_on_the_paper_scenario() {
+    let sim = EdgeSimulation::new(SimConfig::paper_default(145.0));
+    for plan in [FaultPlan::none(), FaultPlan::canned()] {
+        for seed in [1, 7, 1213, 0xDEAD] {
+            let des = sim.run_with_faults(&mut manager(MitigationConfig::off()), seed, &plan);
+            let tick =
+                sim.run_tick_reference_with_faults(&mut manager(MitigationConfig::off()), seed, &plan);
+            assert_bit_identical(&des, &tick, &format!("paper seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn des_matches_tick_loop_on_shaped_scenarios() {
+    let sim = EdgeSimulation::new(SimConfig::paper_default(145.0));
+    for scenario in Scenario::all() {
+        let trace = scenario.trace(WorkloadConfig::paper_default());
+        for (plan, mitigation) in [
+            (FaultPlan::none(), MitigationConfig::off()),
+            (FaultPlan::canned(), MitigationConfig::off()),
+            (FaultPlan::canned(), MitigationConfig::recommended()),
+        ] {
+            let des = sim.run_with_shaped_trace_and_faults(
+                &mut manager(mitigation),
+                &trace,
+                1213,
+                &plan,
+            );
+            let tick = sim.run_shaped_tick_reference_with_faults(
+                &mut manager(mitigation),
+                &trace,
+                1213,
+                &plan,
+            );
+            assert_bit_identical(&des, &tick, &format!("scenario {scenario}"));
+        }
+    }
+}
+
+#[test]
+fn des_matches_tick_loop_off_the_default_config() {
+    // Off-default tick size, monitor period, queue depth and reconfig
+    // latency: the engine's precomputed boundaries (monitor cadence,
+    // settle ticks, window toggles) must track the tick loop everywhere,
+    // not just at the paper's 1 ms / 1 s / 8-deep operating point.
+    let mut cfg = SimConfig::paper_default(90.0);
+    cfg.tick_s = 0.0025;
+    cfg.monitor_period_s = 0.75;
+    cfg.queue_capacity = 3;
+    cfg.workload.duration_s = 13.0;
+    cfg.workload.deviation_period_s = 2.0;
+    let sim = EdgeSimulation::new(cfg);
+    for plan in [FaultPlan::none(), FaultPlan::canned()] {
+        for seed in [2, 99] {
+            let des = sim.run_with_faults(&mut manager(MitigationConfig::recommended()), seed, &plan);
+            let tick = sim.run_tick_reference_with_faults(
+                &mut manager(MitigationConfig::recommended()),
+                seed,
+                &plan,
+            );
+            assert_bit_identical(&des, &tick, &format!("off-default seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn fleet_runs_are_byte_identical_across_job_counts() {
+    let mut cfg = FleetConfig::paper_default(6, 10, 145.0);
+    cfg.sim.workload.duration_s = 5.0;
+    let fleet = Fleet::new(cfg);
+    let m = manager(MitigationConfig::off());
+    let serial = fleet.run_jobs(&m, 42, 1);
+    let sharded = fleet.run_jobs(&m, 42, 4);
+    assert_eq!(serial, sharded, "fleet result differs across job counts");
+    assert_eq!(
+        serde_json::to_string(&serial).expect("serialize"),
+        serde_json::to_string(&sharded).expect("serialize"),
+        "fleet bytes differ across job counts"
+    );
+}
+
+#[test]
+fn fleet_shards_equal_standalone_simulations() {
+    use adapex_edge::FLEET_SALT;
+    use adapex_tensor::rng::derive_stream;
+
+    let mut cfg = FleetConfig::paper_default(3, 12, 145.0);
+    cfg.sim.workload.duration_s = 5.0;
+    cfg.placement = PlacementPolicy::RoundRobin;
+    let fleet = Fleet::new(cfg);
+    let m = manager(MitigationConfig::off());
+    let result = fleet.run_jobs_with_faults(&m, 7, 2, &FaultPlan::canned());
+    let placement = fleet.placement(7);
+    for (s, assignment) in placement.iter().enumerate() {
+        let mut workload = fleet.config().sim.workload;
+        workload.cameras = assignment.cameras.len();
+        workload.ips_per_camera = assignment.nominal_ips / assignment.cameras.len() as f64;
+        let sim = EdgeSimulation::new(SimConfig {
+            workload,
+            ..fleet.config().sim.clone()
+        });
+        let standalone = sim.run_with_faults(
+            &mut manager(MitigationConfig::off()),
+            derive_stream(7, s as u64, FLEET_SALT),
+            &FaultPlan::canned(),
+        );
+        assert_bit_identical(&result.servers[s], &standalone, &format!("server {s}"));
+    }
+}

@@ -67,6 +67,99 @@ fn pruned_network_roundtrips() {
     assert_eq!(pruned, back);
 }
 
+mod sim_config_roundtrips {
+    use adapex_edge::{FleetConfig, PlacementPolicy, SimConfig, WorkloadConfig};
+    use proptest::prelude::*;
+
+    fn workload_strategy() -> impl Strategy<Value = WorkloadConfig> {
+        (1usize..200, 1.0f64..120.0, 1.0f64..60.0, 0.0f64..0.9, 0.5f64..10.0).prop_map(
+            |(cameras, ips_per_camera, duration_s, deviation, deviation_period_s)| WorkloadConfig {
+                cameras,
+                ips_per_camera,
+                duration_s,
+                deviation,
+                deviation_period_s,
+            },
+        )
+    }
+
+    fn sim_strategy() -> impl Strategy<Value = SimConfig> {
+        (
+            workload_strategy(),
+            0.0005f64..0.01,
+            0.1f64..5.0,
+            1usize..64,
+            0.0f64..500.0,
+            0.0f64..5.0,
+        )
+            .prop_map(
+                |(workload, tick_s, monitor_period_s, queue_capacity, reconfig_time_ms, reconfig_power_w)| {
+                    SimConfig {
+                        workload,
+                        tick_s,
+                        monitor_period_s: monitor_period_s.max(tick_s),
+                        queue_capacity,
+                        reconfig_time_ms,
+                        reconfig_power_w,
+                    }
+                },
+            )
+    }
+
+    fn fleet_strategy() -> impl Strategy<Value = FleetConfig> {
+        (
+            1usize..2000,
+            1usize..200,
+            0.0f64..0.9,
+            any::<bool>().prop_map(|least_loaded| {
+                if least_loaded {
+                    PlacementPolicy::LeastLoaded
+                } else {
+                    PlacementPolicy::RoundRobin
+                }
+            }),
+            sim_strategy(),
+        )
+            .prop_map(
+                |(servers, cameras_per_server, camera_spread, placement, sim)| FleetConfig {
+                    servers,
+                    cameras_per_server,
+                    camera_spread,
+                    placement,
+                    sim,
+                },
+            )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn workload_config_roundtrips(cfg in workload_strategy()) {
+            let back: WorkloadConfig =
+                serde_json::from_str(&serde_json::to_string(&cfg).expect("serialize"))
+                    .expect("parse");
+            prop_assert_eq!(cfg, back);
+        }
+
+        #[test]
+        fn sim_config_roundtrips(cfg in sim_strategy()) {
+            let back: SimConfig =
+                serde_json::from_str(&serde_json::to_string(&cfg).expect("serialize"))
+                    .expect("parse");
+            prop_assert_eq!(cfg, back);
+        }
+
+        #[test]
+        fn fleet_config_roundtrips(cfg in fleet_strategy()) {
+            let back: FleetConfig =
+                serde_json::from_str(&serde_json::to_string(&cfg).expect("serialize"))
+                    .expect("parse");
+            prop_assert_eq!(cfg, back);
+        }
+    }
+}
+
 #[test]
 fn dataset_roundtrips() {
     use adapex_dataset::{DatasetKind, SyntheticConfig};
