@@ -36,6 +36,7 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&args),
         Some("inspect") => cmd_inspect(&args),
         Some("report") => cmd_report(&args),
+        Some("serve") => cmd_serve(&args),
         Some("simulate") => cmd_simulate(&args),
         Some("trace") => cmd_trace(&args),
         Some("synth") => cmd_synth(&args),
@@ -85,6 +86,21 @@ USAGE:
                       [--servers N] [--cameras N] [--jobs N]
                       (--servers N > 1 prints one row per server instead
                        of the single-server time trace)
+  adapex-cli serve    [--artifacts FILE] [--slo SPEC] [--max-batch N]
+                      [--batch-deadline-us N] [--workers N] [--fifo]
+                      [--pattern steady|burst|ramp] [--rate F]
+                      [--duration S] [--seed N] [--faults PLAN.json]
+                      (SPEC is `name:budget_us:priority[:capacity],...`,
+                       default `gold:20000:2:64,best-effort:100000:1:256`.
+                       Without --artifacts, a synthetic service model
+                       serves generated --pattern arrivals at --rate
+                       requests/s in virtual time. With --artifacts, the
+                       runtime manager serves the surveillance workload
+                       on the event simulator: monitor decisions retune
+                       the confidence threshold or reconfigure the FPGA
+                       mid-serve, and --faults composes camera dropouts
+                       and reconfig aborts into the run. --fifo swaps
+                       the early-exit-aware admission for plain FIFO.)
   adapex-cli synth    [--width N] [--rate F] [--prune-exits] [--classes N]
                       [--target-cycles N]";
 
@@ -522,5 +538,134 @@ fn cmd_synth(args: &Args) -> Result<(), Box<dyn Error>> {
         sim.throughput_ips(100.0),
         analytical.ips
     );
+    Ok(())
+}
+
+/// Parses an SLO spec: `name:budget_us:priority[:capacity]` groups
+/// separated by commas.
+fn parse_slo(spec: &str) -> Result<Vec<adapex::serve::SloClass>, Box<dyn Error>> {
+    use adapex::serve::SloClass;
+    let mut classes = Vec::new();
+    for group in spec.split(',') {
+        let parts: Vec<&str> = group.split(':').collect();
+        if parts.len() < 3 || parts.len() > 4 {
+            return Err(format!(
+                "bad SLO group `{group}` (want name:budget_us:priority[:capacity])"
+            )
+            .into());
+        }
+        let mut class = SloClass::new(parts[0], parts[1].parse()?);
+        class.priority = parts[2].parse()?;
+        if let Some(cap) = parts.get(3) {
+            class.queue_capacity = cap.parse()?;
+        }
+        classes.push(class);
+    }
+    if classes.is_empty() {
+        return Err("SLO spec names no classes".into());
+    }
+    Ok(classes)
+}
+
+fn print_serve_report(config: &adapex::serve::ServeConfig, r: &adapex::serve::ServeReport) {
+    println!(
+        "offered {}  completed {} ({} in budget)  dropped {}  shed {}  \
+         batches {} (fill {:.1})  deferrals {}",
+        r.offered,
+        r.completed,
+        r.completed_in_budget,
+        r.dropped_full,
+        r.shed_infeasible,
+        r.batches,
+        r.mean_batch_fill().unwrap_or(0.0),
+        r.deferrals
+    );
+    if let (Some(tp), Some(gp)) = (r.throughput_rps(), r.goodput_rps()) {
+        println!("throughput {tp:.0} rps  goodput {gp:.0} rps");
+    }
+    println!(
+        "{:>12} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "Class", "Budget[ms]", "Done", "Dropped", "Shed", "p50[ms]", "p99[ms]"
+    );
+    for (c, s) in r.per_class.iter().enumerate() {
+        let ms = |v: Option<u64>| {
+            v.map(|u| format!("{:.1}", u as f64 / 1_000.0))
+                .unwrap_or_else(|| "-".into())
+        };
+        println!(
+            "{:>12} {:>10.1} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            config.classes[c].name,
+            config.classes[c].budget_us as f64 / 1_000.0,
+            s.completed,
+            s.dropped_full,
+            s.shed_infeasible,
+            ms(s.p50_us()),
+            ms(s.p99_us()),
+        );
+    }
+}
+
+fn cmd_serve(args: &Args) -> Result<(), Box<dyn Error>> {
+    use adapex::serve::{
+        generate_arrivals, AdmissionPolicy, ArrivalPattern, PointServiceModel, ServeConfig,
+        ServeSim,
+    };
+    use adapex_edge::{ServeScenario, ServeScenarioConfig};
+
+    let mut config = ServeConfig::paper_default();
+    if let Some(spec) = args.get("slo") {
+        config.classes = parse_slo(spec)?;
+    }
+    config.max_batch = args.get_or("max-batch", config.max_batch)?;
+    config.batch_deadline_us = args.get_or("batch-deadline-us", config.batch_deadline_us)?;
+    config.workers = args.get_or("workers", config.workers)?;
+    if args.flag("fifo") {
+        config.admission = AdmissionPolicy::Fifo;
+    }
+    let seed = args.get_or("seed", 0x5E17Eu64)?;
+    let duration = args.get_or("duration", 30.0f64)?;
+    let weights = vec![1.0; config.classes.len()];
+
+    if let Some(path) = args.get("artifacts") {
+        let artifacts = Artifacts::load_json(path)?;
+        let manager = manager_for(System::AdaPEx, &artifacts, 0.10);
+        let mut cfg = ServeScenarioConfig::paper_default(artifacts.reconfig_time_ms);
+        cfg.serve = config.clone();
+        cfg.class_weights = weights;
+        cfg.workload.duration_s = duration;
+        if let Some(rate) = args.get("rate") {
+            let rate: f64 = rate.parse()?;
+            cfg.workload.ips_per_camera = rate / cfg.workload.cameras as f64;
+        }
+        cfg.faults = fault_plan(args)?;
+        cfg.seed = seed;
+        let result = ServeScenario::run(&cfg, manager);
+        println!(
+            "decisions {}  ct-changes {}  reconfigs {} ({} aborted, {:.1} ms down)  \
+             fault-dropped {}",
+            result.decisions,
+            result.ct_changes,
+            result.reconfigs,
+            result.reconfig_aborts,
+            result.reconfig_downtime_us as f64 / 1_000.0,
+            result.dropped_by_fault
+        );
+        print_serve_report(&config, &result.report);
+    } else {
+        let rate = args.get_or("rate", 2_000.0f64)?;
+        let pattern_name = args.get_or("pattern", "steady".to_string())?;
+        let pattern = ArrivalPattern::parse(&pattern_name)
+            .ok_or_else(|| format!("unknown pattern `{pattern_name}` (steady|burst|ramp)"))?;
+        // Synthetic three-exit service model: 70 % retire at a 300 µs
+        // first exit, 20 % at 600 µs, the rest at full depth.
+        let model = PointServiceModel::new(&[0.7, 0.2, 0.1], vec![300, 600, 1_000], seed);
+        let arrivals = generate_arrivals(pattern, rate, duration, &weights, seed);
+        println!(
+            "pattern {pattern_name} at {rate:.0} rps for {duration:.0}s: {} arrivals",
+            arrivals.len()
+        );
+        let report = ServeSim::run(config.clone(), &model, &arrivals);
+        print_serve_report(&config, &report);
+    }
     Ok(())
 }

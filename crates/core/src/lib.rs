@@ -41,8 +41,13 @@ pub mod generator;
 pub mod library;
 pub mod report;
 pub mod runtime;
+pub mod serve;
 
 pub use cache::{ArtifactCache, CacheStats, CACHE_FORMAT_EPOCH};
 pub use generator::{Artifacts, GeneratorConfig, LibraryGenerator};
 pub use library::{Library, LibraryEntry, OperatingPoint};
 pub use runtime::{Decision, MitigationConfig, RuntimeManager, SelectionPolicy};
+pub use serve::{
+    AdmissionPolicy, Arrival, ArrivalPattern, PointServiceModel, ServeConfig, ServeEngine,
+    ServeReport, ServeSim, ServiceModel, SloClass,
+};

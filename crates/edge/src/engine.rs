@@ -244,6 +244,7 @@ struct Engine<'a> {
     offered: usize,
     processed: usize,
     lost: usize,
+    queue_high_water: usize,
     accuracy_sum: f64,
     latency_sum_ms: f64,
     service_sum_ms: f64,
@@ -297,6 +298,7 @@ impl Engine<'_> {
         let mut offered = self.offered;
         let mut monitor_arrivals = self.monitor_arrivals;
         let mut lost = self.lost;
+        let mut queue_high_water = self.queue_high_water;
         let mut processed = self.processed;
         let mut energy_j = self.energy_j;
         let mut credit = self.service_credit;
@@ -331,6 +333,7 @@ impl Engine<'_> {
                     lost += 1;
                 } else {
                     queue.push_back(t);
+                    queue_high_water = queue_high_water.max(queue.len());
                 }
             }
 
@@ -371,6 +374,7 @@ impl Engine<'_> {
         self.offered = offered;
         self.monitor_arrivals = monitor_arrivals;
         self.lost = lost;
+        self.queue_high_water = queue_high_water;
         self.processed = processed;
         self.energy_j = energy_j;
         self.service_credit = credit;
@@ -608,6 +612,7 @@ pub(crate) fn run(
         offered: 0,
         processed: 0,
         lost: 0,
+        queue_high_water: 0,
         accuracy_sum: 0.0,
         latency_sum_ms: 0.0,
         service_sum_ms: 0.0,
@@ -659,6 +664,7 @@ pub(crate) fn run(
         offered: eng.offered,
         processed: eng.processed,
         lost: eng.lost,
+        queue_high_water: eng.queue_high_water,
         mean_accuracy: if eng.processed == 0 {
             0.0
         } else {

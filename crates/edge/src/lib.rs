@@ -30,6 +30,7 @@ mod engine;
 mod fault;
 mod fleet;
 mod scenario;
+pub mod serve_sim;
 mod sim;
 mod workload;
 
@@ -42,5 +43,8 @@ pub use fleet::{
     Fleet, FleetConfig, FleetResult, FleetSummary, PlacementPolicy, ServerAssignment, FLEET_SALT,
 };
 pub use scenario::Scenario;
+pub use serve_sim::{
+    ServeEvent, ServeScenario, ServeScenarioConfig, ServeSimResult, SERVE_SIM_SALT,
+};
 pub use sim::{mean_of, EdgeSimulation, SimConfig, SimResult, TraceSample};
 pub use workload::{WorkloadConfig, WorkloadTrace};

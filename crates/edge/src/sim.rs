@@ -92,6 +92,12 @@ pub struct SimResult {
     pub processed: usize,
     /// Requests dropped on a full buffer.
     pub lost: usize,
+    /// Frame-buffer depth high-water mark over the run — the
+    /// backpressure signal: `queue_high_water == queue_capacity` means
+    /// the buffer saturated and arrivals were (or were about to be)
+    /// dropped.
+    #[serde(default)]
+    pub queue_high_water: usize,
     /// Mean expected accuracy over processed inferences.
     pub mean_accuracy: f64,
     /// Time-weighted mean board power in watts.
@@ -386,6 +392,7 @@ impl EdgeSimulation {
         let mut offered = 0usize;
         let mut processed = 0usize;
         let mut lost = 0usize;
+        let mut queue_high_water = 0usize;
         let mut accuracy_sum = 0.0f64;
         let mut latency_sum_ms = 0.0f64;
         let mut service_sum_ms = 0.0f64;
@@ -415,6 +422,7 @@ impl EdgeSimulation {
                     lost += 1;
                 } else {
                     queue.push_back(t);
+                    queue_high_water = queue_high_water.max(queue.len());
                 }
             }
 
@@ -506,6 +514,7 @@ impl EdgeSimulation {
             offered,
             processed,
             lost,
+            queue_high_water,
             mean_accuracy: if processed == 0 {
                 0.0
             } else {
@@ -732,6 +741,7 @@ mod tests {
             offered: 100,
             processed: 0,
             lost: 100,
+            queue_high_water: 8,
             mean_accuracy: 0.0,
             mean_power_w: 1.0,
             mean_latency_ms: 0.0,

@@ -43,6 +43,15 @@ pub struct QuantConv2d {
     /// Quantized-weight view, keyed by the weight [`Param`] version.
     #[serde(skip)]
     qcache: Option<QCache>,
+    /// Runtime routing hint: prefer the f32-over-codes path over the
+    /// popcount engine for this layer's int2-eligible eval forwards.
+    /// Both paths are bit-identical, so this is purely a speed choice —
+    /// the serving executor sets it per layer from
+    /// [`int2::engine_profitable`] (activation packing costs more than
+    /// popcount saves at small `c_out`). Derived state: not serialized,
+    /// not part of equality.
+    #[serde(skip)]
+    pub prefer_f32_codes: bool,
 }
 
 impl PartialEq for QuantConv2d {
@@ -104,6 +113,7 @@ impl QuantConv2d {
             cache: ConvCache::default(),
             cache_valid: false,
             qcache: None,
+            prefer_f32_codes: false,
         }
     }
 
@@ -230,7 +240,7 @@ impl QuantConv2d {
             v
         });
         let cs_ref = cs_buf.as_deref();
-        let use_engine = int2::enabled();
+        let use_engine = int2::enabled() && !self.prefer_f32_codes;
         parallel_for_chunks(x.n, sample_out, &mut out.data, 1, |range, chunk| {
             with_workspace(|ws| {
                 for (local, i) in range.enumerate() {

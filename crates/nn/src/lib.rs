@@ -45,6 +45,7 @@ pub mod metrics;
 pub mod network;
 pub mod optim;
 pub mod quant;
+pub mod serve;
 pub mod train;
 
 pub use cnv::{CnvConfig, ExitsConfig};

@@ -18,10 +18,12 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::sync::Mutex;
 
+use adapex_nn::cnv::{CnvConfig, ExitsConfig};
 use adapex_nn::layers::{
     Activation, BatchNorm, Layer, MaxPool2d, QuantConv2d, QuantLinear, QuantReLU,
 };
 use adapex_nn::loss::cross_entropy_with_grad;
+use adapex_nn::serve::{BatchExecutor, BatchVerdicts, EnginePlan, ExecutorConfig};
 use adapex_nn::quant::QuantSpec;
 use adapex_tensor::conv::ConvGeometry;
 use adapex_tensor::rng::{normal_tensor, rng_from_seed};
@@ -210,6 +212,55 @@ fn steady_state_int2_eval_forward_does_not_allocate() {
         let (macs, _) = adapex_tensor::int2::op_counters();
         assert!(macs > 0, "int2 engine never engaged in eval");
     }
+}
+
+/// The serving hot loop: [`BatchExecutor::run_batch`] (staged forward,
+/// exit heads, survivor compaction, verdict writes) must be zero-alloc
+/// per batch once the workspace pools and verdict capacities are warm.
+/// A mid-range threshold keeps both branches live — some samples retire
+/// at exit 1 (compaction path), some reach the final exit (tail path).
+#[test]
+fn steady_state_serve_batch_does_not_allocate() {
+    let _guard = POOLS.lock().unwrap_or_else(|e| e.into_inner());
+    std::env::set_var("ADAPEX_THREADS", "1");
+
+    let net = CnvConfig::tiny().build_early_exit(10, &ExitsConfig::paper_default(), 3);
+    let batch = 8;
+    let per: usize = net.input_dims.iter().product();
+    let mut rng = rng_from_seed(23);
+    let x = Activation::new(
+        normal_tensor(&[batch * per], 0.0, 1.0, &mut rng).into_vec(),
+        batch,
+        net.input_dims.clone(),
+    );
+    let mut exec = BatchExecutor::new(
+        &net,
+        &ExecutorConfig {
+            threshold: 0.3,
+            workers: 1,
+            engine: EnginePlan::Auto,
+        },
+    );
+    let mut out = BatchVerdicts::default();
+
+    // Warmup: pooled activations/scratch, quantized-weight caches, and
+    // the verdict vectors' capacity all materialize here.
+    for _ in 0..3 {
+        exec.run_batch(&x, &mut out);
+    }
+    assert!(out.count_exit(0) > 0, "want the early-retire path live");
+
+    let before = thread_allocs();
+    for _ in 0..5 {
+        exec.run_batch(&x, &mut out);
+    }
+    let after = thread_allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state serve batches allocated {} times",
+        after - before
+    );
 }
 
 #[test]

@@ -161,6 +161,33 @@ pub fn override_enabled(on: Option<bool>) {
     ENABLED.store(v, Ordering::Relaxed);
 }
 
+/// Minimum weight-item count (`c_out` for a conv) at which the popcount
+/// engine beats the f32-over-codes fallback. See [`engine_profitable`].
+pub const ENGINE_MIN_ITEMS: usize = 32;
+
+/// Whether the popcount engine is expected to be *faster* than the
+/// bit-identical f32-over-codes fallback for a GEMM with `m` weight
+/// items of depth `k`.
+///
+/// Both paths compute identical results (PR 7's differential suites pin
+/// that), so this is purely a speed model. Per output column the
+/// fallback costs `m·k` MACs while the engine costs `k` quantize+pack
+/// element ops **plus** `m·k/16` popcount word-ops — activation packing
+/// is a fixed per-column tax that only amortizes when `m` is large.
+/// Setting the packing tax β against the per-MAC saving, profitability
+/// reduces to an `m` threshold independent of `k`:
+/// `m·k·α > k·β + m·k·γ/16  ⇔  m > β / (α − γ/16)`.
+/// Measured on CNV shapes: the engine loses ~2× at `m = 8..16`
+/// (k = 72..144) and wins ≥ 2× from `m = 32` up through the largest CNV
+/// shape (`m = 64`, `k = 576`, the BENCH_simd gate). Callers that want
+/// shape-aware routing (the serving executor) combine this with
+/// [`enabled`]; the default eval path routes every eligible layer
+/// through the engine regardless, preserving PR 7 behavior.
+#[inline]
+pub fn engine_profitable(m: usize, _k: usize) -> bool {
+    m >= ENGINE_MIN_ITEMS
+}
+
 /// `(logical MACs, popcount word-ops)` executed by [`gemm_int2`] since
 /// the last [`reset_op_counters`]. One dot product over `k` codes counts
 /// `k` MACs and `4*ceil(k/64)` popcount ops (padding words included —
