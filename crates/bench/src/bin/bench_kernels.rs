@@ -40,7 +40,7 @@ use adapex_nn::cnv::CnvConfig;
 use adapex_nn::layers::{Activation, QuantConv2d, QuantLinear};
 use adapex_nn::quant::QuantSpec;
 use adapex_nn::train::{TrainConfig, Trainer};
-use adapex_tensor::conv::{im2col, ConvGeometry};
+use adapex_tensor::conv::{im2col, im2col_into, ConvGeometry};
 use adapex_tensor::gemm::{gemm, gemm_bias};
 use adapex_tensor::parallel::num_threads;
 use adapex_tensor::int2::{self, OutMajor};
@@ -101,6 +101,11 @@ struct SimdReport {
     /// Dispatched f32 GEMM ns / dispatched int2 GEMM ns at the largest
     /// CNV shape (`gemm_conv2_full`). Asserted >= 1.5 on AVX2 hosts.
     int2_speedup_vs_f32_gemm_full: f64,
+    /// Full per-image im2col-int2 conv path ns / direct conv path ns at
+    /// the largest CNV shape (`conv_int2_*_conv2_full`): what packing
+    /// the image once and gathering windows buys over im2col + column
+    /// packing. Asserted >= 1.3 on AVX2 hosts.
+    direct_conv_speedup_vs_im2col_full: f64,
     kernels: Vec<SimdKernelReport>,
 }
 
@@ -378,6 +383,97 @@ fn main() {
             push_simd(name, times);
         }
 
+        // Full int2 conv forwards, per image: the direct route (pack
+        // the image bit-planes once, gather each window's operand
+        // words) against the im2col route it replaces (im2col + code
+        // conversion + column packing), both ending in the same
+        // popcount GEMM with the fused requant epilogue. These rows
+        // time the whole per-image path — not just the GEMM — so the
+        // once-per-image packing amortization is what's measured. The
+        // two routes are asserted bit-identical before timing.
+        let mut direct_full_ns = f64::NAN;
+        let mut im2col_full_ns = f64::NAN;
+        for (tag, c_in, hw, c_out, samples, iters) in [
+            ("conv2_w8", 8usize, 30usize, 8usize, 7usize, 10usize),
+            ("conv5_w8", 16, 5, 32, 7, 50),
+            ("conv2_full", 64, 30, 64, 5, 3),
+        ] {
+            let geom = ConvGeometry::new(3);
+            let pixels = (hw - 2) * (hw - 2);
+            let kk = c_in * 9;
+            let ascale = 2.0f32 / 3.0;
+            // Inputs already on the 2-bit activation grid, as the conv
+            // layer's router guarantees.
+            let img: Vec<f32> =
+                (0..c_in * hw * hw).map(|i| ((i * 5 + 2) % 4) as f32 * ascale).collect();
+            let wts: Vec<f32> =
+                (0..c_out * kk).map(|i| ((i * 7 + 3) % 4) as f32 - 2.0).collect();
+            let cs: Vec<f32> =
+                (0..c_out).map(|i| (0.01 + i as f32 * 0.003) * ascale).collect();
+            let bias: Vec<f32> = (0..c_out).map(|i| i as f32 * 0.1 - 0.4).collect();
+            let mut planes = Vec::new();
+            int2::pack_weights_int2(&wts, c_out, kk, &mut planes);
+
+            let (mut cols, mut col_bits) = (Vec::new(), Vec::new());
+            let (mut img_bits, mut win_bits) = (Vec::new(), Vec::new());
+            let mut y_im2col = vec![0.0f32; c_out * pixels];
+            let mut y_direct = vec![0.0f32; c_out * pixels];
+
+            let times_im2col = time_both_int2_backends(
+                || {
+                    im2col_into(black_box(&img), c_in, hw, hw, geom, &mut cols);
+                    int2::act_codes_in_place(&mut cols, ascale);
+                    int2::pack_acts_cols_int2(&cols, pixels, kk, &mut col_bits);
+                    int2::gemm_int2(
+                        c_out,
+                        kk,
+                        pixels,
+                        black_box(&planes),
+                        &col_bits,
+                        &cs,
+                        &bias,
+                        &mut y_im2col,
+                        OutMajor::Row,
+                    );
+                    black_box(&mut y_im2col);
+                },
+                samples,
+                iters,
+            );
+            let times_direct = time_both_int2_backends(
+                || {
+                    int2::conv_int2_direct(
+                        black_box(&img),
+                        ascale,
+                        c_in,
+                        hw,
+                        hw,
+                        geom,
+                        black_box(&planes),
+                        c_out,
+                        &cs,
+                        &bias,
+                        &mut y_direct,
+                        &mut img_bits,
+                        &mut win_bits,
+                    );
+                    black_box(&mut y_direct);
+                },
+                samples,
+                iters,
+            );
+            assert!(
+                y_im2col.iter().zip(&y_direct).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "direct conv diverged from the im2col route at {tag}"
+            );
+            if tag == "conv2_full" {
+                im2col_full_ns = times_im2col.0;
+                direct_full_ns = times_direct.0;
+            }
+            push_simd(&format!("conv_int2_im2col_{tag}"), times_im2col);
+            push_simd(&format!("conv_int2_direct_{tag}"), times_direct);
+        }
+
         // Elementwise hot loops at a typical activation-slab size.
         const ELEMS: usize = 16_384;
         let src = normal_tensor(&[ELEMS], 0.0, 1.0, &mut rng).into_vec();
@@ -446,12 +542,28 @@ fn main() {
             );
         }
 
+        let direct_conv_speedup = im2col_full_ns / direct_full_ns;
+        eprintln!(
+            "direct vs im2col int2 conv (conv2_full) {direct_conv_speedup:>8.2}x (gate: >= 1.3x on AVX2)"
+        );
+        // The tentpole promise of the direct route: packing the image
+        // once and gathering windows must beat the full im2col-int2
+        // path by at least 1.3x at the largest CNV conv shape.
+        if avx2_available {
+            assert!(
+                direct_conv_speedup >= 1.3,
+                "direct conv regression: only {direct_conv_speedup:.2}x over the im2col route \
+                 at conv2_full ({direct_full_ns:.0} ns vs {im2col_full_ns:.0} ns)"
+            );
+        }
+
         let simd_report = SimdReport {
             schema_version: adapex_bench::BENCH_SCHEMA_VERSION,
             threads: num_threads(),
             avx2_available,
             dispatched_backend: format!("{:?}", simd::active_backend()),
             int2_speedup_vs_f32_gemm_full: int2_speedup,
+            direct_conv_speedup_vs_im2col_full: direct_conv_speedup,
             kernels: simd_kernels,
         };
         let json = serde_json::to_string_pretty(&simd_report).expect("simd report serializes");

@@ -1,16 +1,24 @@
-//! Allocation regression test for the event-driven simulation loop.
+//! Allocation regression tests for the edge serving stack.
 //!
-//! A counting global allocator wraps `System`; a full `EdgeSimulation`
-//! run is measured at two durations. All per-run buffers (arrival
-//! queue, trace samples, event heap, boundary tables) are pre-sized
-//! from `SimConfig`, and the steady-state advance loop works entirely
-//! in scalars — so the allocation count must be **independent of the
-//! tick count**: growing the run 8× in simulated time (ticks) may only
-//! add allocations proportional to the extra *events* (monitor fires,
-//! rate segments), never the extra ticks. A regression that puts an
-//! allocation back into the per-tick path (e.g. the old per-tick
-//! `OperatingPoint` clone) fails this immediately with ~tick-count
-//! magnitude.
+//! A counting global allocator wraps `System`. Two hot loops are pinned:
+//!
+//! 1. The event-driven simulation: a full `EdgeSimulation` run is
+//!    measured at two durations. All per-run buffers (arrival queue,
+//!    trace samples, event heap, boundary tables) are pre-sized from
+//!    `SimConfig`, and the steady-state advance loop works entirely in
+//!    scalars — so the allocation count must be **independent of the
+//!    tick count**: growing the run 8× in simulated time (ticks) may
+//!    only add allocations proportional to the extra *events* (monitor
+//!    fires, rate segments), never the extra ticks. A regression that
+//!    puts an allocation back into the per-tick path (e.g. the old
+//!    per-tick `OperatingPoint` clone) fails this immediately with
+//!    ~tick-count magnitude.
+//!
+//! 2. The inference data plane the simulated server models:
+//!    `BatchExecutor::run_batch` over an early-exit CNV with the direct
+//!    int2 conv route forced on must be zero-alloc per batch once the
+//!    pooled workspaces (including the once-packed image bit-planes)
+//!    are warm.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -18,6 +26,11 @@ use std::cell::Cell;
 use adapex::library::{Library, LibraryEntry, OperatingPoint};
 use adapex::runtime::{RuntimeManager, SelectionPolicy};
 use adapex_edge::{EdgeSimulation, FaultPlan, SimConfig};
+use adapex_nn::cnv::{CnvConfig, ExitsConfig};
+use adapex_nn::layers::Activation;
+use adapex_nn::serve::{BatchExecutor, BatchVerdicts, EnginePlan, ExecutorConfig};
+use adapex_tensor::int2;
+use adapex_tensor::rng::{normal_tensor, rng_from_seed};
 use finn_dataflow::ResourceUsage;
 
 /// Counts every allocator entry point on the calling thread; frees are
@@ -147,4 +160,70 @@ fn sim_loop_allocations_scale_with_events_not_ticks() {
              (per-tick allocation or buffer regrowth regression?)"
         );
     }
+}
+
+/// The per-frame inference cost the simulator's service-rate model
+/// stands in for: serving a batch through an early-exit CNV with the
+/// direct int2 conv route (pack the image once, gather windows, skip
+/// im2col) must allocate nothing once the pools are warm. Runs here —
+/// not only in `adapex-nn` — so the edge stack pins the contract it
+/// depends on for latency stability.
+#[test]
+fn steady_state_direct_conv_serve_batch_does_not_allocate() {
+    std::env::set_var("ADAPEX_THREADS", "1");
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            int2::override_enabled(None);
+            int2::override_direct_enabled(None);
+        }
+    }
+    let _restore = Restore;
+    int2::override_enabled(Some(true));
+    int2::override_direct_enabled(Some(true));
+
+    let net = CnvConfig::tiny().build_early_exit(10, &ExitsConfig::paper_default(), 5);
+    let batch = 8;
+    let per: usize = net.input_dims.iter().product();
+    let mut rng = rng_from_seed(31);
+    let x = Activation::new(
+        normal_tensor(&[batch * per], 0.0, 1.0, &mut rng).into_vec(),
+        batch,
+        net.input_dims.clone(),
+    );
+    // High threshold: the untrained net is never confident enough to
+    // retire early, so every sample traverses the deep convs — the ones
+    // wide enough for the engine (and thus the direct route) to engage.
+    let mut exec = BatchExecutor::new(
+        &net,
+        &ExecutorConfig {
+            threshold: 0.95,
+            workers: 1,
+            engine: EnginePlan::Auto,
+        },
+    );
+    let mut out = BatchVerdicts::default();
+
+    // Warmup: pooled activations, once-packed image planes (img_bits),
+    // window/packing scratch and verdict capacities all materialize here.
+    for _ in 0..3 {
+        exec.run_batch(&x, &mut out);
+    }
+
+    int2::reset_op_counters();
+    let before = thread_allocs();
+    for _ in 0..5 {
+        exec.run_batch(&x, &mut out);
+    }
+    let after = thread_allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state direct-conv serve batches allocated {} times",
+        after - before
+    );
+    assert!(
+        int2::direct_conv_calls() > 0,
+        "direct conv path never engaged in serving"
+    );
 }

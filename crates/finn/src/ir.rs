@@ -116,6 +116,13 @@ impl IrOp {
     /// rounding (equality when `k % 64 == 0`); the cross-check test pins
     /// both counters so the cycle model and the engine can't silently
     /// diverge.
+    ///
+    /// The count covers the **direct windowed conv path** exactly as
+    /// well: its gather materializes, per output pixel, the same
+    /// `ceil(k/64)` plane words the im2col route packs (window rows
+    /// that fall in padding stay zero words, included in the padding-
+    /// tail over-coverage above), and it then streams them through the
+    /// identical GEMM — so the same formula counts both routes.
     pub fn int2_popcount_ops(&self) -> u64 {
         match self {
             IrOp::Conv {
@@ -225,7 +232,10 @@ impl ModelIr {
     /// int2 engine's `op_counters` when a full all-exits inference runs
     /// in eval mode: every matrix node **except the first backbone node**
     /// (the stem consumes the raw, unquantized image, so it stays on the
-    /// f32 path) executes on the engine.
+    /// f32 path) executes on the engine. Holds for both conv routes —
+    /// im2col+pack and the direct windowed gather read the same word
+    /// count per output pixel (`ADAPEX_INT2_DIRECT` never moves these
+    /// counters; the cross-check pins that on both settings).
     pub fn int2_engine_profile(&self) -> (u64, u64) {
         let mut macs = 0u64;
         let mut pops = 0u64;

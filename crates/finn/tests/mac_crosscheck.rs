@@ -12,6 +12,8 @@
 //! words, which the word-granularity model also counts, not a
 //! divergence.
 
+use std::sync::Mutex;
+
 use adapex_nn::cnv::{CnvConfig, ExitsConfig};
 use adapex_nn::layers::{Activation, QuantConv2d, QuantReLU};
 use adapex_nn::quant::QuantSpec;
@@ -20,23 +22,36 @@ use adapex_tensor::int2;
 use adapex_tensor::rng::{normal_tensor, rng_from_seed};
 use finn_dataflow::{IrOp, ModelIr};
 
+/// Serializes the tests: they override the global engine/direct routing
+/// and read global counters, so concurrent runs would cross-talk.
+static ENGINE_LOCK: Mutex<()> = Mutex::new(());
+
 /// Runs `f` with the popcount engine forced on (so the cross-check also
-/// holds on the `ADAPEX_NO_INT2=1` CI leg), restoring env routing after.
-fn with_engine_forced_on<T>(f: impl FnOnce() -> T) -> T {
+/// holds on the `ADAPEX_NO_INT2=1` CI leg) and the direct conv path
+/// pinned to `direct` (so each cross-check covers one route regardless
+/// of `ADAPEX_INT2_DIRECT`), restoring env routing after.
+fn with_engine_forced_on<T>(direct: bool, f: impl FnOnce() -> T) -> T {
+    let _guard = ENGINE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     struct Restore;
     impl Drop for Restore {
         fn drop(&mut self) {
             int2::override_enabled(None);
+            int2::override_direct_enabled(None);
         }
     }
     let _restore = Restore;
     int2::override_enabled(Some(true));
+    int2::override_direct_enabled(Some(direct));
     f()
 }
 
 /// One conv layer with a 2-bit-quantized input: engine counters ==
 /// the IR node's predictions, hand-checkable (4×6 ch, 3×3 kernel,
 /// 10×10 → 8×8; k = 36, so popcounts cover one padded word per output).
+/// Checked on both conv routes — the direct gather materializes the
+/// same `ceil(k/64)` plane words per output pixel the im2col route
+/// packs, so the word-granularity model covers its windowed reads
+/// exactly, with no extra formula.
 #[test]
 fn single_conv_counters_match_ir_prediction() {
     let mut conv = QuantConv2d::new(
@@ -52,11 +67,6 @@ fn single_conv_counters_match_ir_prediction() {
         .collect();
     let x = QuantReLU::a2().forward(&Activation::new(raw, batch, vec![4, 10, 10]), false);
 
-    let (macs, pops) = with_engine_forced_on(|| {
-        int2::reset_op_counters();
-        conv.forward(&x, false);
-        int2::op_counters()
-    });
     let node = IrOp::Conv {
         c_in: 4,
         c_out: 6,
@@ -71,11 +81,22 @@ fn single_conv_counters_match_ir_prediction() {
     };
     assert_eq!(node.macs(), 4 * 6 * 9 * 8 * 8);
     assert_eq!(node.int2_popcount_ops(), 4 * 6 * 8 * 8); // ceil(36/64) = 1 word
-    assert_eq!(macs, batch as u64 * node.macs());
-    assert_eq!(pops, batch as u64 * node.int2_popcount_ops());
-    // Constant-factor relation: 64 codes / 4 plane streams per word =>
-    // up to 16 MACs per popcount op; k = 36 < 64 makes it strict here.
-    assert!(pops * 16 >= macs);
+    for direct in [true, false] {
+        let (macs, pops, calls) = with_engine_forced_on(direct, || {
+            int2::reset_op_counters();
+            conv.forward(&x, false);
+            let (m, p) = int2::op_counters();
+            (m, p, int2::direct_conv_calls())
+        });
+        assert_eq!(macs, batch as u64 * node.macs(), "direct={direct}");
+        assert_eq!(pops, batch as u64 * node.int2_popcount_ops(), "direct={direct}");
+        // Prove the intended route ran: one direct call per image when
+        // forced on, none when forced off.
+        assert_eq!(calls, if direct { batch as u64 } else { 0 });
+        // Constant-factor relation: 64 codes / 4 plane streams per word
+        // => up to 16 MACs per popcount op; k = 36 < 64 keeps it strict.
+        assert!(pops * 16 >= macs);
+    }
 }
 
 /// Full early-exit network: per-sample engine counters == the IR's
@@ -100,19 +121,30 @@ fn full_network_engine_counters_match_ir_profile() {
         ir.input_dims.clone(),
     );
 
-    let (macs, pops) = with_engine_forced_on(|| {
-        int2::reset_op_counters();
-        net.forward(&x, false);
-        int2::op_counters()
-    });
-    assert_eq!(
-        macs,
-        batch as u64 * macs_per_sample,
-        "engine MACs diverge from the cycle model's matrix-node count"
-    );
-    assert_eq!(
-        pops,
-        batch as u64 * pops_per_sample,
-        "engine popcount ops diverge from the word-granularity model"
-    );
+    for direct in [true, false] {
+        let (macs, pops, calls) = with_engine_forced_on(direct, || {
+            int2::reset_op_counters();
+            net.forward(&x, false);
+            let (m, p) = int2::op_counters();
+            (m, p, int2::direct_conv_calls())
+        });
+        assert_eq!(
+            macs,
+            batch as u64 * macs_per_sample,
+            "engine MACs diverge from the cycle model's matrix-node count (direct={direct})"
+        );
+        assert_eq!(
+            pops,
+            batch as u64 * pops_per_sample,
+            "engine popcount ops diverge from the word-granularity model (direct={direct})"
+        );
+        // The direct route must actually engage on the non-stem convs
+        // when forced on (the stem consumes the raw image and stays on
+        // the f32 path, so it never contributes a call either way).
+        if direct {
+            assert!(calls > 0, "direct conv path never engaged");
+        } else {
+            assert_eq!(calls, 0, "direct conv path ran while forced off");
+        }
+    }
 }

@@ -191,9 +191,9 @@ impl QuantConv2d {
         qc.int2_version = Some(version);
     }
 
-    /// The activation grid step when this eval forward can take the
+    /// The activation grid step when this forward can take the
     /// code-domain int2 path: signed 2-bit weights and an input stamped
-    /// as 2-bit quantized.
+    /// as 2-bit quantized (train and eval — QuantReLU stamps both).
     fn int2_act_scale(&self, x: &Activation) -> Option<f32> {
         if !self.weight_spec.is_int2_weight() {
             return None;
@@ -203,12 +203,14 @@ impl QuantConv2d {
     }
 
     /// The GEMM core shared by both forward entry points. With
-    /// `int2_scale` set (eval over a 2-bit-quantized input), each image
-    /// runs the code-domain path: im2col columns are rounded to exact
-    /// integer codes, then either the popcount engine or — behind
-    /// `ADAPEX_NO_INT2` — the f32 GEMM over code values computes the
-    /// same integer sums, finished by one fused requantize+bias
-    /// epilogue. Bit-identical across backends and escape hatches.
+    /// `int2_scale` set (a 2-bit-quantized input), each image runs the
+    /// code-domain path: either the direct windowed engine
+    /// ([`int2::conv_int2_direct`] — pack the image once, gather each
+    /// window's packed operand), the im2col+pack engine (behind
+    /// `ADAPEX_INT2_DIRECT=0`), or — behind `ADAPEX_NO_INT2` — the f32
+    /// GEMM over im2col'd code values; all three compute the same
+    /// integer sums, finished by one fused requantize+bias epilogue.
+    /// Bit-identical across backends and escape hatches.
     fn run_forward(&mut self, x: &Activation, int2_scale: Option<f32>) -> Activation {
         let (oh, ow) = self.out_hw(&x.dims);
         let out_dims = [self.c_out, oh, ow];
@@ -241,14 +243,36 @@ impl QuantConv2d {
         });
         let cs_ref = cs_buf.as_deref();
         let use_engine = int2::enabled() && !self.prefer_f32_codes;
+        // The direct path skips im2col entirely: pack the image once,
+        // gather each window's operand words. Kernels past the gather's
+        // word bound keep the im2col route (CNV kernels are 3).
+        let use_direct =
+            use_engine && int2::direct_enabled() && geom.kernel <= int2::MAX_DIRECT_KERNEL;
         parallel_for_chunks(x.n, sample_out, &mut out.data, 1, |range, chunk| {
             with_workspace(|ws| {
                 for (local, i) in range.enumerate() {
                     let img = &input[i * sample_in..(i + 1) * sample_in];
-                    im2col_into(img, c_in, h, w, geom, &mut ws.cols);
                     let y = &mut chunk[local * sample_out..(local + 1) * sample_out];
                     match (int2_scale, cs_ref) {
+                        (Some(ascale), Some(cs)) if use_direct => {
+                            int2::conv_int2_direct(
+                                img,
+                                ascale,
+                                c_in,
+                                h,
+                                w,
+                                geom,
+                                planes,
+                                c_out,
+                                cs,
+                                bias,
+                                y,
+                                &mut ws.img_bits,
+                                &mut ws.bits,
+                            );
+                        }
                         (Some(ascale), Some(cs)) => {
+                            im2col_into(img, c_in, h, w, geom, &mut ws.cols);
                             int2::act_codes_in_place(&mut ws.cols, ascale);
                             if use_engine {
                                 int2::pack_acts_cols_int2(&ws.cols, pixels, kk, &mut ws.bits);
@@ -268,7 +292,10 @@ impl QuantConv2d {
                                 int2::requantize_rows(y, pixels, cs, bias);
                             }
                         }
-                        _ => gemm_bias_st(c_out, kk, pixels, qw, &ws.cols, bias, y),
+                        _ => {
+                            im2col_into(img, c_in, h, w, geom, &mut ws.cols);
+                            gemm_bias_st(c_out, kk, pixels, qw, &ws.cols, bias, y)
+                        }
                     }
                 }
             });
@@ -294,11 +321,16 @@ impl QuantConv2d {
 
     /// Forward pass over a batch.
     ///
+    /// Training forwards of 2-bit layers over stamped inputs take the
+    /// same code-domain route as eval (train/eval forward values are
+    /// bit-identical); only the backward differs — STE over the cached
+    /// fake-quant weights, untouched by the routing.
+    ///
     /// # Panics
     ///
     /// Panics on an input shape mismatch.
     pub fn forward(&mut self, x: &Activation, train: bool) -> Activation {
-        let int2_scale = if train { None } else { self.int2_act_scale(x) };
+        let int2_scale = self.int2_act_scale(x);
         let out = self.run_forward(x, int2_scale);
         if train {
             self.cache.input.clear();
@@ -317,7 +349,8 @@ impl QuantConv2d {
         if !train {
             return self.forward(&x, false);
         }
-        let out = self.run_forward(&x, None);
+        let int2_scale = self.int2_act_scale(&x);
+        let out = self.run_forward(&x, int2_scale);
         let (n, hw) = (x.n, (x.dims[1], x.dims[2]));
         let (data, _, dims) = x.into_parts();
         recycle_usize(dims);

@@ -124,9 +124,9 @@ impl QuantLinear {
         qc.int2_version = Some(version);
     }
 
-    /// The activation grid step when this eval forward can take the
+    /// The activation grid step when this forward can take the
     /// code-domain int2 path: signed 2-bit weights and an input stamped
-    /// as 2-bit quantized.
+    /// as 2-bit quantized (train and eval — QuantReLU stamps both).
     fn int2_act_scale(&self, x: &Activation) -> Option<f32> {
         if !self.weight_spec.is_int2_weight() {
             return None;
@@ -135,12 +135,14 @@ impl QuantLinear {
         (q.bits == 2 && q.scale > 0.0).then_some(q.scale)
     }
 
-    /// Code-domain eval forward (layer ↦ MVTU): exact integer dot
-    /// products over the 2-bit codes, then one fused requantize+bias
-    /// epilogue. The popcount engine and the `ADAPEX_NO_INT2` f32
-    /// fallback compute the same integers, so this is bit-identical
-    /// across backends and escape hatches.
-    fn forward_eval_int2(&mut self, x: &Activation, ascale: f32) -> Activation {
+    /// Code-domain forward (layer ↦ MVTU): exact integer dot products
+    /// over the 2-bit codes, then one fused requantize+bias epilogue.
+    /// The popcount engine and the `ADAPEX_NO_INT2` f32 fallback
+    /// compute the same integers, so this is bit-identical across
+    /// backends and escape hatches. Shared by eval and (via
+    /// [`QuantLinear::forward`]) training forwards of stamped inputs;
+    /// the caller owns the backward-cache bookkeeping.
+    fn forward_int2(&mut self, x: &Activation, ascale: f32) -> Activation {
         self.ensure_int2();
         let qc = self.qcache.as_ref().expect("qcache just ensured");
         let (m, k, n) = (self.out_features, self.in_features, x.n);
@@ -174,11 +176,29 @@ impl QuantLinear {
                 int2::requantize_cols(&mut out.data, &ws.scratch2, &self.bias.value);
             }
         });
-        self.cache_valid = false;
         out
     }
 
+    /// Snapshots everything the STE backward needs (input values,
+    /// fake-quant weights, per-row scales) after a training forward.
+    fn cache_for_backward(&mut self, x: &Activation) {
+        let qc = self.qcache.as_ref().expect("qcache ensured by forward");
+        self.cache.input.clear();
+        self.cache.input.extend_from_slice(&x.data);
+        self.cache.n = x.n;
+        self.cache.qweight.clear();
+        self.cache.qweight.extend_from_slice(&qc.qweight);
+        self.cache.scales.clear();
+        self.cache.scales.extend_from_slice(&qc.scales);
+        self.cache_valid = true;
+    }
+
     /// Forward pass: `y = x W^T + b`.
+    ///
+    /// Training forwards over stamped 2-bit inputs take the same
+    /// code-domain route as eval (train/eval forward values are
+    /// bit-identical); only the backward differs — STE over the cached
+    /// fake-quant weights, untouched by the routing.
     ///
     /// # Panics
     ///
@@ -190,10 +210,14 @@ impl QuantLinear {
             "linear input features (got {:?})",
             x.dims
         );
-        if !train {
-            if let Some(ascale) = self.int2_act_scale(x) {
-                return self.forward_eval_int2(x, ascale);
+        if let Some(ascale) = self.int2_act_scale(x) {
+            let out = self.forward_int2(x, ascale);
+            if train {
+                self.cache_for_backward(x);
+            } else {
+                self.cache_valid = false;
             }
+            return out;
         }
         self.ensure_qweights();
         let qc = self.qcache.as_ref().expect("qcache just ensured");
@@ -212,14 +236,7 @@ impl QuantLinear {
             }
         }
         if train {
-            self.cache.input.clear();
-            self.cache.input.extend_from_slice(&x.data);
-            self.cache.n = x.n;
-            self.cache.qweight.clear();
-            self.cache.qweight.extend_from_slice(&qc.qweight);
-            self.cache.scales.clear();
-            self.cache.scales.extend_from_slice(&qc.scales);
-            self.cache_valid = true;
+            self.cache_for_backward(x);
         } else {
             self.cache_valid = false;
         }

@@ -29,7 +29,7 @@
 //!
 //! The executor also owns the **engine plan**: int2-eligible conv
 //! layers route to the popcount engine only where
-//! [`int2::engine_profitable`] says the packing tax amortizes
+//! [`int2::conv_engine_profitable`] says the packing tax amortizes
 //! ([`EnginePlan::Auto`]); both engine choices are bit-identical, so
 //! the plan affects wall-clock only, never verdicts.
 //!
@@ -50,7 +50,7 @@ use adapex_tensor::workspace::{recycle_f32, recycle_usize, take_f32_from, take_f
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EnginePlan {
     /// Shape-aware: popcount engine only where
-    /// [`int2::engine_profitable`] predicts a win, f32-over-codes
+    /// [`int2::conv_engine_profitable`] predicts a win, f32-over-codes
     /// elsewhere. The serving default.
     Auto,
     /// Leave routing as the eval path ships it (engine for every
@@ -239,6 +239,11 @@ impl BatchExecutor {
 }
 
 /// Applies the engine routing plan to every conv layer of `net`.
+///
+/// `Auto` consults [`int2::conv_engine_profitable`]: with the direct
+/// windowed path available the packing tax is paid once per image, so
+/// the profitable `c_out` threshold drops by the k² window reuse;
+/// behind `ADAPEX_INT2_DIRECT=0` it falls back to the per-column model.
 fn apply_engine_plan(net: &mut EarlyExitNetwork, plan: EnginePlan) {
     let layers = net
         .backbone
@@ -246,9 +251,8 @@ fn apply_engine_plan(net: &mut EarlyExitNetwork, plan: EnginePlan) {
         .chain(net.exits.iter_mut().flat_map(|e| e.layers.iter_mut()));
     for l in layers {
         if let Layer::Conv(c) = l {
-            let k = c.c_in * c.geom.kernel * c.geom.kernel;
             c.prefer_f32_codes = match plan {
-                EnginePlan::Auto => !int2::engine_profitable(c.c_out, k),
+                EnginePlan::Auto => !int2::conv_engine_profitable(c.c_out, c.geom.kernel),
                 EnginePlan::Int2Always => false,
                 EnginePlan::F32Codes => true,
             };
@@ -497,26 +501,31 @@ mod tests {
     #[test]
     fn engine_plan_is_speed_only() {
         let net = tiny_net();
-        let (engine, f32_codes) = BatchExecutor::new(
-            &net,
-            &ExecutorConfig {
-                engine: EnginePlan::Auto,
-                ..ExecutorConfig::default()
-            },
-        )
-        .engine_split();
-        // tiny() widths are all < ENGINE_MIN_ITEMS, so Auto prefers the
-        // fallback everywhere; the split still counts every conv.
+        let split_at = |plan| {
+            BatchExecutor::new(
+                &net,
+                &ExecutorConfig {
+                    engine: plan,
+                    ..ExecutorConfig::default()
+                },
+            )
+            .engine_split()
+        };
+        // With the direct path on, the once-per-image packing model
+        // routes tiny()'s 8/16-wide convs to the engine while the
+        // 4-wide ones (< ENGINE_MIN_ITEMS_DIRECT) keep the fallback.
+        int2::override_direct_enabled(Some(true));
+        let (engine, f32_codes) = split_at(EnginePlan::Auto);
+        assert!(engine > 0, "wide tiny() convs must route to the engine");
+        assert!(f32_codes > 0, "narrow tiny() convs must keep the fallback");
+        // Direct off: the per-column model, under which every tiny()
+        // width is < ENGINE_MIN_ITEMS, prefers the fallback everywhere.
+        int2::override_direct_enabled(Some(false));
+        let (engine, f32_codes) = split_at(EnginePlan::Auto);
         assert_eq!(engine, 0);
         assert!(f32_codes > 0);
-        let (engine, _) = BatchExecutor::new(
-            &net,
-            &ExecutorConfig {
-                engine: EnginePlan::Int2Always,
-                ..ExecutorConfig::default()
-            },
-        )
-        .engine_split();
+        int2::override_direct_enabled(None);
+        let (engine, _) = split_at(EnginePlan::Int2Always);
         assert!(engine > 0);
     }
 }

@@ -214,6 +214,59 @@ fn steady_state_int2_eval_forward_does_not_allocate() {
     }
 }
 
+/// Same eval stack, direct conv route forced on: packing the image once
+/// (`Workspace::img_bits`) and gathering windows into the shared packing
+/// buffer must also come entirely from the pooled workspaces — the
+/// "skip im2col" path shares the zero-allocs-per-batch contract with
+/// the route it replaces.
+#[test]
+fn steady_state_direct_conv_eval_forward_does_not_allocate() {
+    let _guard = POOLS.lock().unwrap_or_else(|e| e.into_inner());
+    std::env::set_var("ADAPEX_THREADS", "1");
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            adapex_tensor::int2::override_enabled(None);
+            adapex_tensor::int2::override_direct_enabled(None);
+        }
+    }
+    let _restore = Restore;
+    adapex_tensor::int2::override_enabled(Some(true));
+    adapex_tensor::int2::override_direct_enabled(Some(true));
+
+    let mut layers = build_int2_stack();
+    let batch = 4;
+    let mut rng = rng_from_seed(29);
+    let x = Activation::new(
+        normal_tensor(&[batch * 3 * 16 * 16], 0.0, 1.0, &mut rng).into_vec(),
+        batch,
+        vec![3, 16, 16],
+    );
+
+    // Warmup: img_bits/window buffers size themselves to the steady-state
+    // shapes here, alongside the usual pools and weight caches.
+    for _ in 0..3 {
+        eval_step(&mut layers, &x);
+    }
+
+    adapex_tensor::int2::reset_op_counters();
+    let before = thread_allocs();
+    for _ in 0..5 {
+        eval_step(&mut layers, &x);
+    }
+    let after = thread_allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state direct-conv eval forwards allocated {} times",
+        after - before
+    );
+    assert!(
+        adapex_tensor::int2::direct_conv_calls() > 0,
+        "direct conv path never engaged in eval"
+    );
+}
+
 /// The serving hot loop: [`BatchExecutor::run_batch`] (staged forward,
 /// exit heads, survivor compaction, verdict writes) must be zero-alloc
 /// per batch once the workspace pools and verdict capacities are warm.

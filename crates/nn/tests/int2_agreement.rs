@@ -47,6 +47,27 @@ fn with_both_modes<T>(mut f: impl FnMut() -> T) -> (T, T) {
     (on, off)
 }
 
+/// Runs `f` once with the direct conv path forced on and once forced
+/// off (the popcount engine itself forced on for both passes so the
+/// comparison isolates the im2col-vs-direct routing), restoring
+/// env-based routing afterwards even on panic.
+fn with_direct_modes<T>(mut f: impl FnMut() -> T) -> (T, T) {
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            int2::override_enabled(None);
+            int2::override_direct_enabled(None);
+        }
+    }
+    let _restore = Restore;
+    int2::override_enabled(Some(true));
+    int2::override_direct_enabled(Some(true));
+    let direct = f();
+    int2::override_direct_enabled(Some(false));
+    let im2col = f();
+    (direct, im2col)
+}
+
 fn bits(v: &[f32]) -> Vec<u32> {
     v.iter().map(|x| x.to_bits()).collect()
 }
@@ -235,6 +256,42 @@ fn evaluate_exits_is_bit_identical_across_int2_modes() {
     assert_eq!(eval_on.correct, eval_off.correct);
     assert_eq!(eval_on.confidence.len(), eval_off.confidence.len());
     for (a, b) in eval_on.confidence.iter().zip(&eval_off.confidence) {
+        assert_eq!(bits(a), bits(b));
+    }
+}
+
+/// Same end-to-end pin for the direct conv route: `evaluate_exits` with
+/// `ADAPEX_INT2_DIRECT` on (pack the image once, gather windows) must
+/// match the im2col route bit for bit — exit decisions, correctness
+/// masks and every confidence value. The direct-call counter proves the
+/// forced-on pass really took the new path.
+#[test]
+fn evaluate_exits_is_bit_identical_across_direct_modes() {
+    let _guard = int2_lock();
+    let data = SyntheticConfig::new(DatasetKind::GtsrbLike)
+        .with_sizes(4, 24)
+        .generate();
+    let mut net = CnvConfig::tiny().build_early_exit(
+        data.num_classes(),
+        &ExitsConfig::paper_default(),
+        3,
+    );
+
+    int2::reset_op_counters();
+    let (eval_direct, eval_im2col) = with_direct_modes(|| {
+        let calls_before = int2::direct_conv_calls();
+        let eval = evaluate_exits(&mut net, &data.test);
+        (eval, int2::direct_conv_calls() - calls_before)
+    });
+    let (eval_direct, direct_calls) = eval_direct;
+    let (eval_im2col, im2col_calls) = eval_im2col;
+    assert!(direct_calls > 0, "direct conv path never engaged");
+    assert_eq!(im2col_calls, 0, "direct conv path ran while forced off");
+
+    assert_eq!(eval_direct.samples, eval_im2col.samples);
+    assert_eq!(eval_direct.correct, eval_im2col.correct);
+    assert_eq!(eval_direct.confidence.len(), eval_im2col.confidence.len());
+    for (a, b) in eval_direct.confidence.iter().zip(&eval_im2col.confidence) {
         assert_eq!(bits(a), bits(b));
     }
 }

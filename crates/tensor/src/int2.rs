@@ -41,6 +41,21 @@
 //! the `ADAPEX_NO_INT2=1` escape hatch; the differential suites pin the
 //! two implementations against each other bit-for-bit.
 //!
+//! # Direct convolution: pack once, gather windows
+//!
+//! The im2col route codes and packs every input pixel up to `k²` times
+//! (once per window it appears in). The direct path instead packs each
+//! image **once** into per-`(channel, row)` bit planes
+//! ([`pack_image_int2`]) and then lifts every window's operand straight
+//! out of the packed rows ([`gather_conv_windows_int2`]): per
+//! (channel, kernel-row) a `k`-bit segment is extracted with one
+//! two-word funnel shift and OR-ed into its fixed depth slot. The
+//! gathered operand words are **equal** to what
+//! `im2col → `[`act_codes_in_place`]` → `[`pack_acts_cols_int2`] would
+//! produce — not merely sum-equivalent — so [`conv_int2_direct`] feeds
+//! the unchanged [`gemm_int2`] and is bit-identical to the im2col path
+//! by construction (and bumps the same op counters).
+//!
 //! # Dispatch and escape hatches
 //!
 //! * `ADAPEX_NO_SIMD=1` (or [`override_backend`]) — portable popcount
@@ -48,7 +63,11 @@
 //! * `ADAPEX_NO_INT2=1` (or [`override_enabled`]) — callers consult
 //!   [`enabled`] and fall back to the f32 GEMM over code values, same
 //!   bits again.
+//! * `ADAPEX_INT2_DIRECT=0` (or [`override_direct_enabled`]) — conv
+//!   layers consult [`direct_enabled`] and fall back to im2col+pack in
+//!   front of the same GEMM, same bits a third time.
 
+use crate::conv::ConvGeometry;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 pub use crate::simd::Backend;
@@ -66,12 +85,20 @@ static BACKEND: AtomicU8 = AtomicU8::new(0);
 // 3/4 = explicit override (on/off) from `override_enabled`.
 static ENABLED: AtomicU8 = AtomicU8::new(0);
 
+// Cached direct-conv routing decision, same encoding as ENABLED but
+// keyed off `ADAPEX_INT2_DIRECT` (the value "0" disables).
+static DIRECT: AtomicU8 = AtomicU8::new(0);
+
 // Logical multiply-accumulate count (m*n*k per GEMM call) and executed
 // popcount word-ops (4 per plane-pair word per dot product). The finn
 // cycle-model cross-check reads these; eval serving never does, so a
 // relaxed atomic per GEMM call is free.
 static MAC_OPS: AtomicU64 = AtomicU64::new(0);
 static POPCNT_OPS: AtomicU64 = AtomicU64::new(0);
+
+// Direct-conv invocations: engagement probe for the differential and
+// allocation suites (did the windowed path actually run?).
+static DIRECT_CONV_CALLS: AtomicU64 = AtomicU64::new(0);
 
 fn detect_backend() -> u8 {
     if std::env::var_os("ADAPEX_NO_SIMD").is_some_and(|v| v == "1") {
@@ -161,9 +188,59 @@ pub fn override_enabled(on: Option<bool>) {
     ENABLED.store(v, Ordering::Relaxed);
 }
 
+fn detect_direct() -> u8 {
+    if std::env::var_os("ADAPEX_INT2_DIRECT").is_some_and(|v| v == "0") {
+        2
+    } else {
+        1
+    }
+}
+
+/// Whether engine-routed conv layers should use the direct windowed
+/// path ([`conv_int2_direct`]) instead of im2col+pack.
+///
+/// `ADAPEX_INT2_DIRECT=0` turns it off; the two paths hand the GEMM
+/// identical operand words, so like `ADAPEX_NO_INT2` this is purely an
+/// escape hatch / differential-testing axis, never a results knob.
+pub fn direct_enabled() -> bool {
+    match DIRECT.load(Ordering::Relaxed) {
+        1 | 3 => true,
+        2 | 4 => false,
+        _ => {
+            let e = detect_direct();
+            let _ = DIRECT.compare_exchange(0, e, Ordering::Relaxed, Ordering::Relaxed);
+            direct_enabled()
+        }
+    }
+}
+
+/// Forces direct-conv routing on/off (`Some`) or restores the
+/// `ADAPEX_INT2_DIRECT` environment decision (`None`). Test hook for
+/// the differential suites.
+pub fn override_direct_enabled(on: Option<bool>) {
+    let v = match on {
+        Some(true) => 3,
+        Some(false) => 4,
+        None => detect_direct(),
+    };
+    DIRECT.store(v, Ordering::Relaxed);
+}
+
 /// Minimum weight-item count (`c_out` for a conv) at which the popcount
 /// engine beats the f32-over-codes fallback. See [`engine_profitable`].
 pub const ENGINE_MIN_ITEMS: usize = 32;
+
+/// Minimum conv filter count for the engine when the direct path
+/// carries the packing: the once-per-image pack amortizes over every
+/// window, leaving only the gather's constant word traffic per output
+/// element, so far smaller filter banks already win. See
+/// [`conv_engine_profitable`].
+pub const ENGINE_MIN_ITEMS_DIRECT: usize = 8;
+
+/// Largest kernel the direct path supports: a window's row segment must
+/// come out of one two-word funnel read, so `k` must fit a word. CNV
+/// kernels are 3.
+pub const MAX_DIRECT_KERNEL: usize = 64;
 
 /// Whether the popcount engine is expected to be *faster* than the
 /// bit-identical f32-over-codes fallback for a GEMM with `m` weight
@@ -179,13 +256,38 @@ pub const ENGINE_MIN_ITEMS: usize = 32;
 /// `m·k·α > k·β + m·k·γ/16  ⇔  m > β / (α − γ/16)`.
 /// Measured on CNV shapes: the engine loses ~2× at `m = 8..16`
 /// (k = 72..144) and wins ≥ 2× from `m = 32` up through the largest CNV
-/// shape (`m = 64`, `k = 576`, the BENCH_simd gate). Callers that want
-/// shape-aware routing (the serving executor) combine this with
-/// [`enabled`]; the default eval path routes every eligible layer
-/// through the engine regardless, preserving PR 7 behavior.
+/// shape (`m = 64`, `k = 576`, the BENCH_simd gate). This is the
+/// per-column model — right for linear layers and for convs with the
+/// direct path disabled; conv routing goes through
+/// [`conv_engine_profitable`], which divides the tax by the window
+/// reuse. Callers that want shape-aware routing (the serving executor)
+/// combine these with [`enabled`]; the default eval path routes every
+/// eligible layer through the engine regardless, preserving PR 7
+/// behavior.
 #[inline]
 pub fn engine_profitable(m: usize, _k: usize) -> bool {
     m >= ENGINE_MIN_ITEMS
+}
+
+/// Conv-shape-aware refinement of [`engine_profitable`].
+///
+/// With the direct path on, activation packing happens **once per
+/// image** instead of once per im2col column, so the per-column packing
+/// tax β of the [`engine_profitable`] model is divided by the `k²`
+/// window reuse of every input pixel: the `c_out` threshold drops to
+/// `ENGINE_MIN_ITEMS / k²`, floored at [`ENGINE_MIN_ITEMS_DIRECT`]
+/// because the gather still spends a handful of word ops per output
+/// element. `k = 1` self-consistently stays at [`ENGINE_MIN_ITEMS`]
+/// (a 1×1 window reuses nothing — pack-once equals pack-per-column),
+/// as do kernels past [`MAX_DIRECT_KERNEL`] or runs with the direct
+/// path disabled, where the per-column model still applies.
+#[inline]
+pub fn conv_engine_profitable(c_out: usize, kernel: usize) -> bool {
+    if direct_enabled() && kernel <= MAX_DIRECT_KERNEL {
+        c_out >= (ENGINE_MIN_ITEMS / (kernel * kernel).max(1)).max(ENGINE_MIN_ITEMS_DIRECT)
+    } else {
+        c_out >= ENGINE_MIN_ITEMS
+    }
 }
 
 /// `(logical MACs, popcount word-ops)` executed by [`gemm_int2`] since
@@ -200,11 +302,20 @@ pub fn op_counters() -> (u64, u64) {
     )
 }
 
-/// Zeroes the [`op_counters`]. Not synchronized against concurrent GEMM
-/// calls; callers (tests) quiesce the engine first.
+/// Direct-conv invocations ([`conv_int2_direct`]) since the last
+/// [`reset_op_counters`]: the engagement probe the differential and
+/// allocation suites use to prove the windowed path actually ran.
+pub fn direct_conv_calls() -> u64 {
+    DIRECT_CONV_CALLS.load(Ordering::Relaxed)
+}
+
+/// Zeroes the [`op_counters`] and [`direct_conv_calls`]. Not
+/// synchronized against concurrent GEMM calls; callers (tests) quiesce
+/// the engine first.
 pub fn reset_op_counters() {
     MAC_OPS.store(0, Ordering::Relaxed);
     POPCNT_OPS.store(0, Ordering::Relaxed);
+    DIRECT_CONV_CALLS.store(0, Ordering::Relaxed);
 }
 
 /// Words per plane for a `k`-deep operand.
@@ -285,6 +396,175 @@ fn pack_strided(
             p1[word] |= (bits >> 1) << bit;
         }
     }
+}
+
+/// `u64` words per packed image-row plane for [`pack_image_int2`]:
+/// enough bits for the `pad + w + pad` padded row, plus one guard word
+/// so the window gather's two-word funnel reads never index past the
+/// row end.
+#[inline]
+pub fn image_row_words(w: usize, pad: usize) -> usize {
+    (w + 2 * pad).div_ceil(64) + 1
+}
+
+/// Quantizes and bit-packs one CHW image **once** into per-`(channel,
+/// row)` bit planes for the direct conv path.
+///
+/// Row `(c, y)` lands at `out[(c*h + y) * 2*rw ..]` as
+/// `[plane0 | plane1]` with `rw = image_row_words(w, pad)`; input
+/// column `ix` sits at bit `pad + ix`, so horizontal padding is the
+/// zero bits at each row edge — code 0, exactly the zeros im2col
+/// materializes. The quantize step is the same arithmetic as
+/// [`act_codes_in_place`] followed by the shared packer's masking
+/// (`clamp(round(v/scale), 0, 3)`, low 2 bits), so the packed codes
+/// equal the im2col route's codes bit for bit.
+pub fn pack_image_int2(
+    img: &[f32],
+    ascale: f32,
+    c: usize,
+    h: usize,
+    w: usize,
+    pad: usize,
+    out: &mut Vec<u64>,
+) {
+    debug_assert_eq!(img.len(), c * h * w);
+    debug_assert!(ascale > 0.0);
+    let rw = image_row_words(w, pad);
+    out.clear();
+    out.resize(c * h * 2 * rw, 0);
+    for (row, dst) in img.chunks_exact(w).zip(out.chunks_exact_mut(2 * rw)) {
+        let (p0, p1) = dst.split_at_mut(rw);
+        for (ix, &v) in row.iter().enumerate() {
+            let code = (v / ascale).round().clamp(0.0, 3.0);
+            let bits = (code as i32 & 3) as u64;
+            let (word, bit) = ((pad + ix) / 64, (pad + ix) % 64);
+            p0[word] |= (bits & 1) << bit;
+            p1[word] |= (bits >> 1) << bit;
+        }
+    }
+}
+
+/// Builds the packed operand for every conv output pixel straight from
+/// a [`pack_image_int2`] image — **bit-for-bit** what
+/// `im2col_into` → [`act_codes_in_place`] → [`pack_acts_cols_int2`]
+/// would produce, without materializing any f32 column.
+///
+/// Per (channel, kernel-row), each window's `k`-bit row segment is
+/// lifted with one two-word funnel shift and OR-ed into its fixed
+/// depth slot `(c*k + ky)*k` of the output item. Kernel rows falling
+/// in vertical padding are skipped — the destination stays zero,
+/// matching the zeros im2col writes — and horizontal padding is
+/// already zero bits in the packed rows. Output layout (items =
+/// `oh*ow` pixels of depth `c*k*k`, `[plane0 | plane1]`, zero tail
+/// bits) is exactly [`pack_acts_cols_int2`]'s.
+///
+/// # Panics
+///
+/// Panics when `geom.kernel` exceeds [`MAX_DIRECT_KERNEL`] or the
+/// window doesn't fit the input.
+pub fn gather_conv_windows_int2(
+    image: &[u64],
+    c: usize,
+    h: usize,
+    w: usize,
+    geom: ConvGeometry,
+    out: &mut Vec<u64>,
+) {
+    let (k, s, pad) = (geom.kernel, geom.stride, geom.padding);
+    assert!(
+        (1..=MAX_DIRECT_KERNEL).contains(&k),
+        "direct conv gather requires 1 <= kernel <= {MAX_DIRECT_KERNEL}, got {k}"
+    );
+    let oh = geom.output_dim(h).expect("window must fit");
+    let ow = geom.output_dim(w).expect("window must fit");
+    let rw = image_row_words(w, pad);
+    debug_assert_eq!(image.len(), c * h * 2 * rw);
+    let kk = c * k * k;
+    let wpp = plane_words(kk);
+    out.clear();
+    out.resize(oh * ow * 2 * wpp, 0);
+    let seg_mask = if k == 64 { !0 } else { (1u64 << k) - 1 };
+    for ci in 0..c {
+        for ky in 0..k {
+            // Depth slot of this (channel, kernel-row)'s first element
+            // in the im2col ordering `(c*k + ky)*k + kx`.
+            let depth = (ci * k + ky) * k;
+            let (d0, ds) = (depth / 64, depth % 64);
+            let spill = ds + k > 64;
+            for oy in 0..oh {
+                let iy = (oy * s + ky) as isize - pad as isize;
+                if iy < 0 || iy >= h as isize {
+                    continue; // vertical padding: all-zero codes
+                }
+                let base = (ci * h + iy as usize) * 2 * rw;
+                let r0 = &image[base..base + rw];
+                let r1 = &image[base + rw..base + 2 * rw];
+                for ox in 0..ow {
+                    // The window row occupies bits [ox*s, ox*s + k) of
+                    // the padded image row.
+                    let b = ox * s;
+                    let (w0, sh) = (b / 64, b % 64);
+                    // Funnel shift across the word pair; `<< 1 <<`
+                    // keeps each shift < 64 when sh == 0 (the upper
+                    // word then contributes nothing).
+                    let seg0 = ((r0[w0] >> sh) | (r0[w0 + 1] << 1 << (63 - sh))) & seg_mask;
+                    let seg1 = ((r1[w0] >> sh) | (r1[w0 + 1] << 1 << (63 - sh))) & seg_mask;
+                    let item = &mut out[(oy * ow + ox) * 2 * wpp..][..2 * wpp];
+                    let (p0, p1) = item.split_at_mut(wpp);
+                    p0[d0] |= seg0 << ds;
+                    p1[d0] |= seg1 << ds;
+                    if spill {
+                        // Segment bits past the word boundary; spill
+                        // implies ds > 0, so `>> 1 >>` again keeps the
+                        // shift in range.
+                        p0[d0 + 1] |= seg0 >> 1 >> (63 - ds);
+                        p1[d0 + 1] |= seg1 >> 1 >> (63 - ds);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Direct int2 convolution of one image: pack once
+/// ([`pack_image_int2`]), gather every window's packed operand
+/// ([`gather_conv_windows_int2`]), then run the regular popcount GEMM
+/// with the fused requantize epilogue. Bit-identical to
+/// im2col → code rounding → [`pack_acts_cols_int2`] → [`gemm_int2`]
+/// because the gathered operand *words* are equal, not merely the
+/// integer sums — and it bumps the same op counters, so the cycle-model
+/// cross-checks hold unchanged. `image_ws`/`cols_ws` are
+/// caller-provided scratch (pooled workspace buffers in the layers) so
+/// steady-state eval stays allocation-free.
+///
+/// # Panics
+///
+/// Panics on shape mismatches, a non-fitting window, or a kernel past
+/// [`MAX_DIRECT_KERNEL`].
+#[allow(clippy::too_many_arguments)]
+pub fn conv_int2_direct(
+    img: &[f32],
+    ascale: f32,
+    c_in: usize,
+    h: usize,
+    w: usize,
+    geom: ConvGeometry,
+    wplanes: &[u64],
+    c_out: usize,
+    cs: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    image_ws: &mut Vec<u64>,
+    cols_ws: &mut Vec<u64>,
+) {
+    let k = geom.kernel;
+    let oh = geom.output_dim(h).expect("window must fit");
+    let ow = geom.output_dim(w).expect("window must fit");
+    let kk = c_in * k * k;
+    DIRECT_CONV_CALLS.fetch_add(1, Ordering::Relaxed);
+    pack_image_int2(img, ascale, c_in, h, w, geom.padding, image_ws);
+    gather_conv_windows_int2(image_ws, c_in, h, w, geom, cols_ws);
+    gemm_int2(c_out, kk, oh * ow, wplanes, cols_ws, cs, bias, out, OutMajor::Row);
 }
 
 /// Rounds a quantized activation slice to its integer codes in place:
@@ -649,6 +929,110 @@ mod tests {
         let (mac1, pc1) = op_counters();
         assert_eq!(mac1 - mac0, (m * n * k) as u64);
         assert_eq!(pc1 - pc0, (m * n * 4 * plane_words(k)) as u64);
+    }
+
+    /// The gathered window operands must equal the im2col+pack route's
+    /// words exactly, across stride/padding/kernel combinations
+    /// (including all-padding windows and depth-slot word spills).
+    #[test]
+    fn gathered_windows_equal_im2col_packed_columns() {
+        use crate::conv::{im2col_into, ConvGeometry};
+        let ascale = 2.0f32 / 3.0;
+        for &(c, h, w, k, s, p) in &[
+            (1usize, 5usize, 5usize, 3usize, 1usize, 0usize),
+            (3, 8, 6, 3, 1, 1),
+            (2, 7, 7, 3, 2, 1),
+            (4, 9, 9, 5, 1, 2),  // kk = 100 > 64: spill into word 1
+            (8, 6, 6, 3, 1, 1),  // kk = 72: depth slots straddle bit 64
+            (1, 1, 1, 1, 1, 2),  // all-padding windows around a 1×1 input
+            (2, 4, 4, 4, 3, 3),  // pad ≥ kernel-1 rows fully in padding
+            (1, 70, 70, 3, 1, 0), // rows wider than one word
+        ] {
+            let geom = ConvGeometry::new(k).with_stride(s).with_padding(p);
+            let (oh, ow) = (
+                geom.output_dim(h).expect("fits"),
+                geom.output_dim(w).expect("fits"),
+            );
+            let acodes = codes((c * h * w) as u64 + 7, c * h * w, 0, 3);
+            let vals: Vec<f32> = acodes.iter().map(|&a| a * ascale).collect();
+            // Reference route: im2col over values, code rounding, pack.
+            let kk = c * k * k;
+            let mut cols = Vec::new();
+            im2col_into(&vals, c, h, w, geom, &mut cols);
+            act_codes_in_place(&mut cols, ascale);
+            let mut want = Vec::new();
+            pack_acts_cols_int2(&cols, oh * ow, kk, &mut want);
+            // Direct route: pack the image once, gather windows.
+            let (mut image, mut got) = (Vec::new(), Vec::new());
+            pack_image_int2(&vals, ascale, c, h, w, p, &mut image);
+            gather_conv_windows_int2(&image, c, h, w, geom, &mut got);
+            assert_eq!(got, want, "c={c} h={h} w={w} k={k} s={s} p={p}");
+        }
+    }
+
+    #[test]
+    fn direct_conv_matches_gemm_over_im2col_and_counts_calls() {
+        use crate::conv::{im2col_into, ConvGeometry};
+        let (c_in, h, w, c_out) = (3, 8, 8, 5);
+        let geom = ConvGeometry::new(3).with_padding(1);
+        let kk = c_in * 9;
+        let (oh, ow) = (8, 8);
+        let ascale = 0.37f32;
+        let acodes = codes(11, c_in * h * w, 0, 3);
+        let vals: Vec<f32> = acodes.iter().map(|&a| a * ascale).collect();
+        let wcodes = codes(12, c_out * kk, -2, 1);
+        let mut wplanes = Vec::new();
+        pack_weights_int2(&wcodes, c_out, kk, &mut wplanes);
+        let cs: Vec<f32> = (0..c_out).map(|i| 0.1 + i as f32 * 0.05).collect();
+        let bias: Vec<f32> = (0..c_out).map(|i| i as f32 * 0.25 - 0.5).collect();
+
+        let mut want = vec![0.0; c_out * oh * ow];
+        let mut cols = Vec::new();
+        im2col_into(&vals, c_in, h, w, geom, &mut cols);
+        act_codes_in_place(&mut cols, ascale);
+        let mut packed = Vec::new();
+        pack_acts_cols_int2(&cols, oh * ow, kk, &mut packed);
+        gemm_int2(c_out, kk, oh * ow, &wplanes, &packed, &cs, &bias, &mut want, OutMajor::Row);
+
+        let calls0 = direct_conv_calls();
+        let (mac0, pc0) = op_counters();
+        let mut got = vec![0.0; c_out * oh * ow];
+        let (mut img_ws, mut cols_ws) = (Vec::new(), Vec::new());
+        conv_int2_direct(
+            &vals, ascale, c_in, h, w, geom, &wplanes, c_out, &cs, &bias, &mut got, &mut img_ws,
+            &mut cols_ws,
+        );
+        let (mac1, pc1) = op_counters();
+        assert_eq!(direct_conv_calls() - calls0, 1);
+        // Same GEMM shape ⇒ same counter deltas as the im2col route.
+        assert_eq!(mac1 - mac0, (c_out * oh * ow * kk) as u64);
+        assert_eq!(pc1 - pc0, (c_out * oh * ow * 4 * plane_words(kk)) as u64);
+        let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+        let got_bits: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got_bits, want_bits);
+    }
+
+    /// Pins the once-per-image profitability crossovers: the direct
+    /// path divides the per-column packing tax by k² (floored at
+    /// `ENGINE_MIN_ITEMS_DIRECT`); 1×1 kernels and direct-off fall back
+    /// to the per-column `ENGINE_MIN_ITEMS` threshold.
+    #[test]
+    fn conv_profitability_crossover_models_once_per_image_packing() {
+        override_direct_enabled(Some(true));
+        assert!(!conv_engine_profitable(4, 3));
+        assert!(conv_engine_profitable(8, 3)); // CNV widths 8+ now route
+        assert!(!conv_engine_profitable(7, 5));
+        assert!(conv_engine_profitable(8, 5));
+        assert!(!conv_engine_profitable(31, 1)); // 1×1: no window reuse
+        assert!(conv_engine_profitable(32, 1));
+        assert!(conv_engine_profitable(8, MAX_DIRECT_KERNEL));
+        // Past the direct kernel bound the per-column model applies.
+        assert!(!conv_engine_profitable(8, MAX_DIRECT_KERNEL + 1));
+        assert!(conv_engine_profitable(32, MAX_DIRECT_KERNEL + 1));
+        override_direct_enabled(Some(false));
+        assert!(!conv_engine_profitable(8, 3));
+        assert!(conv_engine_profitable(32, 3));
+        override_direct_enabled(None);
     }
 
     #[test]

@@ -66,6 +66,10 @@ pub struct Workspace {
     pub scratch2: Vec<f32>,
     /// Bit-plane word buffer for the int2 engine's packed activations.
     pub bits: Vec<u64>,
+    /// Bit-plane word buffer for the direct conv path's once-packed
+    /// image rows (`pack_image_int2`); `bits` then holds the gathered
+    /// window operands.
+    pub img_bits: Vec<u64>,
 }
 
 /// Runs `f` with a pooled [`Workspace`], returning the workspace (and

@@ -10,6 +10,7 @@
 //! code with a set high plane and a clear low plane). CI re-runs this
 //! suite under `ADAPEX_NO_INT2=1` and `ADAPEX_NO_SIMD=1`.
 
+use adapex_tensor::conv::{im2col_into, ConvGeometry};
 use adapex_tensor::int2::{self, portable, Backend, OutMajor};
 use proptest::prelude::*;
 
@@ -154,6 +155,66 @@ proptest! {
         int2::pack_acts_cols_int2(cols, items, k, &mut pc);
         int2::pack_acts_int2(&rows, items, k, &mut pr);
         prop_assert_eq!(pc, pr);
+    }
+
+    /// Direct conv vs the im2col route, operand words **and** output
+    /// bits, across stride/padding/kernel/channel combinations: the
+    /// once-packed image + window gather must reproduce the packed
+    /// im2col columns exactly (remainder depths whenever `c*k*k % 64 ≠
+    /// 0`; `pad ≥ k-1` reaches windows made entirely of padding; the
+    /// zero-flooded codes exercise empty planes).
+    #[test]
+    fn direct_conv_bit_identity_with_im2col_route(
+        c in 1usize..5,
+        h in 1usize..10,
+        w in 1usize..10,
+        kernel in 1usize..6,
+        stride in 1usize..4,
+        pad in 0usize..4,
+        c_out in 1usize..5,
+        a0 in acodes(4 * 9 * 9),
+        w0 in wcodes(4 * 4 * 5 * 5 * 5), // c_out * c * kernel² upper bound
+    ) {
+        let geom = ConvGeometry::new(kernel).with_stride(stride).with_padding(pad);
+        // Skip non-fitting windows rather than constraining the strategy.
+        let (Some(oh), Some(ow)) = (geom.output_dim(h), geom.output_dim(w)) else {
+            return Ok(());
+        };
+        let kk = c * kernel * kernel;
+        let ascale = 2.0f32 / 3.0;
+        let acodes_img = &a0[..c * h * w];
+        let vals: Vec<f32> = acodes_img.iter().map(|&a| a * ascale).collect();
+
+        // Reference route: f32 im2col, code rounding, column pack.
+        let mut cols = Vec::new();
+        im2col_into(&vals, c, h, w, geom, &mut cols);
+        int2::act_codes_in_place(&mut cols, ascale);
+        let mut want_packed = Vec::new();
+        int2::pack_acts_cols_int2(&cols, oh * ow, kk, &mut want_packed);
+
+        // Direct route: pack once, gather windows. Operand words equal.
+        let (mut image, mut got_packed) = (Vec::new(), Vec::new());
+        int2::pack_image_int2(&vals, ascale, c, h, w, pad, &mut image);
+        int2::gather_conv_windows_int2(&image, c, h, w, geom, &mut got_packed);
+        prop_assert_eq!(&got_packed, &want_packed, "gathered operand words diverge");
+
+        // Full conv outputs bit-identical through the shared GEMM.
+        let wc = &w0[..c_out * kk];
+        let mut wplanes = Vec::new();
+        int2::pack_weights_int2(wc, c_out, kk, &mut wplanes);
+        let cs: Vec<f32> = (0..c_out).map(|i| 0.021 + i as f32 * 0.13).collect();
+        let bias: Vec<f32> = (0..c_out).map(|i| i as f32 * 0.3 - 0.8).collect();
+        let mut want = vec![0.0f32; c_out * oh * ow];
+        int2::gemm_int2(
+            c_out, kk, oh * ow, &wplanes, &want_packed, &cs, &bias, &mut want, OutMajor::Row,
+        );
+        let mut got = vec![0.0f32; c_out * oh * ow];
+        let (mut img_ws, mut cols_ws) = (Vec::new(), Vec::new());
+        int2::conv_int2_direct(
+            &vals, ascale, c, h, w, geom, &wplanes, c_out, &cs, &bias, &mut got,
+            &mut img_ws, &mut cols_ws,
+        );
+        prop_assert_eq!(bits(&got), bits(&want), "direct conv output diverges");
     }
 }
 
