@@ -16,12 +16,18 @@
 //! the unmitigated baseline is measurably worse. The bin exits non-zero
 //! when either bound fails, so CI catches resilience regressions.
 //!
+//! A second three-arm section replays the committed
+//! `adversarial-flash-faults` scenario (a 2× flash crowd layered on the
+//! canned plan, from `tests/golden/scenarios/`) through the trace-driven
+//! workload path, under the same two gates.
+//!
 //! Run with `cargo run --release -p adapex-bench --bin bench-faults`.
 
 use adapex::library::{Library, LibraryEntry, OperatingPoint};
 use adapex::runtime::{MitigationConfig, RuntimeManager, SelectionPolicy};
 use adapex_edge::{
-    mean_of, EdgeSimulation, FaultPlan, Scenario, SimConfig, SimResult, WorkloadConfig,
+    builtin_scenario, mean_of, EdgeSimulation, FaultPlan, Scenario, SimConfig, SimResult,
+    WorkloadConfig,
 };
 use adapex_tensor::parallel::num_threads;
 use serde::Serialize;
@@ -135,6 +141,18 @@ struct Report {
     qoe_retention: f64,
     /// mitigated QoE − unmitigated QoE under the same faults (gate: > 0).
     mitigation_gain: f64,
+    /// Same three arms and gates on the committed adversarial scenario
+    /// (flash crowd + canned faults via the workload-spec path).
+    adversarial: Section,
+}
+
+#[derive(Debug, Serialize)]
+struct Section {
+    scenario: String,
+    seed: u64,
+    arms: Vec<Arm>,
+    qoe_retention: f64,
+    mitigation_gain: f64,
 }
 
 fn main() {
@@ -158,6 +176,37 @@ fn main() {
     ];
     let qoe_retention = arms[1].qoe / arms[0].qoe;
     let mitigation_gain = arms[1].qoe - arms[2].qoe;
+
+    // Adversarial section: the committed flash-crowd+faults scenario,
+    // replayed through the trace-driven workload path at its own seed.
+    let adv = builtin_scenario("adversarial-flash-faults").expect("shipped scenario");
+    let adv_sim = EdgeSimulation::new(adv.sim_config(145.0));
+    let adv_run = |mitigation: MitigationConfig, plan: &FaultPlan| {
+        adv_sim.run_many_workload_jobs_with_faults(
+            &manager(mitigation),
+            &adv.workload,
+            REPS,
+            adv.seed,
+            jobs,
+            plan,
+        )
+    };
+    let adv_free = adv_run(MitigationConfig::recommended(), &FaultPlan::none());
+    let adv_mitigated = adv_run(MitigationConfig::recommended(), &adv.faults);
+    let adv_unmitigated = adv_run(MitigationConfig::off(), &adv.faults);
+    let adv_arms = vec![
+        arm("fault-free", true, false, &adv_free),
+        arm("faults+mitigation", true, true, &adv_mitigated),
+        arm("faults-no-mitigation", false, true, &adv_unmitigated),
+    ];
+    let adversarial = Section {
+        scenario: adv.name.clone(),
+        seed: adv.seed,
+        qoe_retention: adv_arms[1].qoe / adv_arms[0].qoe,
+        mitigation_gain: adv_arms[1].qoe - adv_arms[2].qoe,
+        arms: adv_arms,
+    };
+
     let report = Report {
         schema_version: adapex_bench::BENCH_SCHEMA_VERSION,
         scenario: "burst",
@@ -168,6 +217,7 @@ fn main() {
         arms,
         qoe_retention,
         mitigation_gain,
+        adversarial,
     };
 
     let json = serde_json::to_string_pretty(&report).expect("serialize");
@@ -183,6 +233,17 @@ fn main() {
         "QoE retention {:.3} (gate >= 0.90), mitigation gain {:+.4} (gate > 0)",
         report.qoe_retention, report.mitigation_gain
     );
+    for a in &report.adversarial.arms {
+        println!(
+            "adversarial {:<22} QoE {:.3}  loss {:>5.2}%  acc {:.3}  reconfigs/run {:.1}",
+            a.name, a.qoe, a.inference_loss_pct, a.mean_accuracy, a.reconfigs_per_run,
+        );
+    }
+    println!(
+        "adversarial ({}) QoE retention {:.3} (gate >= 0.90), mitigation gain {:+.4} (gate > 0)",
+        report.adversarial.scenario, report.adversarial.qoe_retention,
+        report.adversarial.mitigation_gain
+    );
     println!("wrote BENCH_faults.json");
 
     assert!(
@@ -194,5 +255,15 @@ fn main() {
         report.mitigation_gain > 0.0,
         "mitigation did not beat the unmitigated baseline: {:+.4}",
         report.mitigation_gain
+    );
+    assert!(
+        report.adversarial.qoe_retention >= 0.90,
+        "mitigated QoE on the adversarial scenario fell below 90 % of fault-free: {:.3}",
+        report.adversarial.qoe_retention
+    );
+    assert!(
+        report.adversarial.mitigation_gain > 0.0,
+        "mitigation did not beat the unmitigated baseline on the adversarial scenario: {:+.4}",
+        report.adversarial.mitigation_gain
     );
 }

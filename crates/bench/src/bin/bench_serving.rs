@@ -16,7 +16,11 @@
 //!    [`PointServiceModel`] and millions of generated arrivals run
 //!    through [`ServeSim`] under steady / burst / diurnal-ramp
 //!    patterns, giving deterministic per-SLO-class latency
-//!    distributions at scales the real tier cannot reach.
+//!    distributions at scales the real tier cannot reach. A fourth,
+//!    trace-driven leg replays the committed adversarial scenario's
+//!    flash-crowd workload shape (from `tests/golden/scenarios/`)
+//!    normalized to the gated load, and checks exit-aware admission
+//!    never trails FIFO on it.
 //!
 //! Gates (asserted):
 //! - real-tier sustained throughput ≥ 2× the batch=1 baseline (with
@@ -36,9 +40,10 @@
 //! Run with `cargo run --release -p adapex-bench --bin bench-serving`.
 
 use adapex::serve::{
-    generate_arrivals, AdmissionPolicy, ArrivalPattern, PointServiceModel, ServeConfig,
+    generate_arrivals, AdmissionPolicy, Arrival, ArrivalPattern, PointServiceModel, ServeConfig,
     ServeReport, ServeSim,
 };
+use adapex_edge::builtin_scenario;
 use adapex_nn::cnv::{CnvConfig, ExitsConfig};
 use adapex_nn::network::EarlyExitNetwork;
 use adapex_nn::serve::{BatchExecutor, BatchVerdicts, EnginePlan, ExecutorConfig};
@@ -213,6 +218,11 @@ struct ServingBenchReport {
     fifo_goodput_rps: f64,
     exit_aware_goodput_rps: f64,
     admission_gain: f64,
+    /// Trace-driven leg: the committed adversarial scenario's workload
+    /// shape at gated load (gate: exit-aware goodput ≥ FIFO goodput).
+    scenario: String,
+    scenario_goodput_rps: f64,
+    scenario_fifo_goodput_rps: f64,
 }
 
 fn pattern_report(pattern: &str, rate_rps: f64, requests: usize, r: &ServeReport) -> PatternReport {
@@ -366,6 +376,60 @@ fn main() {
         patterns.push(pr);
     }
 
+    // --- Trace-driven leg: the committed adversarial scenario. ------
+    // The flash-crowd trace (tests/golden/scenarios/) is normalized to
+    // its mean rate and re-scaled to the gated load, so the serving
+    // tier sees the same *shape* the edge simulator replays: piecewise-
+    // steady arrivals per trace period, peaking at ~1.8x the mean.
+    let adv = builtin_scenario("adversarial-flash-faults").expect("shipped scenario");
+    let trace = adv.workload.generate(adv.seed);
+    let mean_rate = trace.rates.iter().sum::<f64>() / trace.rates.len().max(1) as f64;
+    let period_s = trace.config.deviation_period_s;
+    let period_us = (period_s * 1e6) as u64;
+    let mut scenario_arrivals: Vec<Arrival> = Vec::new();
+    for (p, &r) in trace.rates.iter().enumerate() {
+        let scaled = gated_rps * r / mean_rate;
+        let offset = p as u64 * period_us;
+        for mut a in generate_arrivals(
+            ArrivalPattern::Steady,
+            scaled,
+            period_s,
+            &class_weights,
+            SEED ^ 0xADE ^ p as u64,
+        ) {
+            a.at_us += offset;
+            scenario_arrivals.push(a);
+        }
+    }
+    let scenario_report = ServeSim::run(config.clone(), &model, &scenario_arrivals);
+    virtual_total += scenario_report.offered;
+    assert!(
+        scenario_report.conservation_holds(),
+        "scenario leg: requests must balance"
+    );
+    let mut fifo_scn_cfg = config.clone();
+    fifo_scn_cfg.admission = AdmissionPolicy::Fifo;
+    let scenario_fifo = ServeSim::run(fifo_scn_cfg, &model, &scenario_arrivals);
+    let scenario_goodput = scenario_report.goodput_rps().unwrap_or(0.0);
+    let scenario_fifo_goodput = scenario_fifo.goodput_rps().unwrap_or(0.0);
+    eprintln!(
+        "scenario {} at gated load: {} arrivals, goodput {scenario_goodput:.0} rps \
+         (fifo {scenario_fifo_goodput:.0})",
+        adv.name,
+        scenario_arrivals.len()
+    );
+    let mut pr = pattern_report(
+        "scenario-adversarial",
+        gated_rps,
+        scenario_arrivals.len(),
+        &scenario_report,
+    );
+    for (c, cr) in pr.classes.iter_mut().enumerate() {
+        cr.name = config.classes[c].name.clone();
+        cr.budget_us = config.classes[c].budget_us;
+    }
+    patterns.push(pr);
+
     // --- Admission policies under burst overload. -------------------
     let overload_arrivals = generate_arrivals(
         ArrivalPattern::Burst { burst_x: 3.0 },
@@ -414,6 +478,9 @@ fn main() {
         fifo_goodput_rps: fifo_goodput,
         exit_aware_goodput_rps: aware_goodput,
         admission_gain,
+        scenario: adv.name.clone(),
+        scenario_goodput_rps: scenario_goodput,
+        scenario_fifo_goodput_rps: scenario_fifo_goodput,
     };
 
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
@@ -431,5 +498,10 @@ fn main() {
         aware_goodput > fifo_goodput,
         "exit-aware admission must beat FIFO goodput under overload \
          ({aware_goodput:.0} vs {fifo_goodput:.0})"
+    );
+    assert!(
+        scenario_goodput >= scenario_fifo_goodput,
+        "exit-aware admission must not trail FIFO on the adversarial scenario \
+         ({scenario_goodput:.0} vs {scenario_fifo_goodput:.0})"
     );
 }

@@ -15,8 +15,8 @@ use adapex::generator::{Artifacts, GeneratorConfig, LibraryGenerator};
 use adapex::runtime::{MitigationConfig, RuntimeManager};
 use adapex_dataset::DatasetKind;
 use adapex_edge::{
-    mean_of, EdgeSimulation, FaultPlan, Fleet, FleetConfig, PlacementPolicy, Scenario, SimConfig,
-    SimResult, WorkloadConfig,
+    mean_of, EdgeSimulation, FaultPlan, Fleet, FleetConfig, FleetOverrides, PlacementPolicy,
+    Scenario, ScenarioFile, SimConfig, SimResult, WorkloadConfig, WorkloadSpec,
 };
 use adapex_tensor::parallel::num_threads;
 use args::Args;
@@ -67,7 +67,8 @@ USAGE:
   adapex-cli report   --artifacts FILE [--out FILE.md]
   adapex-cli simulate --artifacts FILE [--system adapex|pr-only|ct-only|finn|all]
                       [--reps N] [--ips-per-camera F] [--seed N]
-                      [--scenario steady|ramp-up|burst|diurnal]
+                      [--scenario steady|ramp-up|burst|diurnal|SCENARIO.json]
+                      [--workload WORKLOAD.json]
                       [--faults PLAN.json] [--no-mitigation]
                       [--servers N] [--cameras N] [--jobs N]
                       (--faults replays a deterministic fault plan —
@@ -76,12 +77,19 @@ USAGE:
                        $ADAPEX_FAULT_PLAN when set. Mitigation —
                        hysteresis, cooldown, retry backoff — is enabled
                        with faults unless --no-mitigation.
-                       --servers N > 1 simulates a fleet of N edge
-                       servers with --cameras streams each, sharded over
-                       --jobs cores; 0 = auto. Results are byte-identical
-                       for any --jobs.)
+                       --scenario also accepts a scenario *file* (see
+                       tests/golden/scenarios/) bundling a workload
+                       spec, fault plan, seed, and sim/fleet/serve
+                       overrides; --workload takes a bare workload-spec
+                       JSON. Explicit flags (--seed, --faults,
+                       --cameras, --ips-per-camera, --servers) override
+                       the file. --servers N > 1 simulates a fleet of N
+                       edge servers with --cameras streams each, sharded
+                       over --jobs cores; 0 = auto. Results are
+                       byte-identical for any --jobs.)
   adapex-cli trace    --artifacts FILE [--seed N] [--ips-per-camera F]
-                      [--scenario steady|ramp-up|burst|diurnal]
+                      [--scenario steady|ramp-up|burst|diurnal|SCENARIO.json]
+                      [--workload WORKLOAD.json]
                       [--faults PLAN.json] [--no-mitigation]
                       [--servers N] [--cameras N] [--jobs N]
                       (--servers N > 1 prints one row per server instead
@@ -90,6 +98,7 @@ USAGE:
                       [--batch-deadline-us N] [--workers N] [--fifo]
                       [--pattern steady|burst|ramp] [--rate F]
                       [--duration S] [--seed N] [--faults PLAN.json]
+                      [--scenario SCENARIO.json] [--workload WORKLOAD.json]
                       (SPEC is `name:budget_us:priority[:capacity],...`,
                        default `gold:20000:2:64,best-effort:100000:1:256`.
                        Without --artifacts, a synthetic service model
@@ -99,8 +108,11 @@ USAGE:
                        on the event simulator: monitor decisions retune
                        the confidence threshold or reconfigure the FPGA
                        mid-serve, and --faults composes camera dropouts
-                       and reconfig aborts into the run. --fifo swaps
-                       the early-exit-aware admission for plain FIFO.)
+                       and reconfig aborts into the run. --scenario and
+                       --workload files (with --artifacts) replace the
+                       synthetic camera workload with a trace-driven
+                       one. --fifo swaps the early-exit-aware admission
+                       for plain FIFO.)
   adapex-cli synth    [--width N] [--rate F] [--prune-exits] [--classes N]
                       [--target-cycles N]";
 
@@ -241,24 +253,6 @@ fn jobs_of(args: &Args) -> Result<usize, Box<dyn Error>> {
     })
 }
 
-/// Builds the fleet for `--servers N` (N > 1): each server gets the
-/// `--cameras` stream count and the shared simulation template.
-fn fleet_of(args: &Args, sim: SimConfig, servers: usize) -> Result<Fleet, Box<dyn Error>> {
-    if args.get("scenario").is_some() {
-        return Err("--scenario applies to single-server runs; fleets draw \
-                    per-camera workloads from the seed"
-            .into());
-    }
-    let cameras_per_server = sim.workload.cameras;
-    Ok(Fleet::new(FleetConfig {
-        servers,
-        cameras_per_server,
-        camera_spread: 0.2,
-        placement: PlacementPolicy::LeastLoaded,
-        sim,
-    }))
-}
-
 /// Resolves the fault plan: `--faults FILE` wins, then
 /// `$ADAPEX_FAULT_PLAN`, then the empty (no-fault) plan.
 fn fault_plan(args: &Args) -> Result<FaultPlan, Box<dyn Error>> {
@@ -268,14 +262,166 @@ fn fault_plan(args: &Args) -> Result<FaultPlan, Box<dyn Error>> {
     }
 }
 
-/// Parses `--scenario`, if given.
-fn scenario_of(args: &Args) -> Result<Option<Scenario>, Box<dyn Error>> {
-    match args.get("scenario") {
-        None => Ok(None),
-        Some(id) => Scenario::from_id(id)
-            .map(Some)
-            .ok_or_else(|| format!("unknown scenario `{id}` (steady|ramp-up|burst|diurnal)").into()),
+/// What `--scenario VALUE` named: one of the built-in shaped traces, or
+/// a scenario *file* bundling workload + faults + overrides.
+enum ScenarioArg {
+    Shaped(Scenario),
+    File(Box<ScenarioFile>),
+}
+
+/// Parses `--scenario`, if given. Shaped ids win; anything else is
+/// loaded as a scenario file.
+fn scenario_arg(args: &Args) -> Result<Option<ScenarioArg>, Box<dyn Error>> {
+    let Some(value) = args.get("scenario") else {
+        return Ok(None);
+    };
+    if let Some(shaped) = Scenario::from_id(value) {
+        return Ok(Some(ScenarioArg::Shaped(shaped)));
     }
+    if std::path::Path::new(value).is_file() {
+        return Ok(Some(ScenarioArg::File(Box::new(ScenarioFile::load_json(
+            value,
+        )?))));
+    }
+    Err(format!(
+        "unknown scenario `{value}`: not a shaped id (steady|ramp-up|burst|diurnal) \
+         and no such file"
+    )
+    .into())
+}
+
+/// Parses `--workload FILE` (a bare workload-spec JSON), if given.
+fn workload_arg(args: &Args) -> Result<Option<WorkloadSpec>, Box<dyn Error>> {
+    match args.get("workload") {
+        Some(path) => Ok(Some(WorkloadSpec::load_json(path)?)),
+        None => Ok(None),
+    }
+}
+
+/// Applies `--ips-per-camera` / `--cameras` only when given, so file
+/// scenarios keep their own workload shape under the default flags.
+fn apply_workload_flags(args: &Args, workload: &mut WorkloadConfig) -> Result<(), Box<dyn Error>> {
+    if let Some(v) = args.get("ips-per-camera") {
+        workload.ips_per_camera = v.parse()?;
+    }
+    if let Some(v) = args.get("cameras") {
+        workload.cameras = v.parse()?;
+    }
+    Ok(())
+}
+
+/// Where the arrival process for `simulate`/`trace` comes from.
+enum WorkloadSource {
+    /// The paper's built-in ±deviation synthetic generator.
+    Synthetic,
+    /// A built-in shaped trace (`--scenario steady|ramp-up|...`).
+    Shaped(Scenario),
+    /// A workload spec from `--workload FILE` or a scenario file.
+    Spec(WorkloadSpec),
+}
+
+/// Everything `simulate`/`trace` need, resolved from flags plus an
+/// optional scenario file. Explicit flags always win over the file.
+struct RunSetup {
+    sim: SimConfig,
+    source: WorkloadSource,
+    plan: FaultPlan,
+    seed: u64,
+    jobs: usize,
+    servers: usize,
+    fleet: Option<FleetOverrides>,
+    banner: Option<String>,
+}
+
+fn resolve_run(
+    args: &Args,
+    reconfig_ms: f64,
+    default_seed: u64,
+) -> Result<RunSetup, Box<dyn Error>> {
+    let scenario = scenario_arg(args)?;
+    let workload = workload_arg(args)?;
+    if scenario.is_some() && workload.is_some() {
+        return Err(
+            "--scenario and --workload are mutually exclusive (a scenario file \
+             carries its own workload)"
+                .into(),
+        );
+    }
+    let jobs = jobs_of(args)?;
+    if let Some(ScenarioArg::File(file)) = &scenario {
+        let mut sim = file.sim_config(reconfig_ms);
+        if let Some(f) = &file.fleet {
+            sim.workload.cameras = f.cameras_per_server;
+        }
+        apply_workload_flags(args, &mut sim.workload)?;
+        let spec = file.workload.with_config(sim.workload);
+        let plan = match args.get("faults") {
+            Some(path) => FaultPlan::load_json(path)?,
+            None => file.faults.clone(),
+        };
+        let servers = args.get_or("servers", file.fleet.map_or(1, |f| f.servers))?;
+        return Ok(RunSetup {
+            banner: Some(format!(
+                "scenario {} (seed {}): {}",
+                file.name, file.seed, file.description
+            )),
+            sim,
+            source: WorkloadSource::Spec(spec),
+            plan,
+            seed: args.get_or("seed", file.seed)?,
+            jobs,
+            servers,
+            fleet: file.fleet,
+        });
+    }
+    let sim = match &workload {
+        Some(spec) => {
+            let mut sim = SimConfig::paper_default(reconfig_ms);
+            sim.workload = *spec.config();
+            apply_workload_flags(args, &mut sim.workload)?;
+            sim
+        }
+        None => sim_config(args, reconfig_ms)?,
+    };
+    let source = match (scenario, workload) {
+        (Some(ScenarioArg::Shaped(s)), None) => WorkloadSource::Shaped(s),
+        (None, Some(spec)) => WorkloadSource::Spec(spec.with_config(sim.workload)),
+        (None, None) => WorkloadSource::Synthetic,
+        _ => unreachable!("file and exclusivity cases handled above"),
+    };
+    Ok(RunSetup {
+        banner: None,
+        sim,
+        source,
+        plan: fault_plan(args)?,
+        seed: args.get_or("seed", default_seed)?,
+        jobs,
+        servers: args.get_or("servers", 1usize)?,
+        fleet: None,
+    })
+}
+
+/// Builds the fleet for `--servers N` (N > 1): each server gets the
+/// resolved per-server stream count and the shared simulation template.
+fn fleet_for(run: &RunSetup) -> Result<Fleet, Box<dyn Error>> {
+    if matches!(run.source, WorkloadSource::Shaped(_)) {
+        return Err("--scenario applies to single-server runs; fleets draw \
+                    per-camera workloads from the seed (use a scenario file \
+                    for fleet workloads)"
+            .into());
+    }
+    let (camera_spread, placement) = run
+        .fleet
+        .map_or((0.2, PlacementPolicy::LeastLoaded), |f| {
+            (f.camera_spread, f.placement)
+        });
+    Ok(Fleet::new(FleetConfig {
+        servers: run.servers,
+        cameras_per_server: run.sim.workload.cameras,
+        camera_spread,
+        placement,
+        sim: run.sim.clone(),
+    }))
 }
 
 /// Enables graceful-degradation mitigation when a fault plan is active,
@@ -301,18 +447,31 @@ fn print_fault_summary(results: &[SimResult]) {
     );
 }
 
+/// Runs one fleet sweep honoring the resolved workload source.
+fn run_fleet(
+    fleet: &Fleet,
+    manager: &RuntimeManager,
+    run: &RunSetup,
+) -> adapex_edge::FleetResult {
+    match &run.source {
+        WorkloadSource::Spec(spec) => {
+            fleet.run_jobs_with_workload(manager, spec, run.seed, run.jobs, &run.plan)
+        }
+        _ => fleet.run_jobs_with_faults(manager, run.seed, run.jobs, &run.plan),
+    }
+}
+
 fn cmd_simulate(args: &Args) -> Result<(), Box<dyn Error>> {
     let artifacts = Artifacts::load_json(args.require("artifacts")?)?;
     let reps = args.get_or("reps", 20usize)?;
-    let seed = args.get_or("seed", 0xDA7Eu64)?;
-    let servers = args.get_or("servers", 1usize)?;
-    let jobs = jobs_of(args)?;
-    let plan = fault_plan(args)?;
-    if servers > 1 {
-        return simulate_fleet(args, &artifacts, servers, seed, jobs, &plan);
+    let run = resolve_run(args, artifacts.reconfig_time_ms, 0xDA7E)?;
+    if let Some(banner) = &run.banner {
+        println!("{banner}");
     }
-    let scenario = scenario_of(args)?;
-    let sim = EdgeSimulation::new(sim_config(args, artifacts.reconfig_time_ms)?);
+    if run.servers > 1 {
+        return simulate_fleet(args, &artifacts, &run);
+    }
+    let sim = EdgeSimulation::new(run.sim.clone());
     println!(
         "{:>8} {:>9} {:>8} {:>8} {:>9} {:>9} {:>9}",
         "System", "Loss[%]", "Acc[%]", "QoE[%]", "Power[W]", "Lat[ms]", "Reconfigs"
@@ -320,13 +479,20 @@ fn cmd_simulate(args: &Args) -> Result<(), Box<dyn Error>> {
     let mut all_results = Vec::new();
     for system in systems_of(args.get_or("system", "all".to_string())?.as_str())? {
         let mut manager = manager_for(system, &artifacts, 0.10);
-        apply_mitigation(&mut manager, &plan, args);
-        let results = match scenario {
-            Some(s) => {
+        apply_mitigation(&mut manager, &run.plan, args);
+        let results = match &run.source {
+            WorkloadSource::Shaped(s) => {
                 let trace = s.trace(sim.config().workload);
-                sim.run_many_shaped_jobs_with_faults(&manager, &trace, reps, seed, jobs, &plan)
+                sim.run_many_shaped_jobs_with_faults(
+                    &manager, &trace, reps, run.seed, run.jobs, &run.plan,
+                )
             }
-            None => sim.run_many_jobs_with_faults(&manager, reps, seed, jobs, &plan),
+            WorkloadSource::Spec(spec) => sim.run_many_workload_jobs_with_faults(
+                &manager, spec, reps, run.seed, run.jobs, &run.plan,
+            ),
+            WorkloadSource::Synthetic => {
+                sim.run_many_jobs_with_faults(&manager, reps, run.seed, run.jobs, &run.plan)
+            }
         };
         println!(
             "{:>8} {:>9.2} {:>8.1} {:>8.1} {:>9.2} {:>9.2} {:>9.1}",
@@ -340,7 +506,7 @@ fn cmd_simulate(args: &Args) -> Result<(), Box<dyn Error>> {
         );
         all_results.extend(results);
     }
-    if !plan.is_none() {
+    if !run.plan.is_none() {
         print_fault_summary(&all_results);
     }
     Ok(())
@@ -348,21 +514,14 @@ fn cmd_simulate(args: &Args) -> Result<(), Box<dyn Error>> {
 
 /// Fleet-mode `simulate`: one row per system with fleet-level
 /// aggregates over `servers × cameras` streams.
-fn simulate_fleet(
-    args: &Args,
-    artifacts: &Artifacts,
-    servers: usize,
-    seed: u64,
-    jobs: usize,
-    plan: &FaultPlan,
-) -> Result<(), Box<dyn Error>> {
-    let fleet = fleet_of(args, sim_config(args, artifacts.reconfig_time_ms)?, servers)?;
+fn simulate_fleet(args: &Args, artifacts: &Artifacts, run: &RunSetup) -> Result<(), Box<dyn Error>> {
+    let fleet = fleet_for(run)?;
     println!(
         "fleet: {} servers x {} cameras = {} streams, {} jobs",
-        servers,
+        run.servers,
         fleet.config().cameras_per_server,
         fleet.config().streams(),
-        jobs
+        run.jobs
     );
     println!(
         "{:>8} {:>9} {:>8} {:>8} {:>9} {:>10} {:>9}",
@@ -370,8 +529,8 @@ fn simulate_fleet(
     );
     for system in systems_of(args.get_or("system", "all".to_string())?.as_str())? {
         let mut manager = manager_for(system, artifacts, 0.10);
-        apply_mitigation(&mut manager, plan, args);
-        let result = fleet.run_jobs_with_faults(&manager, seed, jobs, plan);
+        apply_mitigation(&mut manager, &run.plan, args);
+        let result = run_fleet(&fleet, &manager, run);
         let s = &result.summary;
         println!(
             "{:>8} {:>9.2} {:>8.1} {:>8.1} {:>9.2} {:>10.1} {:>9}",
@@ -383,7 +542,7 @@ fn simulate_fleet(
             s.energy_j,
             s.reconfig_count,
         );
-        if !plan.is_none() {
+        if !run.plan.is_none() {
             print_fault_summary(&result.servers);
         }
     }
@@ -391,19 +550,12 @@ fn simulate_fleet(
 }
 
 /// Fleet-mode `trace`: one row per server instead of the time trace.
-fn trace_fleet(
-    args: &Args,
-    artifacts: &Artifacts,
-    servers: usize,
-    seed: u64,
-    jobs: usize,
-    plan: &FaultPlan,
-) -> Result<(), Box<dyn Error>> {
-    let fleet = fleet_of(args, sim_config(args, artifacts.reconfig_time_ms)?, servers)?;
+fn trace_fleet(args: &Args, artifacts: &Artifacts, run: &RunSetup) -> Result<(), Box<dyn Error>> {
+    let fleet = fleet_for(run)?;
     let mut manager = manager_for(System::AdaPEx, artifacts, 0.10);
-    apply_mitigation(&mut manager, plan, args);
-    let result = fleet.run_jobs_with_faults(&manager, seed, jobs, plan);
-    let placement = fleet.placement(seed);
+    apply_mitigation(&mut manager, &run.plan, args);
+    let result = run_fleet(&fleet, &manager, run);
+    let placement = fleet.placement(run.seed);
     println!(
         "{:>6} {:>7} {:>9} {:>9} {:>8} {:>8} {:>9}",
         "server", "cams", "offered", "Loss[%]", "Acc[%]", "QoE[%]", "Reconfigs"
@@ -432,7 +584,7 @@ fn trace_fleet(
         s.events,
         s.ticks,
     );
-    if !plan.is_none() {
+    if !run.plan.is_none() {
         print_fault_summary(&result.servers);
     }
     Ok(())
@@ -440,22 +592,25 @@ fn trace_fleet(
 
 fn cmd_trace(args: &Args) -> Result<(), Box<dyn Error>> {
     let artifacts = Artifacts::load_json(args.require("artifacts")?)?;
-    let seed = args.get_or("seed", 21u64)?;
-    let servers = args.get_or("servers", 1usize)?;
-    let plan = fault_plan(args)?;
-    if servers > 1 {
-        return trace_fleet(args, &artifacts, servers, seed, jobs_of(args)?, &plan);
+    let run = resolve_run(args, artifacts.reconfig_time_ms, 21)?;
+    if let Some(banner) = &run.banner {
+        println!("{banner}");
     }
-    let scenario = scenario_of(args)?;
+    if run.servers > 1 {
+        return trace_fleet(args, &artifacts, &run);
+    }
     let mut manager = manager_for(System::AdaPEx, &artifacts, 0.10);
-    apply_mitigation(&mut manager, &plan, args);
-    let sim = EdgeSimulation::new(sim_config(args, artifacts.reconfig_time_ms)?);
-    let result = match scenario {
-        Some(s) => {
+    apply_mitigation(&mut manager, &run.plan, args);
+    let sim = EdgeSimulation::new(run.sim.clone());
+    let result = match &run.source {
+        WorkloadSource::Shaped(s) => {
             let trace = s.trace(sim.config().workload);
-            sim.run_with_shaped_trace_and_faults(&mut manager, &trace, seed, &plan)
+            sim.run_with_shaped_trace_and_faults(&mut manager, &trace, run.seed, &run.plan)
         }
-        None => sim.run_with_faults(&mut manager, seed, &plan),
+        WorkloadSource::Spec(spec) => {
+            sim.run_with_workload_and_faults(&mut manager, spec, run.seed, &run.plan)
+        }
+        WorkloadSource::Synthetic => sim.run_with_faults(&mut manager, run.seed, &run.plan),
     };
     println!(
         "{:>5} {:>8} {:>8} {:>8} {:>8} {:>6} {:>5} {:>8}",
@@ -481,7 +636,7 @@ fn cmd_trace(args: &Args) -> Result<(), Box<dyn Error>> {
         result.inference_loss_pct(),
         result.qoe() * 100.0
     );
-    if !plan.is_none() {
+    if !run.plan.is_none() {
         print_fault_summary(std::slice::from_ref(&result));
     }
     Ok(())
@@ -633,12 +788,44 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn Error>> {
         cfg.serve = config.clone();
         cfg.class_weights = weights;
         cfg.workload.duration_s = duration;
+        cfg.faults = fault_plan(args)?;
+        cfg.seed = seed;
+        // A scenario/workload file replaces the synthetic camera
+        // workload; explicit flags still win over the file afterwards.
+        match (scenario_arg(args)?, workload_arg(args)?) {
+            (Some(_), Some(_)) => {
+                return Err("--scenario and --workload are mutually exclusive (a \
+                            scenario file carries its own workload)"
+                    .into());
+            }
+            (Some(ScenarioArg::Shaped(_)), None) => {
+                return Err("serve takes a scenario *file*; shaped ids \
+                            (steady|ramp-up|burst|diurnal) apply to simulate/trace"
+                    .into());
+            }
+            (Some(ScenarioArg::File(file)), None) => {
+                println!("scenario {} (seed {}): {}", file.name, file.seed, file.description);
+                file.apply_serve(&mut cfg);
+            }
+            (None, Some(spec)) => {
+                cfg.workload = *spec.config();
+                cfg.workload_spec = Some(spec);
+            }
+            (None, None) => {}
+        }
+        if let Some(v) = args.get("seed") {
+            cfg.seed = v.parse()?;
+        }
+        if let Some(v) = args.get("duration") {
+            cfg.workload.duration_s = v.parse()?;
+        }
+        if let Some(p) = args.get("faults") {
+            cfg.faults = FaultPlan::load_json(p)?;
+        }
         if let Some(rate) = args.get("rate") {
             let rate: f64 = rate.parse()?;
             cfg.workload.ips_per_camera = rate / cfg.workload.cameras as f64;
         }
-        cfg.faults = fault_plan(args)?;
-        cfg.seed = seed;
         let result = ServeScenario::run(&cfg, manager);
         println!(
             "decisions {}  ct-changes {}  reconfigs {} ({} aborted, {:.1} ms down)  \
@@ -652,6 +839,12 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn Error>> {
         );
         print_serve_report(&config, &result.report);
     } else {
+        if args.get("scenario").is_some() || args.get("workload").is_some() {
+            return Err("--scenario/--workload require --artifacts (the file-driven \
+                        workload drives the camera simulation, not the synthetic \
+                        service model)"
+                .into());
+        }
         let rate = args.get_or("rate", 2_000.0f64)?;
         let pattern_name = args.get_or("pattern", "steady".to_string())?;
         let pattern = ArrivalPattern::parse(&pattern_name)

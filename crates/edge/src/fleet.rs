@@ -22,6 +22,7 @@
 use crate::fault::FaultPlan;
 use crate::sim::{EdgeSimulation, SimConfig, SimResult};
 use crate::workload::WorkloadConfig;
+use crate::workload_gen::WorkloadSpec;
 use adapex::runtime::RuntimeManager;
 use adapex_tensor::parallel::{num_threads, par_map};
 use adapex_tensor::rng::{derive_stream, rng_from_seed};
@@ -239,6 +240,35 @@ impl Fleet {
         jobs: usize,
         plan: &FaultPlan,
     ) -> FleetResult {
+        self.run_jobs_impl(manager, None, seed, jobs, plan)
+    }
+
+    /// [`Fleet::run_jobs_with_faults`] driven by a [`WorkloadSpec`]:
+    /// every server runs the spec re-based on its assigned cameras and
+    /// rates ([`WorkloadSpec::with_config`] — shape parameters are
+    /// multipliers of nominal, so the traffic *shape* is fleet-wide
+    /// while the *level* follows each server's placement). With a
+    /// Synthetic spec this is bit-identical to
+    /// [`Fleet::run_jobs_with_faults`].
+    pub fn run_jobs_with_workload(
+        &self,
+        manager: &RuntimeManager,
+        spec: &WorkloadSpec,
+        seed: u64,
+        jobs: usize,
+        plan: &FaultPlan,
+    ) -> FleetResult {
+        self.run_jobs_impl(manager, Some(spec), seed, jobs, plan)
+    }
+
+    fn run_jobs_impl(
+        &self,
+        manager: &RuntimeManager,
+        spec: Option<&WorkloadSpec>,
+        seed: u64,
+        jobs: usize,
+        plan: &FaultPlan,
+    ) -> FleetResult {
         let cfg = &self.config;
         let assignments = self.placement(seed);
         let per_server = par_map(cfg.servers, jobs, |s| {
@@ -258,7 +288,16 @@ impl Fleet {
                 ..cfg.sim.clone()
             });
             let mut m = manager.clone();
-            sim.run_with_faults_stats(&mut m, derive_stream(seed, s as u64, FLEET_SALT), plan)
+            let server_seed = derive_stream(seed, s as u64, FLEET_SALT);
+            match spec {
+                None => sim.run_with_faults_stats(&mut m, server_seed, plan),
+                Some(spec) => sim.run_with_workload_stats(
+                    &mut m,
+                    &spec.with_config(workload),
+                    server_seed,
+                    plan,
+                ),
+            }
         });
 
         let mut summary = FleetSummary {
@@ -421,6 +460,24 @@ mod tests {
         assert!(r.summary.energy_j > 0.0);
         assert!(r.summary.ticks >= 4 * 5_000, "4 servers × 5 s × 1 kHz");
         assert!(r.summary.events > 0);
+    }
+
+    #[test]
+    fn synthetic_spec_fleet_is_bit_identical_to_plain_fleet() {
+        // Driving the fleet through a Synthetic WorkloadSpec must not
+        // change a single byte: the spec is re-based per server onto
+        // the same assigned workload the plain path builds.
+        let fleet = small_fleet(PlacementPolicy::LeastLoaded);
+        let m = manager();
+        let plain = fleet.run_jobs(&m, 42, 2);
+        let via_spec = fleet.run_jobs_with_workload(
+            &m,
+            &WorkloadSpec::paper_default(),
+            42,
+            2,
+            &FaultPlan::none(),
+        );
+        assert_eq!(plain, via_spec);
     }
 
     #[test]

@@ -30,9 +30,11 @@ mod engine;
 mod fault;
 mod fleet;
 mod scenario;
+mod scenario_file;
 pub mod serve_sim;
 mod sim;
 mod workload;
+mod workload_gen;
 
 pub use engine::DesStats;
 pub use fault::{
@@ -43,8 +45,16 @@ pub use fleet::{
     Fleet, FleetConfig, FleetResult, FleetSummary, PlacementPolicy, ServerAssignment, FLEET_SALT,
 };
 pub use scenario::Scenario;
+pub use scenario_file::{
+    builtin_library, builtin_scenario, FleetOverrides, ScenarioFile, ServeOverrides, SimOverrides,
+    SCENARIO_SCHEMA_VERSION,
+};
 pub use serve_sim::{
     ServeEvent, ServeScenario, ServeScenarioConfig, ServeSimResult, SERVE_SIM_SALT,
 };
 pub use sim::{mean_of, EdgeSimulation, SimConfig, SimResult, TraceSample};
 pub use workload::{WorkloadConfig, WorkloadTrace};
+pub use workload_gen::{
+    ClusterReplayWorkload, CorrelatedBurstWorkload, DiurnalWorkload, FlashCrowdWorkload,
+    PiecewiseWorkload, SyntheticWorkload, WorkloadGenerator, WorkloadSpec, WORKLOAD_EVENT_SALT,
+};

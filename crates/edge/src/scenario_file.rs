@@ -1,0 +1,573 @@
+//! Versioned scenario files: one JSON document that fully describes a
+//! run — workload generator, fault plan, simulation/fleet/serving
+//! parameters, and the seed.
+//!
+//! The CLI replays these via `--scenario <file>` (htsim-style), the
+//! golden suite pins a committed library of them under
+//! `tests/golden/scenarios/`, and the bench gates run the adversarial
+//! one. Parsing is *strict*: a schema-version gate plus
+//! unknown-field rejection at every level this crate owns, so a typo'd
+//! or future-versioned file errors instead of silently running
+//! defaults.
+
+use crate::fault::FaultPlan;
+use crate::fleet::{FleetConfig, PlacementPolicy};
+use crate::serve_sim::ServeScenarioConfig;
+use crate::sim::SimConfig;
+use crate::workload::WorkloadConfig;
+use crate::workload_gen::{
+    deny_unknown, expect_object, opt_field, req_field, ClusterReplayWorkload,
+    CorrelatedBurstWorkload, DiurnalWorkload, FlashCrowdWorkload, WorkloadSpec,
+};
+use serde::{Deserialize, Serialize, Value};
+use std::io;
+use std::path::Path;
+
+/// Current scenario-file schema version. Bump on any incompatible
+/// change to the wire format; readers reject other versions.
+pub const SCENARIO_SCHEMA_VERSION: u32 = 1;
+
+/// Optional per-scenario overrides of [`SimConfig`] fields; absent
+/// fields keep the paper defaults (and the artifact-derived
+/// reconfiguration time).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct SimOverrides {
+    /// Simulation tick in seconds.
+    pub tick_s: Option<f64>,
+    /// Seconds between runtime-manager decisions.
+    pub monitor_period_s: Option<f64>,
+    /// Frame-buffer capacity.
+    pub queue_capacity: Option<usize>,
+    /// FPGA reconfiguration downtime in milliseconds.
+    pub reconfig_time_ms: Option<f64>,
+    /// Board static power during reconfiguration, watts.
+    pub reconfig_power_w: Option<f64>,
+}
+
+const SIM_FIELDS: &[&str] = &[
+    "tick_s",
+    "monitor_period_s",
+    "queue_capacity",
+    "reconfig_time_ms",
+    "reconfig_power_w",
+];
+
+impl Deserialize for SimOverrides {
+    fn from_value(value: &Value) -> Result<SimOverrides, serde::Error> {
+        let entries = expect_object(value, "scenario.sim")?;
+        deny_unknown(entries, SIM_FIELDS, "scenario.sim")?;
+        Ok(SimOverrides {
+            tick_s: opt_field(entries, "tick_s", "scenario.sim", None)?,
+            monitor_period_s: opt_field(entries, "monitor_period_s", "scenario.sim", None)?,
+            queue_capacity: opt_field(entries, "queue_capacity", "scenario.sim", None)?,
+            reconfig_time_ms: opt_field(entries, "reconfig_time_ms", "scenario.sim", None)?,
+            reconfig_power_w: opt_field(entries, "reconfig_power_w", "scenario.sim", None)?,
+        })
+    }
+}
+
+/// Fleet section: present means the scenario is a fleet run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FleetOverrides {
+    /// Edge servers in the fleet.
+    pub servers: usize,
+    /// Camera streams per server.
+    pub cameras_per_server: usize,
+    /// Relative spread of per-camera nominal rates (0.2 = ±20 %).
+    pub camera_spread: f64,
+    /// Stream-placement policy.
+    pub placement: PlacementPolicy,
+}
+
+const FLEET_FIELDS: &[&str] = &["servers", "cameras_per_server", "camera_spread", "placement"];
+
+impl Deserialize for FleetOverrides {
+    fn from_value(value: &Value) -> Result<FleetOverrides, serde::Error> {
+        let entries = expect_object(value, "scenario.fleet")?;
+        deny_unknown(entries, FLEET_FIELDS, "scenario.fleet")?;
+        Ok(FleetOverrides {
+            servers: req_field(entries, "servers", "scenario.fleet")?,
+            cameras_per_server: req_field(entries, "cameras_per_server", "scenario.fleet")?,
+            camera_spread: opt_field(entries, "camera_spread", "scenario.fleet", 0.2)?,
+            placement: opt_field(
+                entries,
+                "placement",
+                "scenario.fleet",
+                PlacementPolicy::LeastLoaded,
+            )?,
+        })
+    }
+}
+
+/// Serving section: overrides applied on top of
+/// [`ServeScenarioConfig::paper_default`] when the scenario drives the
+/// DES serving path.
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct ServeOverrides {
+    /// Relative weight of each SLO class in the arrival mix.
+    pub class_weights: Option<Vec<f64>>,
+    /// Seconds between runtime-manager monitoring decisions.
+    pub monitor_period_s: Option<f64>,
+}
+
+const SERVE_FIELDS: &[&str] = &["class_weights", "monitor_period_s"];
+
+impl Deserialize for ServeOverrides {
+    fn from_value(value: &Value) -> Result<ServeOverrides, serde::Error> {
+        let entries = expect_object(value, "scenario.serve")?;
+        deny_unknown(entries, SERVE_FIELDS, "scenario.serve")?;
+        Ok(ServeOverrides {
+            class_weights: opt_field(entries, "class_weights", "scenario.serve", None)?,
+            monitor_period_s: opt_field(entries, "monitor_period_s", "scenario.serve", None)?,
+        })
+    }
+}
+
+/// One fully-described run: workload + faults + parameters + seed.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ScenarioFile {
+    /// Wire-format version; must equal [`SCENARIO_SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// Stable scenario name (doubles as the golden-snapshot key).
+    pub name: String,
+    /// Human-readable description of the traffic/fault story.
+    pub description: String,
+    /// Base seed for the run (CLI `--seed` overrides).
+    pub seed: u64,
+    /// The workload generator.
+    pub workload: WorkloadSpec,
+    /// Fault plan; defaults to fault-free.
+    pub faults: FaultPlan,
+    /// Simulation-parameter overrides.
+    pub sim: SimOverrides,
+    /// Fleet section (present ⇒ fleet run).
+    pub fleet: Option<FleetOverrides>,
+    /// Serving-path overrides.
+    pub serve: Option<ServeOverrides>,
+}
+
+const SCENARIO_FIELDS: &[&str] = &[
+    "schema_version",
+    "name",
+    "description",
+    "seed",
+    "workload",
+    "faults",
+    "sim",
+    "fleet",
+    "serve",
+];
+
+impl Deserialize for ScenarioFile {
+    fn from_value(value: &Value) -> Result<ScenarioFile, serde::Error> {
+        let entries = expect_object(value, "scenario")?;
+        let schema_version: u32 = req_field(entries, "schema_version", "scenario")?;
+        if schema_version != SCENARIO_SCHEMA_VERSION {
+            return Err(serde::Error::custom(format!(
+                "scenario: unsupported schema_version {schema_version} \
+                 (this build reads version {SCENARIO_SCHEMA_VERSION})"
+            )));
+        }
+        deny_unknown(entries, SCENARIO_FIELDS, "scenario")?;
+        Ok(ScenarioFile {
+            schema_version,
+            name: req_field(entries, "name", "scenario")?,
+            description: opt_field(entries, "description", "scenario", String::new())?,
+            seed: opt_field(entries, "seed", "scenario", 0)?,
+            workload: req_field(entries, "workload", "scenario")?,
+            faults: opt_field(entries, "faults", "scenario", FaultPlan::none())?,
+            sim: opt_field(entries, "sim", "scenario", SimOverrides::default())?,
+            fleet: opt_field(entries, "fleet", "scenario", None)?,
+            serve: opt_field(entries, "serve", "scenario", None)?,
+        })
+    }
+}
+
+impl ScenarioFile {
+    /// A minimal scenario around a workload spec.
+    pub fn new(name: impl Into<String>, workload: WorkloadSpec, seed: u64) -> ScenarioFile {
+        ScenarioFile {
+            schema_version: SCENARIO_SCHEMA_VERSION,
+            name: name.into(),
+            description: String::new(),
+            seed,
+            workload,
+            faults: FaultPlan::none(),
+            sim: SimOverrides::default(),
+            fleet: None,
+            serve: None,
+        }
+    }
+
+    /// Rejects parameter combinations that would make the run
+    /// meaningless (load errors call this automatically).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("scenario: name must be non-empty".into());
+        }
+        self.workload.validate()?;
+        if let Some(t) = self.sim.tick_s {
+            if !t.is_finite() || t <= 0.0 {
+                return Err("scenario.sim: tick_s must be finite and > 0".into());
+            }
+        }
+        if let Some(p) = self.sim.monitor_period_s {
+            if !p.is_finite() || p <= 0.0 {
+                return Err("scenario.sim: monitor_period_s must be finite and > 0".into());
+            }
+        }
+        if let Some(f) = &self.fleet {
+            if f.servers == 0 {
+                return Err("scenario.fleet: servers must be > 0".into());
+            }
+            if f.cameras_per_server == 0 {
+                return Err("scenario.fleet: cameras_per_server must be > 0".into());
+            }
+        }
+        if let Some(s) = &self.serve {
+            if let Some(w) = &s.class_weights {
+                if w.is_empty() || w.iter().any(|x| !x.is_finite() || *x < 0.0) {
+                    return Err(
+                        "scenario.serve: class_weights must be non-empty, finite, >= 0".into()
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The simulation config this scenario runs under:
+    /// [`SimConfig::paper_default`] at `default_reconfig_ms` (normally
+    /// the artifact-derived reconfiguration time), the spec's workload
+    /// shape, and the scenario's explicit overrides on top.
+    pub fn sim_config(&self, default_reconfig_ms: f64) -> SimConfig {
+        let mut cfg =
+            SimConfig::paper_default(self.sim.reconfig_time_ms.unwrap_or(default_reconfig_ms));
+        cfg.workload = *self.workload.config();
+        if let Some(v) = self.sim.tick_s {
+            cfg.tick_s = v;
+        }
+        if let Some(v) = self.sim.monitor_period_s {
+            cfg.monitor_period_s = v;
+        }
+        if let Some(v) = self.sim.queue_capacity {
+            cfg.queue_capacity = v;
+        }
+        if let Some(v) = self.sim.reconfig_power_w {
+            cfg.reconfig_power_w = v;
+        }
+        cfg
+    }
+
+    /// The fleet config for a fleet scenario (`None` when the scenario
+    /// has no fleet section). The per-server camera count comes from
+    /// the fleet section; the placer re-bases rates per server.
+    pub fn fleet_config(&self, default_reconfig_ms: f64) -> Option<FleetConfig> {
+        self.fleet.map(|f| {
+            let mut sim = self.sim_config(default_reconfig_ms);
+            sim.workload = WorkloadConfig {
+                cameras: f.cameras_per_server,
+                ..sim.workload
+            };
+            FleetConfig {
+                servers: f.servers,
+                cameras_per_server: f.cameras_per_server,
+                camera_spread: f.camera_spread,
+                placement: f.placement,
+                sim,
+            }
+        })
+    }
+
+    /// Applies this scenario to a serving config: workload spec +
+    /// shape, faults, seed, and the serve-section overrides. The
+    /// caller's `serve` data-plane config and any later CLI overrides
+    /// stay in charge of the rest.
+    pub fn apply_serve(&self, cfg: &mut ServeScenarioConfig) {
+        cfg.workload = *self.workload.config();
+        cfg.workload_spec = Some(self.workload.clone());
+        cfg.faults = self.faults.clone();
+        cfg.seed = self.seed;
+        if let Some(v) = self.sim.monitor_period_s {
+            cfg.monitor_period_s = v;
+        }
+        if let Some(v) = self.sim.reconfig_time_ms {
+            cfg.reconfig_time_ms = v;
+        }
+        if let Some(s) = &self.serve {
+            if let Some(w) = &s.class_weights {
+                cfg.class_weights = w.clone();
+            }
+            if let Some(v) = s.monitor_period_s {
+                cfg.monitor_period_s = v;
+            }
+        }
+    }
+
+    /// Parses and validates a scenario from a JSON string.
+    pub fn from_json_str(text: &str) -> Result<ScenarioFile, String> {
+        let file: ScenarioFile = serde_json::from_str(text).map_err(|e| e.to_string())?;
+        file.validate()?;
+        Ok(file)
+    }
+
+    /// Loads and validates a scenario file.
+    pub fn load_json(path: impl AsRef<Path>) -> io::Result<ScenarioFile> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)?;
+        ScenarioFile::from_json_str(&text)
+            .map_err(|e| io::Error::other(format!("{}: {e}", path.display())))
+    }
+
+    /// Saves this scenario as pretty-printed JSON (trailing newline,
+    /// matching the golden-file convention).
+    pub fn save_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let text = serde_json::to_string_pretty(self).map_err(io::Error::other)?;
+        std::fs::write(path, text + "\n")
+    }
+}
+
+/// The committed scenario library (`tests/golden/scenarios/`), as
+/// code. The lockstep test in `tests/golden_scenario_library.rs`
+/// asserts the committed files byte-match these constructors, so the
+/// two can never drift.
+pub fn builtin_library() -> Vec<ScenarioFile> {
+    let base = WorkloadConfig::paper_default();
+    vec![
+        ScenarioFile {
+            description: "The paper's synthetic ±30% workload, as a scenario file: \
+                          the identity case for the synthetic↔trace differential."
+                .into(),
+            ..ScenarioFile::new("paper-synthetic", WorkloadSpec::paper_default(), 1213)
+        },
+        ScenarioFile {
+            description: "One smooth day/night cycle between 40% and 160% of nominal \
+                          over a 30 s run."
+                .into(),
+            ..ScenarioFile::new(
+                "diurnal-cycle",
+                WorkloadSpec::Diurnal(DiurnalWorkload {
+                    config: WorkloadConfig {
+                        duration_s: 30.0,
+                        deviation: 0.0,
+                        deviation_period_s: 1.0,
+                        ..base
+                    },
+                    min_multiplier: 0.4,
+                    max_multiplier: 1.6,
+                    cycles: 1.0,
+                    phase: 0.0,
+                }),
+                2601,
+            )
+        },
+        ScenarioFile {
+            description: "A flash crowd: 4 s ramp to 2.5x nominal at t=8 s, 8 s hold, \
+                          6 s decay back to baseline."
+                .into(),
+            ..ScenarioFile::new(
+                "flash-crowd",
+                WorkloadSpec::FlashCrowd(FlashCrowdWorkload {
+                    config: WorkloadConfig {
+                        duration_s: 30.0,
+                        deviation: 0.0,
+                        deviation_period_s: 1.0,
+                        ..base
+                    },
+                    start_s: 8.0,
+                    ramp_s: 4.0,
+                    hold_s: 8.0,
+                    decay_s: 6.0,
+                    peak_multiplier: 2.5,
+                }),
+                3301,
+            )
+        },
+        ScenarioFile {
+            fleet: Some(FleetOverrides {
+                servers: 3,
+                cameras_per_server: 10,
+                camera_spread: 0.2,
+                placement: PlacementPolicy::LeastLoaded,
+            }),
+            description: "An Alibaba-style normalized daily cluster-utilization curve \
+                          replayed over 24 s, driving a 3-server fleet."
+                .into(),
+            ..ScenarioFile::new(
+                "cluster-replay",
+                WorkloadSpec::ClusterReplay(ClusterReplayWorkload::alibaba_like(
+                    WorkloadConfig {
+                        cameras: 10,
+                        duration_s: 24.0,
+                        deviation: 0.0,
+                        deviation_period_s: 1.0,
+                        ..base
+                    },
+                    1.3,
+                )),
+                4901,
+            )
+        },
+        ScenarioFile {
+            description: "Seeded correlated multi-camera events: ~3 bursts, each \
+                          lifting half the cameras to 2x for 5 s; overlaps stack."
+                .into(),
+            ..ScenarioFile::new(
+                "correlated-bursts",
+                WorkloadSpec::CorrelatedBursts(CorrelatedBurstWorkload {
+                    config: WorkloadConfig {
+                        duration_s: 30.0,
+                        deviation: 0.0,
+                        deviation_period_s: 1.0,
+                        ..base
+                    },
+                    mean_events: 3.0,
+                    burst_duration_s: 5.0,
+                    burst_multiplier: 2.0,
+                    camera_fraction: 0.5,
+                }),
+                5501,
+            )
+        },
+        ScenarioFile {
+            faults: FaultPlan::canned(),
+            description: "Adversarial combination: a 1.8x flash crowd layered on the \
+                          canned fault plan (reconfig aborts/overruns, camera dropout, \
+                          stale flood, accuracy dip, staleness bound)."
+                .into(),
+            ..ScenarioFile::new(
+                "adversarial-flash-faults",
+                WorkloadSpec::FlashCrowd(FlashCrowdWorkload {
+                    config: WorkloadConfig {
+                        duration_s: 30.0,
+                        deviation: 0.0,
+                        deviation_period_s: 1.0,
+                        ..base
+                    },
+                    start_s: 6.0,
+                    ramp_s: 3.0,
+                    hold_s: 9.0,
+                    decay_s: 6.0,
+                    peak_multiplier: 1.8,
+                }),
+                6701,
+            )
+        },
+    ]
+}
+
+/// Looks up a builtin scenario by name.
+pub fn builtin_scenario(name: &str) -> Option<ScenarioFile> {
+    builtin_library().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_library_is_valid_and_named_uniquely() {
+        let lib = builtin_library();
+        assert!(lib.len() >= 5, "ship at least 5 scenarios");
+        let mut names: Vec<&str> = lib.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), lib.len(), "scenario names must be unique");
+        for s in &lib {
+            s.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            assert!(!s.description.is_empty(), "{}: description", s.name);
+        }
+        assert!(
+            builtin_scenario("adversarial-flash-faults").is_some(),
+            "the adversarial scenario must ship"
+        );
+    }
+
+    #[test]
+    fn scenarios_roundtrip_through_json() {
+        for s in builtin_library() {
+            let json = serde_json::to_string_pretty(&s).unwrap();
+            let back = ScenarioFile::from_json_str(&json).expect("roundtrip");
+            assert_eq!(back, s, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected_with_a_clear_error() {
+        let json = serde_json::to_string(&builtin_library()[0]).unwrap();
+        let bumped = json.replacen("\"schema_version\":1", "\"schema_version\":2", 1);
+        assert_ne!(json, bumped, "replacement must hit");
+        let err = ScenarioFile::from_json_str(&bumped).unwrap_err();
+        assert!(err.contains("schema_version"), "error: {err}");
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_at_every_level() {
+        let base = serde_json::to_string(&builtin_library()[0]).unwrap();
+        for (from, to) in [
+            ("{", "{\"mystery\":1,"),                        // top level
+            ("\"workload\":{", "\"workload\":{\"oops\":1,"), // workload
+            ("\"sim\":{", "\"sim\":{\"typo_s\":1,"),         // sim section
+        ] {
+            let tainted = base.replacen(from, to, 1);
+            assert_ne!(base, tainted, "replacement must hit: {from}");
+            assert!(
+                ScenarioFile::from_json_str(&tainted).is_err(),
+                "accepted: {to}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_files_error_instead_of_panicking() {
+        let json = serde_json::to_string(&builtin_library()[5]).unwrap();
+        for cut in [1, json.len() / 4, json.len() / 2, json.len() - 1] {
+            let prefix = &json[..cut];
+            assert!(
+                ScenarioFile::from_json_str(prefix).is_err(),
+                "prefix of {cut} bytes parsed"
+            );
+        }
+    }
+
+    #[test]
+    fn sim_and_fleet_configs_apply_overrides() {
+        let mut s = builtin_library()[0].clone();
+        s.sim.queue_capacity = Some(16);
+        s.sim.monitor_period_s = Some(0.5);
+        let cfg = s.sim_config(145.0);
+        assert_eq!(cfg.queue_capacity, 16);
+        assert_eq!(cfg.monitor_period_s, 0.5);
+        assert_eq!(cfg.reconfig_time_ms, 145.0);
+        assert_eq!(cfg.workload, *s.workload.config());
+        assert!(s.fleet_config(145.0).is_none());
+
+        let fleet_scenario = builtin_scenario("cluster-replay").unwrap();
+        let fleet_cfg = fleet_scenario.fleet_config(145.0).expect("fleet section");
+        assert_eq!(fleet_cfg.servers, 3);
+        assert_eq!(fleet_cfg.sim.workload.cameras, 10);
+    }
+
+    #[test]
+    fn apply_serve_threads_spec_faults_and_seed() {
+        let s = builtin_scenario("adversarial-flash-faults").unwrap();
+        let mut cfg = ServeScenarioConfig::paper_default(145.0);
+        s.apply_serve(&mut cfg);
+        assert_eq!(cfg.workload_spec.as_ref(), Some(&s.workload));
+        assert_eq!(cfg.faults, s.faults);
+        assert_eq!(cfg.seed, s.seed);
+        assert_eq!(cfg.workload, *s.workload.config());
+    }
+
+    #[test]
+    fn save_and_load_roundtrip_on_disk() {
+        let dir = std::env::temp_dir().join(format!("adapex-scenario-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.json");
+        let s = builtin_library()[2].clone();
+        s.save_json(&path).unwrap();
+        let back = ScenarioFile::load_json(&path).unwrap();
+        assert_eq!(back, s);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -40,6 +40,7 @@
 use crate::des::{Component, Ctx, EntityId, Scheduled, Simulation};
 use crate::fault::{FaultPlan, FaultState};
 use crate::workload::{WorkloadConfig, WorkloadTrace};
+use crate::workload_gen::WorkloadSpec;
 use adapex::runtime::RuntimeManager;
 use adapex::serve::{PointServiceModel, ServeConfig, ServeEngine, ServeReport, ServiceModel};
 use adapex::Library;
@@ -76,6 +77,13 @@ pub struct ServeScenarioConfig {
     pub serve: ServeConfig,
     /// Workload shape (cameras × rate, duration, ±deviation).
     pub workload: WorkloadConfig,
+    /// Optional workload generator driving the offered-rate trace.
+    /// `None` keeps the historical synthetic `workload.sample(seed)`
+    /// path bit-identically; `Some(spec)` re-bases the spec onto
+    /// `workload` (so CLI rate/duration overrides still apply) and
+    /// generates the trace from it.
+    #[serde(default)]
+    pub workload_spec: Option<WorkloadSpec>,
     /// Relative weight of each SLO class in the arrival mix; must have
     /// one entry per class in `serve.classes`.
     pub class_weights: Vec<f64>,
@@ -96,6 +104,7 @@ impl ServeScenarioConfig {
         ServeScenarioConfig {
             serve: ServeConfig::paper_default(),
             workload: WorkloadConfig::paper_default(),
+            workload_spec: None,
             class_weights: vec![1.0, 3.0],
             monitor_period_s: 1.0,
             reconfig_time_ms,
@@ -409,7 +418,10 @@ impl ServeScenario {
             config.serve.classes.len(),
             "one weight per SLO class"
         );
-        let trace = config.workload.sample(config.seed);
+        let trace = match &config.workload_spec {
+            Some(spec) => spec.with_config(config.workload).generate(config.seed),
+            None => config.workload.sample(config.seed),
+        };
         let faults = FaultState::new(&config.faults, config.seed);
         let max_flood = config
             .faults
@@ -562,6 +574,41 @@ mod tests {
         assert!(a.report.conservation_holds(), "offered must be accounted");
         assert!(a.report.completed > 0, "some requests must complete");
         assert_eq!(a.report.residual, 0, "queues drain after the horizon");
+    }
+
+    #[test]
+    fn synthetic_workload_spec_is_bit_identical_to_default_path() {
+        let cfg = small_config();
+        let mut spec_cfg = cfg.clone();
+        // Any Synthetic spec: it is re-based onto cfg.workload.
+        spec_cfg.workload_spec = Some(WorkloadSpec::paper_default());
+        let plain = ServeScenario::run(&cfg, manager(1_000.0));
+        let via_spec = ServeScenario::run(&spec_cfg, manager(1_000.0));
+        assert_eq!(plain, via_spec);
+    }
+
+    #[test]
+    fn flash_crowd_spec_raises_offered_load() {
+        use crate::workload_gen::FlashCrowdWorkload;
+        let cfg = small_config();
+        let baseline = ServeScenario::run(&cfg, manager(1_000.0));
+        let mut crowd_cfg = cfg.clone();
+        crowd_cfg.workload_spec = Some(WorkloadSpec::FlashCrowd(FlashCrowdWorkload {
+            config: cfg.workload,
+            start_s: 0.5,
+            ramp_s: 0.5,
+            hold_s: 1.5,
+            decay_s: 0.5,
+            peak_multiplier: 3.0,
+        }));
+        let crowd = ServeScenario::run(&crowd_cfg, manager(1_000.0));
+        assert!(
+            crowd.report.offered > baseline.report.offered,
+            "crowd {} vs baseline {}",
+            crowd.report.offered,
+            baseline.report.offered
+        );
+        assert!(crowd.report.conservation_holds());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 use crate::engine::{self, DesStats};
 use crate::fault::{FaultCounters, FaultPlan, FaultState};
 use crate::workload::{WorkloadConfig, WorkloadTrace};
+use crate::workload_gen::WorkloadSpec;
 use adapex::runtime::RuntimeManager;
 use adapex_tensor::parallel::{num_threads, par_map};
 use adapex_tensor::rng::{derive_sequential, derive_stream, rng_from_seed};
@@ -231,6 +232,77 @@ impl EdgeSimulation {
         let mut rng = rng_from_seed(derive_stream(seed, 0, ARRIVAL_SALT));
         let mut faults = FaultState::new(plan, seed);
         engine::run(cfg, manager, &trace, &mut rng, &mut faults)
+    }
+
+    /// Runs one episode from a [`WorkloadSpec`]: the offered-rate trace
+    /// is generated from the spec at `seed` and the episode's workload
+    /// shape follows the spec's config (the simulator's own workload
+    /// template is ignored).
+    ///
+    /// For [`WorkloadSpec::Synthetic`] at this simulator's own workload
+    /// config, this is operation-for-operation identical to
+    /// [`EdgeSimulation::run`]: the same `sample(seed)` draws and the
+    /// same `ARRIVAL_SALT` arrival-noise stream — the synthetic↔spec
+    /// differential tests pin that bitwise. Trace replays exported via
+    /// [`WorkloadSpec::from_trace`] reproduce the originating synthetic
+    /// run for the same reason.
+    pub fn run_with_workload(
+        &self,
+        manager: &mut RuntimeManager,
+        spec: &WorkloadSpec,
+        seed: u64,
+    ) -> SimResult {
+        self.run_with_workload_and_faults(manager, spec, seed, &FaultPlan::none())
+    }
+
+    /// [`EdgeSimulation::run_with_workload`] under a fault plan.
+    pub fn run_with_workload_and_faults(
+        &self,
+        manager: &mut RuntimeManager,
+        spec: &WorkloadSpec,
+        seed: u64,
+        plan: &FaultPlan,
+    ) -> SimResult {
+        self.run_with_workload_stats(manager, spec, seed, plan).0
+    }
+
+    /// [`EdgeSimulation::run_with_workload_and_faults`] plus engine
+    /// stats (mirrors [`EdgeSimulation::run_with_faults_stats`]).
+    pub fn run_with_workload_stats(
+        &self,
+        manager: &mut RuntimeManager,
+        spec: &WorkloadSpec,
+        seed: u64,
+        plan: &FaultPlan,
+    ) -> (SimResult, DesStats) {
+        let trace = spec.generate(seed);
+        let cfg = SimConfig {
+            workload: trace.config,
+            ..self.config.clone()
+        };
+        let mut rng = rng_from_seed(derive_stream(seed, 0, ARRIVAL_SALT));
+        let mut faults = FaultState::new(plan, seed);
+        engine::run(&cfg, manager, &trace, &mut rng, &mut faults)
+    }
+
+    /// Repeated workload-spec episodes under a fault plan; repetition
+    /// `i` runs at seed `derive_sequential(seed, i)` exactly like
+    /// [`EdgeSimulation::run_many_jobs_with_faults`], so results are
+    /// job-count-invariant and — for a Synthetic spec — bit-identical
+    /// to the synthetic path.
+    pub fn run_many_workload_jobs_with_faults(
+        &self,
+        manager: &RuntimeManager,
+        spec: &WorkloadSpec,
+        repetitions: usize,
+        seed: u64,
+        jobs: usize,
+        plan: &FaultPlan,
+    ) -> Vec<SimResult> {
+        par_map(repetitions, jobs, |i| {
+            let mut m = manager.clone();
+            self.run_with_workload_and_faults(&mut m, spec, derive_sequential(seed, i as u64), plan)
+        })
     }
 
     /// Runs one episode against a caller-supplied (e.g. shaped) workload

@@ -44,14 +44,39 @@ impl WorkloadConfig {
         self.cameras as f64 * self.ips_per_camera
     }
 
+    /// Number of deviation periods covering the run, always ≥ 1.
+    ///
+    /// Degenerate shapes are well-defined instead of pathological: a
+    /// zero (or negative) `duration_s`, a non-positive or non-finite
+    /// `deviation_period_s`, and a `deviation_period_s` longer than the
+    /// run all clamp to a single constant-rate segment. (A zero period
+    /// used to turn `duration / period = inf` into a `usize::MAX`-sized
+    /// rate vector.)
+    pub fn periods(&self) -> usize {
+        if self.duration_s > 0.0 && self.deviation_period_s > 0.0 && self.deviation_period_s.is_finite()
+        {
+            ((self.duration_s / self.deviation_period_s).ceil() as usize).max(1)
+        } else {
+            1
+        }
+    }
+
     /// Samples the per-period offered rates for one run.
+    ///
+    /// With `deviation <= 0` (or a non-finite deviation) the trace is
+    /// the constant nominal rate — the identity the differential tests
+    /// pin — and no RNG draw happens at all.
     pub fn sample(&self, seed: u64) -> WorkloadTrace {
-        let mut rng = rng_from_seed(seed);
-        let periods = (self.duration_s / self.deviation_period_s).ceil() as usize;
+        let periods = self.periods();
         let nominal = self.nominal_ips();
-        let rates = (0..periods.max(1))
-            .map(|_| nominal * (1.0 + rng.random_range(-self.deviation..=self.deviation)))
-            .collect();
+        let rates = if self.deviation > 0.0 && self.deviation.is_finite() {
+            let mut rng = rng_from_seed(seed);
+            (0..periods)
+                .map(|_| nominal * (1.0 + rng.random_range(-self.deviation..=self.deviation)))
+                .collect()
+        } else {
+            vec![nominal; periods]
+        };
         WorkloadTrace {
             config: *self,
             rates,
@@ -76,9 +101,17 @@ pub struct WorkloadTrace {
 
 impl WorkloadTrace {
     /// Offered rate at time `t` seconds.
+    ///
+    /// Clamps to the last period past the end of the trace; an empty
+    /// trace (never produced by [`WorkloadConfig::sample`], but
+    /// representable by hand) reads as zero offered load instead of
+    /// panicking.
     pub fn rate_at(&self, t: f64) -> f64 {
+        let Some(&last) = self.rates.last() else {
+            return 0.0;
+        };
         let idx = (t / self.config.deviation_period_s).floor() as usize;
-        self.rates[idx.min(self.rates.len() - 1)]
+        self.rates.get(idx).copied().unwrap_or(last)
     }
 
     /// Poisson arrival count for a tick of `dt` seconds at time `t`.
@@ -149,6 +182,73 @@ mod tests {
         assert_eq!(trace.rate_at(5.01), trace.rates[1]);
         // Past the end: clamps to the last period.
         assert_eq!(trace.rate_at(1000.0), trace.rates[4]);
+    }
+
+    #[test]
+    fn zero_duration_yields_one_constant_period() {
+        let cfg = WorkloadConfig {
+            duration_s: 0.0,
+            ..WorkloadConfig::paper_default()
+        };
+        let trace = cfg.sample(3);
+        assert_eq!(trace.rates.len(), 1);
+        assert!((420.0..=780.0).contains(&trace.rates[0]));
+    }
+
+    #[test]
+    fn zero_deviation_period_does_not_explode() {
+        // duration / 0.0 = inf used to saturate the usize cast and ask
+        // for a usize::MAX-element rates vector. Now: one segment.
+        for period in [0.0, -1.0, f64::INFINITY, f64::NAN] {
+            let cfg = WorkloadConfig {
+                deviation_period_s: period,
+                ..WorkloadConfig::paper_default()
+            };
+            let trace = cfg.sample(3);
+            assert_eq!(trace.rates.len(), 1, "period {period}");
+        }
+    }
+
+    #[test]
+    fn period_longer_than_run_yields_one_segment() {
+        let cfg = WorkloadConfig {
+            duration_s: 25.0,
+            deviation_period_s: 100.0,
+            ..WorkloadConfig::paper_default()
+        };
+        let trace = cfg.sample(5);
+        assert_eq!(trace.rates.len(), 1);
+        assert_eq!(trace.rate_at(0.0), trace.rate_at(24.9));
+    }
+
+    #[test]
+    fn zero_deviation_is_constant_rate_identity() {
+        let cfg = WorkloadConfig {
+            deviation: 0.0,
+            ..WorkloadConfig::paper_default()
+        };
+        let trace = cfg.sample(42);
+        assert_eq!(trace.rates, vec![600.0; 5]);
+        // Identical across seeds: no RNG draw at all.
+        assert_eq!(trace, cfg.sample(7));
+        // Negative / non-finite deviations degrade to the same identity.
+        for dev in [-0.5, f64::NAN, f64::INFINITY] {
+            let cfg = WorkloadConfig {
+                deviation: dev,
+                ..WorkloadConfig::paper_default()
+            };
+            assert_eq!(cfg.sample(1).rates, vec![600.0; 5], "deviation {dev}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_reads_zero_rate() {
+        let trace = WorkloadTrace {
+            config: WorkloadConfig::paper_default(),
+            rates: vec![],
+        };
+        assert_eq!(trace.rate_at(0.0), 0.0);
+        assert_eq!(trace.mean_rate(), 0.0);
     }
 
     #[test]

@@ -160,6 +160,151 @@ mod sim_config_roundtrips {
     }
 }
 
+mod scenario_file_roundtrips {
+    use adapex_edge::{
+        builtin_library, ClusterReplayWorkload, CorrelatedBurstWorkload, DiurnalWorkload,
+        FlashCrowdWorkload, PiecewiseWorkload, ScenarioFile, SyntheticWorkload, WorkloadConfig,
+        WorkloadSpec, SCENARIO_SCHEMA_VERSION,
+    };
+    use proptest::prelude::*;
+
+    fn workload_strategy() -> impl Strategy<Value = WorkloadConfig> {
+        (1usize..200, 1.0f64..120.0, 1.0f64..60.0, 0.0f64..0.9, 0.5f64..10.0).prop_map(
+            |(cameras, ips_per_camera, duration_s, deviation, deviation_period_s)| WorkloadConfig {
+                cameras,
+                ips_per_camera,
+                duration_s,
+                deviation,
+                deviation_period_s,
+            },
+        )
+    }
+
+    /// Valid (post-`validate`) specs across every generator kind: a
+    /// kind index dispatches over shared parameter draws (the vendored
+    /// proptest has no `prop_oneof`, so union-by-index it is).
+    fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
+        (
+            workload_strategy(),
+            0usize..6,
+            prop::collection::vec(0.0f64..5_000.0, 0..24),
+            prop::collection::vec(0.0f64..1.0, 2..48),
+            (0.0f64..1.0, 0.1f64..10.0, 0.0f64..20.0, 0.1f64..10.0, 1.0f64..4.0),
+            (0.0f64..10.0, 0.5f64..20.0, 0.0f64..3.0, 0.0f64..1.0),
+        )
+            .prop_map(|(config, kind, rates, utilization, p, q)| {
+                let (frac, ramp, start, decay, peak) = p;
+                let (mean_events, burst_duration_s, extra, camera_fraction) = q;
+                match kind {
+                    0 => WorkloadSpec::Synthetic(SyntheticWorkload { config }),
+                    1 => WorkloadSpec::Piecewise(PiecewiseWorkload { config, rates }),
+                    2 => WorkloadSpec::Diurnal(DiurnalWorkload {
+                        config,
+                        min_multiplier: frac,
+                        max_multiplier: frac + extra,
+                        cycles: ramp,
+                        phase: camera_fraction,
+                    }),
+                    3 => WorkloadSpec::FlashCrowd(FlashCrowdWorkload {
+                        config,
+                        start_s: start,
+                        ramp_s: ramp,
+                        hold_s: start,
+                        decay_s: decay,
+                        peak_multiplier: peak,
+                    }),
+                    4 => WorkloadSpec::ClusterReplay(ClusterReplayWorkload {
+                        config,
+                        utilization,
+                        scale: ramp,
+                    }),
+                    _ => WorkloadSpec::CorrelatedBursts(CorrelatedBurstWorkload {
+                        config,
+                        mean_events,
+                        burst_duration_s,
+                        burst_multiplier: 1.0 + extra,
+                        camera_fraction,
+                    }),
+                }
+            })
+    }
+
+    fn scenario_strategy() -> impl Strategy<Value = ScenarioFile> {
+        (spec_strategy(), any::<u64>(), 0usize..10_000).prop_map(|(spec, seed, n)| {
+            ScenarioFile::new(format!("scenario-{n}"), spec, seed)
+        })
+    }
+
+    /// Injected keys that collide with no real field of any kind.
+    const UNKNOWN_KEYS: &[&str] = &["mystery", "typo_s", "zz_extra", "not_a_field"];
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn workload_spec_roundtrips(spec in spec_strategy()) {
+            prop_assert!(spec.validate().is_ok());
+            let json = serde_json::to_string(&spec).expect("serialize");
+            let back: WorkloadSpec = serde_json::from_str(&json).expect("parse");
+            prop_assert_eq!(back, spec);
+        }
+
+        #[test]
+        fn scenario_file_roundtrips(file in scenario_strategy()) {
+            let json = serde_json::to_string_pretty(&file).expect("serialize");
+            let back = ScenarioFile::from_json_str(&json).expect("parse");
+            prop_assert_eq!(back, file);
+        }
+
+        #[test]
+        fn unknown_spec_fields_are_rejected(spec in spec_strategy(), k in 0usize..4) {
+            // Splice an unknown key into the spec's top level; the
+            // strict parser must reject it for every generator kind.
+            let key = UNKNOWN_KEYS[k];
+            let json = serde_json::to_string(&spec).expect("serialize");
+            let tainted = json.replacen('{', &format!("{{\"{key}\":0,"), 1);
+            prop_assert!(tainted != json, "replacement must hit");
+            prop_assert!(
+                serde_json::from_str::<WorkloadSpec>(&tainted).is_err(),
+                "accepted unknown field `{}`", key
+            );
+        }
+
+        #[test]
+        fn scenario_version_mismatch_is_rejected(file in scenario_strategy(), v in 2u32..1000) {
+            let json = serde_json::to_string(&file).expect("serialize");
+            let from = format!("\"schema_version\":{SCENARIO_SCHEMA_VERSION}");
+            let bumped = json.replacen(&from, &format!("\"schema_version\":{v}"), 1);
+            prop_assert!(bumped != json, "replacement must hit");
+            let err = ScenarioFile::from_json_str(&bumped).unwrap_err();
+            prop_assert!(err.contains("schema_version"), "error: {}", err);
+        }
+
+        #[test]
+        fn truncated_scenarios_error_instead_of_panicking(
+            file in scenario_strategy(),
+            frac in 0.0f64..1.0,
+        ) {
+            let json = serde_json::to_string(&file).expect("serialize");
+            let cut = ((json.len() as f64 * frac) as usize).min(json.len() - 1);
+            prop_assert!(
+                ScenarioFile::from_json_str(&json[..cut]).is_err(),
+                "prefix of {} bytes parsed", cut
+            );
+        }
+    }
+
+    #[test]
+    fn committed_library_roundtrips_and_validates() {
+        for file in builtin_library() {
+            file.validate().expect("valid builtin");
+            let json = serde_json::to_string_pretty(&file).expect("serialize");
+            let back = ScenarioFile::from_json_str(&json).expect("parse");
+            assert_eq!(back, file, "{}", file.name);
+        }
+    }
+}
+
 #[test]
 fn dataset_roundtrips() {
     use adapex_dataset::{DatasetKind, SyntheticConfig};
